@@ -1,0 +1,42 @@
+"""Shared benchmark fixtures.
+
+Latency cost models are expensive to fit, so one per model architecture
+is cached for the whole benchmark session (the GPU set covers every type
+in Table 3).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cost.profiler import build_latency_model
+from repro.hardware.gpu import list_gpus
+from repro.models import get_model
+from repro.workload import DEFAULT_WORKLOAD, SHORT_PROMPT_WORKLOAD
+
+ALL_GPUS = tuple(list_gpus())
+
+
+@pytest.fixture(scope="session")
+def latency_models():
+    """model_name -> fitted LatencyModel over every GPU type."""
+    cache: dict[str, object] = {}
+
+    def get(model_name: str):
+        if model_name not in cache:
+            cache[model_name] = build_latency_model(
+                ALL_GPUS, get_model(model_name)
+            )
+        return cache[model_name]
+
+    return get
+
+
+@pytest.fixture(scope="session")
+def default_workload():
+    return DEFAULT_WORKLOAD
+
+
+@pytest.fixture(scope="session")
+def short_workload():
+    return SHORT_PROMPT_WORKLOAD

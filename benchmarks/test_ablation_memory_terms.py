@@ -1,0 +1,83 @@
+"""Ablation: the memory model's embedding + workspace terms matter.
+
+DESIGN.md calls out the paper's Sec.-2.2 point: the embedding table and
+peak temporary workspace must be budgeted per stage, *especially* on
+low-memory GPUs.  We re-plan cluster 4 (P100-12G head stages) with a
+naive capacity model that ignores those terms, then check the resulting
+plan against the full memory accounting: it should OOM (or be forced
+into a strictly worse configuration), while the full model's plan is
+feasible by construction.
+"""
+
+from repro.bench.tables import print_table, save_results
+from repro.core.ilp import BitAssignmentILP
+from repro.core.optimizer import LLMPQOptimizer, PlannerConfig
+from repro.hardware import paper_cluster
+from repro.sim.pipeline import simulate_pipeline
+
+
+class _NaiveILP(BitAssignmentILP):
+    """Capacity model without embedding / workspace / logits terms."""
+
+    def _device_capacity(self, j: int) -> float:
+        from repro.cost.memory import FRAMEWORK_OVERHEAD_BYTES
+
+        return self.devices[j].spec.memory_bytes - FRAMEWORK_OVERHEAD_BYTES
+
+
+def _plan_with(ilp_cls, optimizer, mb_p, mb_d):
+    ordering = list(optimizer.cluster.devices)
+    ilp = ilp_cls(
+        cfg=optimizer.cfg,
+        workload=optimizer.workload,
+        devices=ordering,
+        latency_model=optimizer.latency_model,
+        indicator=optimizer.indicator.grouped(optimizer.config.group_size),
+        prefill_microbatch=mb_p,
+        decode_microbatch=mb_d,
+        group_size=optimizer.config.group_size,
+        theta=optimizer.config.theta,
+    )
+    sol = ilp.solve()
+    if not sol.feasible:
+        return None
+    return optimizer.plan_from_solution(ordering, sol, ilp, mb_p, mb_d)
+
+
+def test_ablation_memory_terms(benchmark, latency_models, default_workload):
+    def run():
+        optimizer = LLMPQOptimizer(
+            "opt-30b", paper_cluster(4), default_workload,
+            config=PlannerConfig(group_size=4, theta=1.0),
+            latency_model=latency_models("opt-30b"),
+        )
+        # large prefill micro-batch => large workspace: where the naive
+        # model goes wrong
+        full = _plan_with(BitAssignmentILP, optimizer, 32, 32)
+        naive = _plan_with(_NaiveILP, optimizer, 32, 32)
+        rows = []
+        for label, plan in (("full memory model", full), ("naive (no extras)", naive)):
+            if plan is None:
+                rows.append({"model": label, "planner": "infeasible", "ground_truth": "-"})
+                continue
+            res = simulate_pipeline(plan, optimizer.cluster)
+            rows.append(
+                {
+                    "model": label,
+                    "planner": "feasible",
+                    "ground_truth": "OK" if res.feasible else f"OOM stages {list(res.oom_stages)}",
+                }
+            )
+        return rows, full, naive, optimizer
+
+    rows, full, naive, optimizer = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(rows, title="Ablation — memory-model terms (cluster 4, mb=32)")
+    save_results("ablation_memory_terms", rows)
+
+    # the complete model never produces an OOM plan
+    if full is not None:
+        assert simulate_pipeline(full, optimizer.cluster).feasible
+    # the naive model claims feasibility but its plan OOMs on real memory
+    assert naive is not None, "naive model should happily produce a plan"
+    naive_res = simulate_pipeline(naive, optimizer.cluster)
+    assert not naive_res.feasible, "dropping embedding/workspace terms must backfire"

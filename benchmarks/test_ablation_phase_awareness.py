@@ -1,0 +1,81 @@
+"""Ablation: phase-aware vs prefill-only partitioning.
+
+DESIGN.md calls out the paper's core design choice — costing *both*
+generation phases when partitioning.  We re-solve the cluster-3 and
+cluster-4 ILPs with the decode term removed from the objective
+(``phase_aware=False``, the PipeEdge-style single-phase view) and
+compare end-to-end throughput of the resulting plans under the full
+two-phase simulation.  Expected: the phase-aware plan wins, because the
+decode phase has different device bottlenecks than prefill.
+"""
+
+import pytest
+
+from repro.bench.tables import print_table, save_results
+from repro.core.ilp import BitAssignmentILP
+from repro.core.optimizer import LLMPQOptimizer, PlannerConfig
+from repro.hardware import PAPER_CLUSTERS, paper_cluster
+from repro.sim.pipeline import simulate_pipeline
+
+CLUSTERS = (3, 4)
+
+
+def _best_plan(optimizer, *, phase_aware: bool):
+    best, best_tput = None, -1.0
+    for ordering in optimizer.orderings():
+        from repro.core.optimizer import _microbatch_pairs
+
+        for mb_p, mb_d in _microbatch_pairs(
+            optimizer.workload, len(ordering), optimizer.config
+        ):
+            ilp = BitAssignmentILP(
+                cfg=optimizer.cfg,
+                workload=optimizer.workload,
+                devices=list(ordering),
+                latency_model=optimizer.latency_model,
+                indicator=optimizer.indicator.grouped(optimizer.config.group_size),
+                prefill_microbatch=mb_p,
+                decode_microbatch=mb_d,
+                bits=optimizer.config.bits,
+                group_size=optimizer.config.group_size,
+                theta=optimizer.config.theta,
+                phase_aware=phase_aware,
+            )
+            sol = ilp.solve()
+            if not sol.feasible:
+                continue
+            plan = optimizer.plan_from_solution(ordering, sol, ilp, mb_p, mb_d)
+            res = simulate_pipeline(plan, optimizer.cluster)
+            if res.feasible and res.throughput > best_tput:
+                best, best_tput = plan, res.throughput
+    return best, best_tput
+
+
+def _run(cid, latency_models, workload):
+    model = PAPER_CLUSTERS[cid]
+    optimizer = LLMPQOptimizer(
+        model, paper_cluster(cid), workload,
+        config=PlannerConfig(group_size=4, theta=1.0,
+                             decode_mb_candidates=(8, 32), prefill_mb_cap=8),
+        latency_model=latency_models(model),
+    )
+    _, aware_tput = _best_plan(optimizer, phase_aware=True)
+    _, blind_tput = _best_plan(optimizer, phase_aware=False)
+    return {
+        "cluster": cid,
+        "phase_aware_tput": aware_tput,
+        "prefill_only_tput": blind_tput,
+        "gain": aware_tput / blind_tput if blind_tput > 0 else float("inf"),
+    }
+
+
+@pytest.mark.parametrize("cid", CLUSTERS)
+def test_ablation_phase_awareness(cid, benchmark, latency_models, default_workload):
+    row = benchmark.pedantic(
+        _run, args=(cid, latency_models, default_workload), rounds=1, iterations=1
+    )
+    print_table([row], title=f"Ablation — phase-aware objective, cluster {cid}")
+    save_results(f"ablation_phase_cluster{cid}", row)
+    assert row["phase_aware_tput"] > 0
+    # costing both phases never hurts and should help
+    assert row["gain"] >= 0.999

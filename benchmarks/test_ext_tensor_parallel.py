@@ -1,0 +1,54 @@
+"""Extension (Sec. 7): tensor parallelism in the search space.
+
+The paper argues TP folds into the planner as virtual fused devices.
+We validate the sketch on cluster 10 (4x V100, OPT-66b): enumerate
+uniform TP degrees {1, 2, 4}, plan each fused cluster with the standard
+1-D pipeline planner, and compare.  Expected shape: TP trades pipeline
+depth for per-stage speed; with NVLink-class links the fused options are
+competitive, and the planner picks whichever wins — the point is that
+the search covers the mesh dimension at all.
+"""
+
+from repro.bench.tables import print_table, save_results
+from repro.core.optimizer import PlannerConfig
+from repro.core.tensor_parallel import enumerate_tp_clusters, plan_with_tensor_parallel
+from repro.hardware import paper_cluster
+from repro.models import get_model
+from repro.sim.pipeline import simulate_pipeline
+
+
+def test_ext_tensor_parallel_search(benchmark, default_workload):
+    cluster = paper_cluster(10)  # 4x V100-32G
+    cfg = get_model("opt-66b")
+
+    def run():
+        res = plan_with_tensor_parallel(
+            "opt-66b", cluster, default_workload,
+            config=PlannerConfig(group_size=4, theta=1.0,
+                                 decode_mb_candidates=(8, 16),
+                                 prefill_mb_cap=8),
+            max_tp=4,
+        )
+        rows = []
+        for k, fused in enumerate_tp_clusters(cluster, cfg, max_tp=4):
+            rows.append(
+                {
+                    "tp_degree": k,
+                    "pipeline_stages": fused.num_devices,
+                    "objective": res.per_degree.get(k),
+                    "winner": "<-" if k == res.tp_degree else "",
+                }
+            )
+        return res, rows
+
+    res, rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(rows, title="Extension — TP degrees on cluster 10 (OPT-66b)")
+    save_results("ext_tensor_parallel", rows)
+
+    assert res.plan is not None
+    assert set(res.per_degree) == {1, 2, 4}
+    # every degree produced a finite (feasible) objective on this cluster
+    assert all(v != float("inf") for v in res.per_degree.values())
+    # executing the winning plan on its fused cluster is feasible
+    fused = dict(enumerate_tp_clusters(cluster, cfg, max_tp=4))[res.tp_degree]
+    assert simulate_pipeline(res.plan, fused).feasible

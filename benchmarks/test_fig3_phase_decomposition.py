@@ -1,0 +1,50 @@
+"""Fig. 3: phase time decomposition across precisions and devices.
+
+One OPT-30b decoder layer, prompt length 512, batch 8 — prefill and
+decode time per precision on P100 vs V100 (plus T4/A100 for context).
+The paper's point: the P100/V100 ratio differs wildly between phases, so
+single-phase partitioners misjudge heterogeneous placements.
+"""
+
+from repro.bench.tables import print_table, save_results
+from repro.hardware import get_gpu
+from repro.models import get_model
+from repro.sim.kernels import layer_exec_time
+
+DEVICES = ("P100-12G", "T4-16G", "V100-32G", "A100-40G")
+BITS = (16, 8, 4, 3)
+
+
+def _collect():
+    cfg = get_model("opt-30b")
+    rows = []
+    for name in DEVICES:
+        gpu = get_gpu(name)
+        row = {"gpu": name}
+        for bits in BITS:
+            row[f"prefill_{bits}b_ms"] = 1e3 * layer_exec_time(gpu, cfg, bits, 8, 512, 512)
+            row[f"decode_{bits}b_ms"] = 1e3 * layer_exec_time(gpu, cfg, bits, 8, 1, 512)
+        rows.append(row)
+    return rows
+
+
+def test_fig3_phase_decomposition(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    print_table(rows, title="Fig. 3 — single-layer phase times, OPT-30b s=512 b=8")
+    save_results("fig3_phase_decomposition", rows)
+
+    by = {r["gpu"]: r for r in rows}
+    # cross-device ratios differ substantially between phases
+    pre_ratio = by["P100-12G"]["prefill_16b_ms"] / by["V100-32G"]["prefill_16b_ms"]
+    dec_ratio = by["P100-12G"]["decode_16b_ms"] / by["V100-32G"]["decode_16b_ms"]
+    assert pre_ratio > 2 * dec_ratio
+
+    # FP16 fastest prefill on V100; INT8 == FP16 on T4 (tensor cores)
+    v = by["V100-32G"]
+    assert v["prefill_16b_ms"] < min(v[f"prefill_{b}b_ms"] for b in (8, 4, 3))
+    t = by["T4-16G"]
+    assert t["prefill_8b_ms"] <= t["prefill_16b_ms"] * 1.01
+
+    # decode (memory-bound) rewards quantization everywhere
+    for r in rows:
+        assert r["decode_4b_ms"] < r["decode_16b_ms"]

@@ -1,0 +1,84 @@
+"""Fig. 4: perplexity & accuracy under different quantization schemes.
+
+BLOOM-3b PPL and OPT-1.3b accuracy across FP16 / INT8 / INT4 / INT3 and
+the paper's 'mixed4-8' / 'mixed3-4' random-mixed schemes.  The headline:
+mixed-precision beats uniformly using the lower bit.  A second panel
+validates the ordering with *real* KL measurements on the tiny NumPy
+model (genuinely quantized weights).
+"""
+
+import numpy as np
+
+from repro.bench.tables import print_table, save_results
+from repro.models import get_model
+from repro.sim.quality import measure_kl_tiny, plan_accuracy, plan_perplexity
+
+
+def _mixed(L: int, lo: int, hi: int, seed: int) -> list[int]:
+    rng = np.random.default_rng(seed)
+    return [int(b) for b in rng.choice([lo, hi], size=L)]
+
+
+def _collect():
+    rows = []
+    for model in ("bloom-3b", "opt-1.3b"):
+        L = get_model(model).num_layers
+        schemes = {
+            "fp16": [16] * L,
+            "int8": [8] * L,
+            "mixed4-8": _mixed(L, 4, 8, seed=0),
+            "int4": [4] * L,
+            "mixed3-4": _mixed(L, 3, 4, seed=0),
+            "int3": [3] * L,
+        }
+        for scheme, bits in schemes.items():
+            rows.append(
+                {
+                    "model": model,
+                    "scheme": scheme,
+                    "ppl": plan_perplexity(model, bits),
+                    "acc_%": plan_accuracy(model, bits),
+                }
+            )
+    return rows
+
+
+def test_fig4_quality_vs_bitwidth(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    print_table(rows, title="Fig. 4 — quality vs quantization scheme (surrogate)")
+    save_results("fig4_quality_vs_bitwidth", rows)
+
+    for model in ("bloom-3b", "opt-1.3b"):
+        by = {r["scheme"]: r for r in rows if r["model"] == model}
+        # mixed4-8 strictly between int8 and int4
+        assert by["int8"]["ppl"] <= by["mixed4-8"]["ppl"] <= by["int4"]["ppl"]
+        # mixed3-4 beats uniform int3 (the paper's headline)
+        assert by["mixed3-4"]["ppl"] < by["int3"]["ppl"]
+        # accuracy anti-correlates with ppl
+        assert by["fp16"]["acc_%"] >= by["int4"]["acc_%"] >= by["int3"]["acc_%"]
+
+
+def test_fig4_real_kl_on_tiny_model(benchmark):
+    """Ground-truth panel: the same ordering on genuinely quantized
+    weights (KL to the FP16 model's predictions)."""
+    L = get_model("tiny-4l").num_layers
+
+    def run():
+        return {
+            "fp16": measure_kl_tiny("tiny-4l", [16] * L),
+            "int8": measure_kl_tiny("tiny-4l", [8] * L),
+            "mixed4-8": measure_kl_tiny("tiny-4l", _mixed(L, 4, 8, seed=1)),
+            "int4": measure_kl_tiny("tiny-4l", [4] * L),
+            "mixed3-4": measure_kl_tiny("tiny-4l", _mixed(L, 3, 4, seed=1)),
+            "int3": measure_kl_tiny("tiny-4l", [3] * L),
+        }
+
+    kl = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(
+        [{"scheme": k, "KL_to_fp16": f"{v:.2e}"} for k, v in kl.items()],
+        title="Fig. 4 (real measurement) — KL divergence, tiny-4l",
+    )
+    save_results("fig4_tiny_kl", kl)
+    assert kl["fp16"] <= kl["int8"] <= kl["int4"] <= kl["int3"]
+    assert kl["int8"] <= kl["mixed4-8"] <= kl["int4"]
+    assert kl["mixed3-4"] <= kl["int3"]

@@ -1,0 +1,48 @@
+"""Fig. 5: prefill/decode kernel time vs precision and batch size.
+
+One OPT-30b layer, prompt 512, batch sizes 1..32, on V100 and T4.  The
+paper's observation: uniform low-precision does *not* always speed up
+inference — FP16 often wins prefill (dequant overhead), while weight-only
+quantization consistently wins decode.
+"""
+
+from repro.bench.tables import print_table, save_results
+from repro.hardware import get_gpu
+from repro.models import get_model
+from repro.sim.kernels import layer_exec_time
+
+BATCHES = (1, 2, 4, 8, 16, 32)
+BITS = (16, 8, 4, 3)
+
+
+def _collect():
+    cfg = get_model("opt-30b")
+    rows = []
+    for gpu_name in ("V100-32G", "T4-16G"):
+        gpu = get_gpu(gpu_name)
+        for b in BATCHES:
+            row = {"gpu": gpu_name, "batch": b}
+            for bits in BITS:
+                row[f"prefill_{bits}b_ms"] = 1e3 * layer_exec_time(gpu, cfg, bits, b, 512, 512)
+                row[f"decode_{bits}b_ms"] = 1e3 * layer_exec_time(gpu, cfg, bits, b, 1, 512)
+            rows.append(row)
+    return rows
+
+
+def test_fig5_kernel_times(benchmark):
+    rows = benchmark.pedantic(_collect, rounds=1, iterations=1)
+    print_table(rows, title="Fig. 5 — kernel time vs precision and batch (OPT-30b layer)")
+    save_results("fig5_kernel_times", rows)
+
+    v100 = [r for r in rows if r["gpu"] == "V100-32G"]
+    # prefill: FP16 fastest at every batch size on V100
+    for r in v100:
+        assert r["prefill_16b_ms"] <= min(r[f"prefill_{b}b_ms"] for b in (8, 4, 3))
+    # decode: 3/4-bit fastest at every batch size (weight streaming)
+    for r in rows:
+        assert min(r["decode_3b_ms"], r["decode_4b_ms"]) < r["decode_16b_ms"]
+    # decode time sub-linear in batch until compute-bound: batch 32 is
+    # far less than 32x batch 1 (weights amortize)
+    small = v100[0]["decode_16b_ms"]
+    big = v100[-1]["decode_16b_ms"]
+    assert big < 8 * small

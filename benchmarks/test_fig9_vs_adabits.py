@@ -1,0 +1,51 @@
+"""Fig. 9: LLM-PQ vs pure adaptive quantization (adabits).
+
+adabits solves the quality-only ILP — best bitwidths that fit memory,
+with no latency-aware partition or micro-batch choice.  The comparison
+isolates the value of *jointly* deciding precision, partition and
+micro-batches: LLM-PQ should win throughput on every cluster (clusters
+3, 5, 6, 9 at s=512; cluster 4 at s=128, as in the paper).
+"""
+
+import pytest
+
+from repro.bench.tables import print_table, save_results
+from repro.core.api import compare_schemes
+from repro.hardware import PAPER_CLUSTERS, paper_cluster
+from repro.workload import DEFAULT_WORKLOAD, SHORT_PROMPT_WORKLOAD
+
+CASES = {
+    3: (DEFAULT_WORKLOAD, 2, False),
+    4: (SHORT_PROMPT_WORKLOAD, 2, False),
+    5: (DEFAULT_WORKLOAD, 4, True),
+    6: (DEFAULT_WORKLOAD, 2, False),
+    9: (DEFAULT_WORKLOAD, 2, False),
+}
+
+
+def _run(cid, latency_models):
+    workload, group, heur = CASES[cid]
+    model = PAPER_CLUSTERS[cid]
+    reports = compare_schemes(
+        model, paper_cluster(cid), workload,
+        schemes=("adabits", "LLM-PQ"), group_size=group, use_heuristic=heur,
+        theta=1.0, latency_model=latency_models(model),
+    )
+    by = {r.scheme: r for r in reports}
+    return {
+        "cluster": cid,
+        "model": model,
+        "adabits_tput": by["adabits"].throughput,
+        "llmpq_tput": by["LLM-PQ"].throughput,
+        "speedup": by["LLM-PQ"].speedup_over(by["adabits"]),
+    }
+
+
+@pytest.mark.parametrize("cid", sorted(CASES))
+def test_fig9_vs_adabits(cid, benchmark, latency_models):
+    row = benchmark.pedantic(_run, args=(cid, latency_models), rounds=1, iterations=1)
+    print_table([row], title=f"Fig. 9 — LLM-PQ vs adabits, cluster {cid}")
+    save_results(f"fig9_cluster{cid}", row)
+    assert row["llmpq_tput"] > 0
+    # joint optimization beats pure adaptive quantization everywhere
+    assert row["speedup"] >= 1.0

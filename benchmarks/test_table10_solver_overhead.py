@@ -1,0 +1,100 @@
+"""Tables 9/10: per-cluster solver setups and plan-generation overhead.
+
+Reproduces the appendix accounting: for every Table-3 cluster, run the
+assigner with its per-cluster configuration and record how long plan
+generation takes.  Expected shape: single-node clusters solve in
+(sub)seconds, the 6-8 GPU clusters take the longest, and the average
+stays within interactive bounds (the paper's average is ~18s with a
+116s worst case on GUROBI; HiGHS + our pruning land in the same
+regime).  Also reproduces the three-node data point (2x P100 + 2x V100
++ 2x A100 serving OPT-66b with the heuristic).
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench.tables import print_table, save_results
+from repro.core.api import plan_llmpq
+from repro.hardware import PAPER_CLUSTERS, make_cluster, paper_cluster
+
+#: cluster -> (group, heuristic, theta) — the Table-9 analogue on this
+#: repo's omega scale.
+SETUPS = {
+    1: (2, False, 1.0),
+    2: (2, False, 1.0),
+    3: (2, False, 1.0),
+    4: (2, False, 10.0),
+    5: (4, True, 10.0),
+    6: (2, False, 10.0),
+    7: (4, False, 10.0),
+    8: (4, False, 10.0),
+    9: (2, False, 1.0),
+    10: (4, True, 1.0),
+    11: (4, True, 10.0),
+}
+
+
+def _run_all(latency_models, workload):
+    rows = []
+    for cid, (group, heur, theta) in SETUPS.items():
+        model = PAPER_CLUSTERS[cid]
+        res = plan_llmpq(
+            model, paper_cluster(cid), workload,
+            theta=theta, group_size=group, use_heuristic=heur,
+            latency_model=latency_models(model),
+            prefill_mb_cap=8, decode_mb_candidates=(8, 32),
+        )
+        rows.append(
+            {
+                "cluster": cid,
+                "model": model,
+                "group": group,
+                "heuristic": "Y" if heur else "N",
+                "theta": theta,
+                "overhead_s": res.total_seconds,
+                "feasible": res.feasible,
+            }
+        )
+    return rows
+
+
+def test_table10_solver_overhead(benchmark, latency_models, default_workload):
+    rows = benchmark.pedantic(
+        _run_all, args=(latency_models, default_workload), rounds=1, iterations=1
+    )
+    overheads = [r["overhead_s"] for r in rows]
+    rows.append(
+        {"cluster": "AVG", "model": "-", "group": "-", "heuristic": "-",
+         "theta": "-", "overhead_s": float(np.mean(overheads)), "feasible": "-"}
+    )
+    print_table(rows, title="Table 10 — plan-generation overhead per cluster")
+    save_results("table10_solver_overhead", rows)
+
+    assert all(r["feasible"] for r in rows[:-1])
+    # interactive regime: average below 2 minutes, worst below the
+    # paper's GUROBI worst case x3
+    assert float(np.mean(overheads)) < 120
+    assert max(overheads) < 350
+
+
+def test_table10_three_node_data_point(benchmark, latency_models, default_workload):
+    """The appendix's extra point: 2xP100 + 2xV100 + 2xA100 serving
+    OPT-66b with the heuristic solves in tens of seconds."""
+    cluster = make_cluster(
+        [("P100-12G", 2), ("V100-32G", 2), ("A100-40G", 2)], name="three-node"
+    )
+
+    def run():
+        return plan_llmpq(
+            "opt-66b", cluster, default_workload,
+            theta=10.0, group_size=4, use_heuristic=True,
+            latency_model=latency_models("opt-66b"),
+            prefill_mb_cap=8, decode_mb_candidates=(8, 32),
+        )
+
+    res = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nthree-node OPT-66b heuristic solve: {res.total_seconds:.1f}s")
+    save_results("table10_three_node", {"overhead_s": res.total_seconds,
+                                        "feasible": res.feasible})
+    assert res.feasible
+    assert res.total_seconds < 300

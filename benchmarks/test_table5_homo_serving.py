@@ -1,0 +1,91 @@
+"""Table 5: serving performance on homogeneous clusters 9-11.
+
+Expected shape, per the paper: LLM-PQ still wins, but by less than on
+the heterogeneous clusters (Table 4) — with uniform devices the
+partition trick loses its edge and only micro-batch sizing + adaptive
+precision remain.  On cluster 9 (4xT4, memory-starved) FlexGen-int8 is
+genuinely competitive.
+"""
+
+import pytest
+
+from repro.bench.tables import print_table, save_results
+from repro.core.api import compare_schemes
+from repro.hardware import PAPER_CLUSTERS, paper_cluster
+
+HOMO_CLUSTERS = (9, 10, 11)
+SETTINGS = {9: (2, False, 1.0), 10: (4, True, 1.0), 11: (4, True, 10.0)}
+
+
+def _run_cluster(cid, latency_models, workload):
+    model = PAPER_CLUSTERS[cid]
+    cluster = paper_cluster(cid)
+    group, heur, theta = SETTINGS[cid]
+    schemes = ("PipeEdge", "Uniform", "FlexGen", "FlexGen-int8", "LLM-PQ")
+    if model.startswith("bloom"):
+        schemes = ("PipeEdge", "Uniform", "LLM-PQ")
+    reports = compare_schemes(
+        model, cluster, workload,
+        schemes=schemes, group_size=group, use_heuristic=heur, theta=theta,
+        latency_model=latency_models(model),
+    )
+    ref = next(r for r in reports if r.scheme == "PipeEdge")
+    return [
+        {
+            "cluster": cid,
+            "model": model,
+            "scheme": r.scheme,
+            "ppl": r.perplexity if r.feasible else None,
+            "latency_s": r.latency if r.feasible else None,
+            "throughput": r.throughput,
+            "x_vs_pipeedge": r.speedup_over(ref) if r.feasible else None,
+        }
+        for r in reports
+    ]
+
+
+@pytest.mark.parametrize("cid", HOMO_CLUSTERS)
+def test_table5_cluster(cid, benchmark, latency_models, default_workload):
+    rows = benchmark.pedantic(
+        _run_cluster, args=(cid, latency_models, default_workload),
+        rounds=1, iterations=1,
+    )
+    print_table(rows, title=f"Table 5 — cluster {cid} ({PAPER_CLUSTERS[cid]})")
+    save_results(f"table5_cluster{cid}", rows)
+
+    by = {r["scheme"]: r for r in rows}
+    llmpq = by["LLM-PQ"]
+    assert llmpq["throughput"] > 0
+    # LLM-PQ matches or beats the pipeline baselines (PipeEdge/Uniform);
+    # FlexGen-int8 may tie on the memory-starved T4 cluster (paper: it
+    # actually wins cluster 9)
+    assert llmpq["throughput"] >= 0.98 * by["PipeEdge"]["throughput"]
+    assert llmpq["throughput"] >= 0.98 * by["Uniform"]["throughput"]
+    if "FlexGen-int8" in by and by["FlexGen-int8"]["throughput"] > 0:
+        assert llmpq["throughput"] >= 0.7 * by["FlexGen-int8"]["throughput"]
+
+
+def test_table5_gains_smaller_than_hetero(benchmark, latency_models, default_workload):
+    """Sec. 6.4's headline: homogeneous gains < heterogeneous gains."""
+
+    def run():
+        hetero = _run_cluster_pair(3, latency_models, default_workload)
+        homo = _run_cluster_pair(9, latency_models, default_workload)
+        return hetero, homo
+
+    def _run_cluster_pair(cid, latency_models, workload):
+        model = PAPER_CLUSTERS[cid]
+        cluster = paper_cluster(cid)
+        group, heur, theta = (2, False, 1.0)
+        reports = compare_schemes(
+            model, cluster, workload,
+            schemes=("PipeEdge", "LLM-PQ"), group_size=group, theta=theta,
+            use_heuristic=heur, latency_model=latency_models(model),
+        )
+        by = {r.scheme: r for r in reports}
+        return by["LLM-PQ"].speedup_over(by["PipeEdge"])
+
+    hetero_gain, homo_gain = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\nspeedup over PipeEdge: hetero(c3)={hetero_gain:.2f}x homo(c9)={homo_gain:.2f}x")
+    save_results("table5_gain_comparison", {"hetero": hetero_gain, "homo": homo_gain})
+    assert hetero_gain > homo_gain

@@ -1,0 +1,80 @@
+"""Table 6: effectiveness of the variance indicator vs Random / Hessian.
+
+Protocol (adapted to the runnable tiny model): build each indicator on
+the same calibration batch, hand each to the same bit-allocation
+problem (a fixed memory budget forcing ~half the layers below FP16),
+and score the resulting assignment with *real* KL-divergence
+measurements of the genuinely quantized model.  Also report each
+indicator's construction overhead — the paper's headline is that the
+variance indicator matches Hessian quality at a 58-72x lower cost.
+"""
+
+import numpy as np
+
+from repro.bench.tables import print_table, save_results
+from repro.models import TinyDecoderLM, calibration_batch, get_model
+from repro.quant import (
+    hessian_indicator,
+    random_indicator,
+    variance_indicator,
+)
+from repro.sim.quality import measure_kl_tiny
+
+
+def _allocate_bits(table, budget_low: int) -> list[int]:
+    """Greedy budgeted allocation: exactly ``budget_low`` layers must run
+    at 4-bit (memory pressure); the indicator chooses *which* — the
+    least-sensitive ones first."""
+    order = np.argsort(table.column(4))  # least sensitive first
+    bits = [16] * table.num_layers
+    for i in order[:budget_low]:
+        bits[int(i)] = 4
+    return bits
+
+
+def _run():
+    cfg = get_model("tiny-8l")
+    model = TinyDecoderLM(cfg, seed=0)
+    calib = calibration_batch(cfg.vocab_size, batch=4, seq_len=24)
+    budget = cfg.num_layers // 2
+
+    tables = {
+        "Random": random_indicator(cfg.num_layers, seed=3),
+        "Hessian": hessian_indicator(model, calib),
+        "LLM-PQ (variance)": variance_indicator(model, calib),
+    }
+    rows = []
+    for name, table in tables.items():
+        bits = _allocate_bits(table, budget)
+        kl = measure_kl_tiny("tiny-8l", bits, seed=0)
+        rows.append(
+            {
+                "method": name,
+                "kl_to_fp16": f"{kl:.3e}",
+                "_kl": kl,
+                "overhead_s": table.overhead_seconds,
+            }
+        )
+    return rows
+
+
+def test_table6_indicator_effectiveness(benchmark):
+    rows = benchmark.pedantic(_run, rounds=1, iterations=1)
+    print_table(
+        rows, columns=("method", "kl_to_fp16", "overhead_s"),
+        title="Table 6 — indicator quality (real KL) and overhead",
+    )
+    save_results(
+        "table6_indicator",
+        [{k: v for k, v in r.items() if k != "_kl"} for r in rows],
+    )
+    by = {r["method"]: r for r in rows}
+    # the variance indicator must not lose to random
+    assert by["LLM-PQ (variance)"]["_kl"] <= by["Random"]["_kl"] * 1.05
+    # and must be far cheaper than Hessian (paper: 58-72x)
+    assert (
+        by["Hessian"]["overhead_s"]
+        > 5 * by["LLM-PQ (variance)"]["overhead_s"]
+    )
+    # Hessian and variance land in the same quality ballpark
+    assert by["LLM-PQ (variance)"]["_kl"] <= by["Hessian"]["_kl"] * 3

@@ -1,0 +1,76 @@
+"""Table 7: serving with shorter prompts (s=128, n=200).
+
+Expected shapes: LLM-PQ still wins clusters 1, 4 and 6 without quality
+loss, but the cluster-4 gain shrinks relative to the s=512 workload —
+small prompts with long generation make serving look single-phase,
+which is PipeEdge's home turf (the paper's own explanation).
+"""
+
+import pytest
+
+from repro.bench.tables import print_table, save_results
+from repro.core.api import compare_schemes
+from repro.hardware import PAPER_CLUSTERS, paper_cluster
+from repro.workload import DEFAULT_WORKLOAD, SHORT_PROMPT_WORKLOAD
+
+CLUSTERS = (1, 4, 6)
+#: (group, theta).  The decode-heavy workload makes aggressive
+#: quantization very profitable, so theta is raised on cluster 1 to hold
+#: quality at the paper's level (it reports no PPL regression there).
+SETTINGS = {1: (2, 5.0), 4: (2, 10.0), 6: (2, 10.0)}
+
+
+def _run(cid, latency_models, workload):
+    model = PAPER_CLUSTERS[cid]
+    group, theta = SETTINGS[cid]
+    reports = compare_schemes(
+        model, paper_cluster(cid), workload,
+        schemes=("PipeEdge", "Uniform", "FlexGen", "FlexGen-int8", "LLM-PQ"),
+        group_size=group, theta=theta, latency_model=latency_models(model),
+    )
+    ref = next(r for r in reports if r.scheme == "PipeEdge")
+    return [
+        {
+            "cluster": cid,
+            "scheme": r.scheme,
+            "ppl": r.perplexity if r.feasible else None,
+            "latency_s": r.latency if r.feasible else None,
+            "throughput": r.throughput,
+            "x_vs_pipeedge": r.speedup_over(ref) if r.feasible else None,
+        }
+        for r in reports
+    ]
+
+
+@pytest.mark.parametrize("cid", CLUSTERS)
+def test_table7_short_prompt_cluster(cid, benchmark, latency_models, short_workload):
+    rows = benchmark.pedantic(
+        _run, args=(cid, latency_models, short_workload), rounds=1, iterations=1
+    )
+    print_table(rows, title=f"Table 7 — cluster {cid}, s=128 n=200")
+    save_results(f"table7_cluster{cid}", rows)
+
+    by = {r["scheme"]: r for r in rows}
+    assert by["LLM-PQ"]["throughput"] >= 0.98 * by["PipeEdge"]["throughput"]
+    assert by["LLM-PQ"]["throughput"] >= 0.98 * by["Uniform"]["throughput"]
+    # no quality degradation (paper: even improvements)
+    ppls = [r["ppl"] for n, r in by.items() if n != "LLM-PQ" and r["ppl"] is not None]
+    assert by["LLM-PQ"]["ppl"] <= min(ppls) + 0.3
+
+
+def test_table7_cluster4_gain_shrinks_vs_long_prompts(benchmark, latency_models):
+    """The paper's Sec.-6.6 note: cluster 4's speedup with s=128 is much
+    lower than with s=512 (the system approaches one-phase behaviour)."""
+
+    def gain(workload):
+        rows = _run(4, latency_models, workload)
+        by = {r["scheme"]: r for r in rows}
+        return by["LLM-PQ"]["x_vs_pipeedge"]
+
+    def run():
+        return gain(SHORT_PROMPT_WORKLOAD), gain(DEFAULT_WORKLOAD)
+
+    short_gain, long_gain = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(f"\ncluster 4 speedup: s=128 -> {short_gain:.2f}x, s=512 -> {long_gain:.2f}x")
+    save_results("table7_cluster4_gain", {"short": short_gain, "long": long_gain})
+    assert short_gain <= long_gain

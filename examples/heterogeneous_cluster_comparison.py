@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""Harvesting idle low-calibre GPUs: scheme comparison on mixed clusters.
+
+The paper's motivating scenario (Fig. 1): production fleets are full of
+under-utilized T4s/P100s while A100s run hot.  This example builds a
+cluster from that idle capacity and compares serving schemes — PipeEdge,
+Uniform, FlexGen(-int8) offloading, and LLM-PQ — on the offline batch
+workload, printing a Table-4-style comparison.
+
+Run:  python examples/heterogeneous_cluster_comparison.py [cluster_id]
+"""
+
+import sys
+
+from repro import DEFAULT_WORKLOAD, compare_schemes
+from repro.bench.tables import format_table
+from repro.hardware import PAPER_CLUSTERS, generate_fleet_trace, paper_cluster
+
+
+def main() -> None:
+    cluster_id = int(sys.argv[1]) if len(sys.argv) > 1 else 3
+    model = PAPER_CLUSTERS[cluster_id]
+    cluster = paper_cluster(cluster_id)
+
+    # the motivation: how much fleet capacity sits idle per GPU type?
+    trace = generate_fleet_trace(seed=0)
+    idle = trace.idle_capacity_fraction()
+    print("idle fleet capacity by GPU type (month average):")
+    for gpu, frac in sorted(idle.items(), key=lambda kv: -kv[1]):
+        print(f"  {gpu:<10} {100 * frac:5.1f} %")
+
+    print(f"\nserving {model} on {cluster.describe()}")
+    schemes = ("PipeEdge", "Uniform", "FlexGen", "FlexGen-int8", "LLM-PQ")
+    if model.startswith("bloom"):
+        schemes = ("PipeEdge", "Uniform", "LLM-PQ")
+    reports = compare_schemes(
+        model, cluster, DEFAULT_WORKLOAD, schemes=schemes, group_size=2,
+    )
+    ref = next(r for r in reports if r.scheme == "PipeEdge")
+    rows = []
+    for r in reports:
+        row = r.row()
+        row["x_vs_pipeedge"] = round(r.speedup_over(ref), 2) if r.feasible else None
+        rows.append(row)
+    print("\n" + format_table(rows, title=f"cluster {cluster_id} — serving comparison"))
+
+    best = max(reports, key=lambda r: r.throughput)
+    print(f"\nwinner: {best.scheme} at {best.throughput:.1f} tok/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: plan and evaluate LLM serving on a heterogeneous cluster.
+
+Serves OPT-30b on the paper's cluster 3 (3x T4-16G + 1x V100-32G): the
+assigner jointly picks the pipeline partition, per-layer quantization
+bitwidths and phase-specific micro-batch sizes, then the simulator
+reports end-to-end latency / throughput and the quality surrogate scores
+perplexity.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import DEFAULT_WORKLOAD, evaluate_plan, plan_llmpq
+from repro.hardware import paper_cluster
+
+
+def main() -> None:
+    cluster = paper_cluster(3)
+    print(f"cluster : {cluster.describe()}")
+    print(f"workload: s={DEFAULT_WORKLOAD.prompt_len} "
+          f"n={DEFAULT_WORKLOAD.gen_len} b={DEFAULT_WORKLOAD.global_batch}")
+
+    print("\nplanning (profiles devices, fits cost models, solves the ILP)...")
+    # theta=5: weigh quality enough that the T4s quantize to INT8 while
+    # the V100 keeps most layers FP16 — the paper's adaptive behaviour
+    result = plan_llmpq("opt-30b", cluster, DEFAULT_WORKLOAD, group_size=2, theta=5.0)
+    assert result.plan is not None, "no feasible plan found"
+
+    print("\n=== chosen plan ===")
+    print(result.plan.describe())
+    print(f"(searched {len(result.candidates)} candidates "
+          f"in {result.total_seconds:.1f}s)")
+
+    report = evaluate_plan(result.plan, cluster)
+    print("\n=== simulated serving ===")
+    print(f"latency    : {report.latency:.2f} s per batch")
+    print(f"throughput : {report.throughput:.2f} tokens/s")
+    print(f"perplexity : {report.perplexity:.2f}")
+    print(f"avg bits   : {report.average_bits:.2f}")
+
+    path = "strategy_cluster3.json"
+    result.plan.to_json(path)
+    print(f"\nstrategy written to {path} — serve it with:")
+    print(f"  llmpq-dist --strat-file-name {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Extending the search with tensor parallelism (paper Sec. 7).
+
+The paper sketches how TP folds into LLM-PQ: fuse each TP group into a
+virtual device with aggregated memory/compute (discounted by allreduce
+overhead) and run the unchanged 1-D pipeline planner per candidate mesh.
+This example enumerates uniform TP degrees on a 4x V100 node serving
+OPT-66b and shows how the trade-off between pipeline depth and per-stage
+speed resolves.
+
+Run:  python examples/tensor_parallel_planning.py
+"""
+
+from repro.bench.tables import format_table
+from repro.core.optimizer import PlannerConfig
+from repro.core.tensor_parallel import (
+    enumerate_tp_clusters,
+    plan_with_tensor_parallel,
+    tp_efficiency,
+)
+from repro.hardware import get_gpu, paper_cluster
+from repro.models import get_model
+from repro.workload import DEFAULT_WORKLOAD
+
+
+def main() -> None:
+    cluster = paper_cluster(10)  # 4x V100-32G
+    cfg = get_model("opt-66b")
+
+    rows = [
+        {
+            "tp_degree": k,
+            "allreduce_efficiency": round(tp_efficiency(get_gpu("V100-32G"), k, cfg), 3),
+            "virtual_device": fused.devices[0].type_name,
+            "pipeline_stages": fused.num_devices,
+        }
+        for k, fused in enumerate_tp_clusters(cluster, cfg, max_tp=4)
+    ]
+    print(format_table(rows, title="candidate device meshes on 4x V100 (NVLink)"))
+
+    print("\nplanning every mesh with the standard 1-D planner...")
+    res = plan_with_tensor_parallel(
+        "opt-66b", cluster, DEFAULT_WORKLOAD,
+        config=PlannerConfig(group_size=4, decode_mb_candidates=(8, 16),
+                             prefill_mb_cap=8),
+        max_tp=4,
+    )
+    for k, obj in sorted(res.per_degree.items()):
+        marker = "  <- winner" if k == res.tp_degree else ""
+        print(f"  tp={k}: objective {obj:.2f}{marker}")
+    print("\nwinning plan:")
+    print(res.plan.describe())
+
+
+if __name__ == "__main__":
+    main()

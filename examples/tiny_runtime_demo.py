@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Plan -> execute -> verify: the real pipelined runtime on a tiny model.
+
+Everything in this demo actually runs: the planner produces a
+mixed-precision pipeline plan for the tiny NumPy decoder LM, the
+thread-pipelined runtime executes it (stage workers with genuinely
+bit-packed quantized shards, per-stage KV caches, hybrid micro-batch
+regrouping), and the generated tokens are compared against a
+single-process reference model to prove the distributed execution is
+faithful.
+
+Run:  python examples/tiny_runtime_demo.py
+"""
+
+import numpy as np
+
+from repro.core.plan import ExecutionPlan, StagePlan
+from repro.hardware import Device, get_gpu
+from repro.models import TinyDecoderLM, generate, get_model, make_corpus
+from repro.quant import quantize_dequantize
+from repro.runtime import PipelineRuntime, simulate_loading
+from repro.workload import Workload
+
+
+def main() -> None:
+    cfg = get_model("tiny-8l")
+    reference = TinyDecoderLM(cfg, seed=7)
+    workload = Workload(prompt_len=16, gen_len=8, global_batch=8)
+    prompts = make_corpus(cfg.vocab_size, num_seqs=8, seq_len=16, seed=11).tokens
+
+    # a hand-written 3-stage mixed-precision plan (T4s run INT8, the
+    # V100 keeps FP16 — the cluster-3 shape at toy scale)
+    plan = ExecutionPlan(
+        model_name="tiny-8l",
+        stages=(
+            StagePlan(Device(get_gpu("T4-16G"), 0, 0), (8, 8, 8)),
+            StagePlan(Device(get_gpu("T4-16G"), 0, 1), (4, 4, 4)),
+            StagePlan(Device(get_gpu("V100-32G"), 1, 0), (16, 16)),
+        ),
+        prefill_microbatch=2,
+        decode_microbatch=4,
+        workload=workload,
+    )
+    print(plan.describe())
+
+    # on-the-fly loader: module-level streaming bounds host DRAM
+    for gran in ("shard", "module"):
+        tl = simulate_loading(cfg, plan.layer_bits, granularity=gran)
+        print(f"loading ({gran:>6}): {tl.total_seconds * 1e3:.2f} ms, "
+              f"peak host DRAM {tl.peak_host_dram_bytes / 1024:.1f} KiB")
+
+    print("\nexecuting on the thread-pipelined runtime...")
+    with PipelineRuntime(reference, plan) as rt:
+        tokens = rt.generate(prompts, workload.gen_len)
+        stats = rt.stats
+    print(f"generated {tokens.size} tokens "
+          f"({stats.prefill_microbatches} prefill micro-batches, "
+          f"{stats.decode_groups} decode groups, "
+          f"{stats.total_seconds:.3f}s wall)")
+
+    # verify against a single-process model with identical fake-quant
+    fq = reference.clone()
+    for i, b in enumerate(plan.layer_bits):
+        if b < 16:
+            fq.apply_to_layer(i, lambda _n, w, b=b: quantize_dequantize(w, b))
+    expected = generate(fq, prompts, workload.gen_len).tokens
+    assert np.array_equal(tokens, expected), "runtime diverged from reference!"
+    print("token-exact match with the single-process reference — "
+          "the distributed execution is faithful.")
+
+
+if __name__ == "__main__":
+    main()

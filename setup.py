@@ -1,0 +1,4 @@
+"""Shim for legacy editable installs (no `wheel` package offline)."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,45 @@
+"""repro: reproduction of LLM-PQ (PPoPP 2024).
+
+Serving LLMs on heterogeneous clusters with phase-aware partition and
+adaptive quantization — planner, cost models, quantization theory, and a
+simulated heterogeneous-cluster serving substrate.
+
+Quickstart
+----------
+>>> from repro import plan_llmpq, evaluate_plan
+>>> from repro.hardware import paper_cluster
+>>> from repro.workload import DEFAULT_WORKLOAD
+>>> result = plan_llmpq("opt-30b", paper_cluster(3), DEFAULT_WORKLOAD)
+>>> report = evaluate_plan(result.plan, paper_cluster(3))
+"""
+
+from .core import (
+    ExecutionPlan,
+    LLMPQOptimizer,
+    PlannerConfig,
+    PlannerResult,
+    ServingReport,
+    StagePlan,
+    compare_schemes,
+    evaluate_plan,
+    plan_llmpq,
+)
+from .workload import DEFAULT_WORKLOAD, SHORT_PROMPT_WORKLOAD, Workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExecutionPlan",
+    "StagePlan",
+    "LLMPQOptimizer",
+    "PlannerConfig",
+    "PlannerResult",
+    "ServingReport",
+    "plan_llmpq",
+    "evaluate_plan",
+    "compare_schemes",
+    "Workload",
+    "DEFAULT_WORKLOAD",
+    "SHORT_PROMPT_WORKLOAD",
+    "__version__",
+]

@@ -1,0 +1,14 @@
+"""Benchmark-harness helpers: table rendering, persistence, reporting."""
+
+from .tables import RESULTS_DIR, format_table, print_table, save_results
+from .report import build_report, load_results, write_report
+
+__all__ = [
+    "format_table",
+    "print_table",
+    "save_results",
+    "RESULTS_DIR",
+    "build_report",
+    "load_results",
+    "write_report",
+]

@@ -1,0 +1,99 @@
+"""Consolidated experiment report from ``benchmarks/results/*.json``.
+
+After ``pytest benchmarks/ --benchmark-only`` has populated the results
+directory, :func:`build_report` renders one markdown document with every
+reproduced table/figure — the machine-generated companion to the
+hand-written analysis in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from .tables import RESULTS_DIR, format_table
+
+__all__ = ["load_results", "build_report", "write_report"]
+
+#: result-file stem -> section heading, in paper order.
+SECTIONS: list[tuple[str, str]] = [
+    ("fig1_cluster_trace", "Fig. 1 — fleet composition & utilization"),
+    ("fig3_phase_decomposition", "Fig. 3 — phase time decomposition"),
+    ("fig4_quality_vs_bitwidth", "Fig. 4 — quality vs bitwidth (surrogate)"),
+    ("fig4_tiny_kl", "Fig. 4 — real KL on the tiny model"),
+    ("table1_layer_sensitivity", "Table 1 — layer-range sensitivity"),
+    ("fig5_kernel_times", "Fig. 5 — kernel times vs precision & batch"),
+    ("fig7_cost_model_fidelity", "Fig. 7 — cost-model fidelity"),
+    *[(f"table4_cluster{c}", f"Table 4 — cluster {c}") for c in range(1, 9)],
+    *[(f"table5_cluster{c}", f"Table 5 — cluster {c}") for c in (9, 10, 11)],
+    ("table5_gain_comparison", "Table 5 — hetero vs homo gain"),
+    ("table6_indicator", "Table 6 — indicator effectiveness"),
+    *[(f"table7_cluster{c}", f"Table 7 — cluster {c} (short prompts)") for c in (1, 4, 6)],
+    ("table7_cluster4_gain", "Table 7 — cluster-4 gain vs prompt length"),
+    *[(f"table8_cluster{c}", f"Table 8 — optimizer scaling, cluster {c}") for c in (3, 4, 6, 10)],
+    ("fig8_theta_cluster9", "Fig. 8 — theta sweep, cluster 9"),
+    ("fig8_theta_cluster5", "Fig. 8 — theta sweep, cluster 5"),
+    *[(f"fig9_cluster{c}", f"Fig. 9 — vs adabits, cluster {c}") for c in (3, 4, 5, 6, 9)],
+    ("table10_solver_overhead", "Table 10 — solver overhead"),
+    ("table10_three_node", "Table 10 — three-node data point"),
+    ("ablation_phase_cluster3", "Ablation — phase awareness, cluster 3"),
+    ("ablation_phase_cluster4", "Ablation — phase awareness, cluster 4"),
+    ("ablation_microbatch_cluster1", "Ablation — hybrid micro-batch, cluster 1"),
+    ("ablation_microbatch_cluster3", "Ablation — hybrid micro-batch, cluster 3"),
+    ("ablation_memory_terms", "Ablation — memory-model terms"),
+    ("ext_tensor_parallel", "Extension — tensor parallelism"),
+    ("ext_heterogeneity_sweep", "Extension — gain vs cluster heterogeneity"),
+]
+
+
+def load_results(results_dir: Path | None = None) -> dict[str, Any]:
+    """All result payloads keyed by file stem."""
+    d = results_dir or RESULTS_DIR
+    out: dict[str, Any] = {}
+    if not d.exists():
+        return out
+    for path in sorted(d.glob("*.json")):
+        try:
+            out[path.stem] = json.loads(path.read_text())
+        except json.JSONDecodeError:
+            continue
+    return out
+
+
+def _render(payload: Any) -> str:
+    if isinstance(payload, list) and payload and isinstance(payload[0], dict):
+        return "```\n" + format_table(payload) + "\n```"
+    if isinstance(payload, dict):
+        rows = [{"key": k, "value": v} for k, v in payload.items()]
+        return "```\n" + format_table(rows) + "\n```"
+    return f"```\n{payload}\n```"
+
+
+def build_report(results_dir: Path | None = None) -> str:
+    """Markdown report of every available reproduced experiment."""
+    results = load_results(results_dir)
+    lines = [
+        "# LLM-PQ reproduction — measured results",
+        "",
+        f"{len(results)} result files; regenerate with "
+        "`pytest benchmarks/ --benchmark-only`.",
+        "",
+    ]
+    covered = set()
+    for stem, title in SECTIONS:
+        if stem not in results:
+            continue
+        covered.add(stem)
+        lines += [f"## {title}", "", _render(results[stem]), ""]
+    extras = sorted(set(results) - covered)
+    for stem in extras:
+        lines += [f"## {stem}", "", _render(results[stem]), ""]
+    return "\n".join(lines)
+
+
+def write_report(path: str | Path, results_dir: Path | None = None) -> Path:
+    """Render :func:`build_report` to ``path`` and return it."""
+    out = Path(path)
+    out.write_text(build_report(results_dir))
+    return out

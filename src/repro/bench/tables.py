@@ -1,0 +1,67 @@
+"""Benchmark-harness helpers: table formatting and result persistence.
+
+Every benchmark regenerating a paper table/figure uses these to print a
+paper-style table to stdout and to drop a JSON record under
+``benchmarks/results/`` so EXPERIMENTS.md can cite measured numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+__all__ = ["format_table", "print_table", "save_results", "RESULTS_DIR"]
+
+RESULTS_DIR = Path(__file__).resolve().parents[3] / "benchmarks" / "results"
+
+
+def format_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render rows of dicts as a fixed-width text table."""
+    if not rows:
+        return f"{title or 'table'}: (no rows)"
+    cols = list(columns or rows[0].keys())
+
+    def fmt(v: Any) -> str:
+        if v is None:
+            return "-"
+        if isinstance(v, float):
+            return f"{v:.2f}"
+        return str(v)
+
+    rendered = [[fmt(r.get(c)) for c in cols] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in rendered)) for i, c in enumerate(cols)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = " | ".join(c.ljust(w) for c, w in zip(cols, widths))
+    lines.append(header)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> None:
+    """Print :func:`format_table` with a leading blank line."""
+    print("\n" + format_table(rows, columns=columns, title=title))
+
+
+def save_results(name: str, payload: Any) -> Path:
+    """Persist an experiment's rows under benchmarks/results/<name>.json."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(payload, indent=2, default=str))
+    return path

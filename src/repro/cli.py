@@ -1,0 +1,156 @@
+"""Command-line entry points mirroring the paper's Sec.-5 commands.
+
+``llmpq-algo``
+    Plan generation: model + cluster + workload + theta in, strategy
+    JSON out (the paper's ``llmpq-algo --model-name ... --theta ...``).
+
+``llmpq-dist``
+    Strategy execution: loads a strategy file and serves it — on the
+    simulated cluster for big models, and on the real thread-pipelined
+    NumPy runtime for ``tiny-*`` models.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+import numpy as np
+
+from .core.api import evaluate_plan, plan_llmpq
+from .core.plan import ExecutionPlan
+from .hardware.cluster import Cluster, make_cluster, paper_cluster
+from .hardware.gpu import list_gpus
+from .models.registry import get_model, list_models
+from .workload.spec import Workload
+
+__all__ = ["algo_main", "dist_main"]
+
+
+def _build_cluster(args: argparse.Namespace) -> Cluster:
+    if args.cluster is not None:
+        return paper_cluster(args.cluster)
+    if not args.device_names:
+        raise SystemExit("either --cluster or --device-names is required")
+    if len(args.device_names) != len(args.device_numbers):
+        raise SystemExit("--device-names and --device-numbers must align")
+    return make_cluster(list(zip(args.device_names, args.device_numbers)))
+
+
+def algo_main(argv: list[str] | None = None) -> int:
+    """``llmpq-algo``: generate a strategy file for a model/cluster/workload."""
+    p = argparse.ArgumentParser(
+        prog="llmpq-algo", description="LLM-PQ plan generation"
+    )
+    p.add_argument("--model-name", required=True, choices=list_models())
+    p.add_argument("--cluster", type=int, default=None,
+                   help="paper cluster id 1..11 (Table 3)")
+    p.add_argument("--device-names", nargs="*", default=None, choices=list_gpus())
+    p.add_argument("--device-numbers", nargs="*", type=int, default=None)
+    p.add_argument("--global-bz", type=int, default=32, help="global batch size")
+    p.add_argument("--s", type=int, default=512, help="prompt length")
+    p.add_argument("--n", type=int, default=100, help="tokens to generate")
+    p.add_argument("--theta", type=float, default=1.0, help="quality scalar")
+    p.add_argument("--group", type=int, default=1, help="layer group size")
+    p.add_argument("--omega-file", "--omega_file", dest="omega_file", default=None,
+                   help="indicator JSON (from IndicatorTable.to_json); "
+                        "defaults to the synthetic Prop.-2 indicator")
+    p.add_argument("--shaq-efficient", action="store_true", dest="heuristic",
+                   help="use the bitwidth-transfer heuristic (faster)")
+    p.add_argument("--time-limit", type=float, default=60.0,
+                   help="ILP solver time limit, seconds")
+    p.add_argument("-o", "--output", default="strategy.json",
+                   help="strategy file to write")
+    args = p.parse_args(argv)
+
+    cluster = _build_cluster(args)
+    workload = Workload(prompt_len=args.s, gen_len=args.n, global_batch=args.global_bz)
+    indicator = None
+    if args.omega_file:
+        from .quant.indicator import IndicatorTable
+
+        indicator = IndicatorTable.from_json(args.omega_file)
+    print(f"planning {args.model_name} on {cluster.describe()}", file=sys.stderr)
+    result = plan_llmpq(
+        args.model_name, cluster, workload,
+        theta=args.theta, group_size=args.group,
+        use_heuristic=args.heuristic, ilp_time_limit=args.time_limit,
+        indicator=indicator,
+    )
+    if result.plan is None:
+        print("no feasible plan found", file=sys.stderr)
+        return 1
+    result.plan.to_json(args.output)
+    report = evaluate_plan(result.plan, cluster, solve_seconds=result.total_seconds)
+    print(result.plan.describe())
+    print(
+        f"predicted: latency {report.latency:.2f}s, "
+        f"throughput {report.throughput:.2f} tok/s, "
+        f"ppl {report.perplexity:.2f}, solve {result.total_seconds:.1f}s"
+    )
+    print(f"strategy written to {args.output}")
+    return 0
+
+
+def dist_main(argv: list[str] | None = None) -> int:
+    """``llmpq-dist``: validate and serve a strategy file."""
+    p = argparse.ArgumentParser(
+        prog="llmpq-dist", description="LLM-PQ strategy execution"
+    )
+    p.add_argument("--strat-file-name", "--strat_file_name", dest="strategy",
+                   required=True, help="strategy JSON from llmpq-algo")
+    p.add_argument("--cluster", type=int, default=None,
+                   help="paper cluster id to serve on (defaults to plan devices)")
+    p.add_argument("--seed", type=int, default=0)
+    args = p.parse_args(argv)
+
+    plan = ExecutionPlan.from_json(args.strategy)
+    cfg = get_model(plan.model_name)
+
+    if args.cluster is not None:
+        cluster = paper_cluster(args.cluster)
+    else:
+        counts: dict[str, int] = {}
+        for st in plan.stages:
+            counts[st.device.type_name] = counts.get(st.device.type_name, 0) + 1
+        cluster = make_cluster(list(counts.items()))
+
+    from .core.validate import validate_plan
+
+    report = validate_plan(plan, cluster)
+    if report.issues:
+        print(report.describe(), file=sys.stderr)
+    if not report.ok:
+        return 2
+
+    if plan.model_name.startswith("tiny-"):
+        # real execution on the thread-pipelined runtime
+        from .models.transformer import TinyDecoderLM
+        from .runtime.engine import PipelineRuntime
+
+        ref = TinyDecoderLM(cfg, seed=args.seed)
+        rng = np.random.default_rng(args.seed)
+        prompts = rng.integers(
+            0, cfg.vocab_size,
+            size=(plan.workload.global_batch, plan.workload.prompt_len),
+        )
+        with PipelineRuntime(ref, plan) as rt:
+            tokens = rt.generate(prompts, plan.workload.gen_len)
+        print(
+            f"generated {tokens.size} tokens in {rt.stats.total_seconds:.3f}s "
+            f"({tokens.size / rt.stats.total_seconds:.1f} tok/s wall)"
+        )
+        return 0
+
+    outcome = evaluate_plan(plan, cluster)
+    print(plan.describe())
+    print(
+        f"simulated: latency {outcome.latency:.2f}s, "
+        f"throughput {outcome.throughput:.2f} tok/s, ppl {outcome.perplexity:.2f}"
+    )
+    return 0 if outcome.feasible else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(algo_main())

@@ -1,0 +1,219 @@
+"""Baseline planners the paper compares against (Sec. 6.1).
+
+* **PipeEdge** — uniform quantization (bitwidth lowered from FP16 until
+  the model fits) + the PipeEdge heterogeneous partitioner: a dynamic
+  program that minimizes the *single-phase* bottleneck stage time.  Being
+  encoder-oriented, it balances prefill only — exactly the blind spot
+  LLM-PQ's phase-aware objective fixes.
+* **Uniform** — even layer split at a uniform precision (HF-Transformers
+  / DeepSpeed style), micro-batch sizes picked to minimize latency.
+* **FlexGen / FlexGen-int8** — even split with CPU/disk offloading (see
+  :mod:`repro.sim.offload`); OPT-only, as in the paper.
+
+Both PipeEdge and Uniform use one micro-batch size for both phases
+(``global_batch / num_stages``), as the paper specifies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cost.latency import LatencyModel
+from ..cost.profiler import build_latency_model
+from ..hardware.cluster import Cluster, Device
+from ..models.registry import get_model
+from ..sim.offload import OffloadResult, simulate_offload
+from ..sim.pipeline import simulate_pipeline
+from ..workload.spec import Workload
+from .optimizer import _block_orderings
+from .plan import ExecutionPlan, StagePlan
+
+__all__ = [
+    "pipeedge_plan",
+    "uniform_plan",
+    "flexgen_run",
+    "BaselineOutcome",
+]
+
+BIT_LADDER = (16, 8, 4, 3)
+
+
+@dataclass(frozen=True)
+class BaselineOutcome:
+    """A baseline's plan (or offload run) plus its chosen precision."""
+
+    name: str
+    plan: ExecutionPlan | None
+    bits: int | None
+    offload: OffloadResult | None = None
+
+    @property
+    def feasible(self) -> bool:
+        """Whether the baseline produced a servable configuration."""
+        if self.offload is not None:
+            return self.offload.feasible
+        return self.plan is not None
+
+
+# ----------------------------------------------------------------------
+# PipeEdge
+# ----------------------------------------------------------------------
+def _pipeedge_partition(
+    cfg_name: str,
+    devices: list[Device],
+    workload: Workload,
+    bits: int,
+    latency_model: LatencyModel,
+    mb: int,
+) -> ExecutionPlan | None:
+    """DP partition minimizing the bottleneck *prefill* stage time.
+
+    ``f[i][j]`` = best achievable bottleneck when layers ``0..i-1`` occupy
+    devices ``0..j``; memory feasibility is checked per stage via the
+    simulator's memory model after reconstruction.
+    """
+    cfg = get_model(cfg_name)
+    L, N = cfg.num_layers, len(devices)
+    s = workload.prompt_len
+    per_layer = np.array(
+        [
+            latency_model.predict_layer(d.spec, bits, "prefill", mb, s, s)
+            for d in devices
+        ]
+    )
+
+    INF = float("inf")
+    f = np.full((L + 1, N), INF)
+    choice = np.zeros((L + 1, N), dtype=int)
+    for i in range(1, L + 1):
+        f[i, 0] = i * per_layer[0]
+    for j in range(1, N):
+        for i in range(j + 1, L + 1):
+            # layer counts on device j: i - k, previous k layers on 0..j-1
+            for k in range(j, i):
+                cand = max(f[k, j - 1], (i - k) * per_layer[j])
+                if cand < f[i, j]:
+                    f[i, j] = cand
+                    choice[i, j] = k
+    if not np.isfinite(f[L, N - 1]):
+        return None
+    counts = []
+    i = L
+    for j in range(N - 1, 0, -1):
+        k = choice[i, j]
+        counts.append(i - k)
+        i = k
+    counts.append(i)
+    counts.reverse()
+    stages = tuple(
+        StagePlan(device=d, layer_bits=(bits,) * c)
+        for d, c in zip(devices, counts)
+        if c > 0
+    )
+    if not stages:
+        return None
+    return ExecutionPlan(
+        model_name=cfg_name,
+        stages=stages,
+        prefill_microbatch=mb,
+        decode_microbatch=mb,
+        workload=workload,
+        meta={"baseline": "pipeedge", "bits": bits},
+    )
+
+
+def pipeedge_plan(
+    model_name: str,
+    cluster: Cluster,
+    workload: Workload,
+    *,
+    latency_model: LatencyModel | None = None,
+) -> BaselineOutcome:
+    """PipeEdge baseline: best block ordering, uniform bits lowered until
+    a memory-feasible partition exists."""
+    lat = latency_model or build_latency_model(
+        [d.type_name for d in cluster.devices], get_model(model_name)
+    )
+    mb = max(1, workload.global_batch // cluster.num_devices)
+    for bits in BIT_LADDER:
+        best_plan, best_bottleneck = None, float("inf")
+        for ordering in _block_orderings(cluster):
+            plan = _pipeedge_partition(
+                model_name, list(ordering), workload, bits, lat, mb
+            )
+            if plan is None:
+                continue
+            res = simulate_pipeline(plan, cluster, latency_model=lat)
+            if not res.feasible:
+                continue
+            bottleneck = max(r.prefill_time for r in res.stage_reports)
+            if bottleneck < best_bottleneck:
+                best_bottleneck, best_plan = bottleneck, plan
+        if best_plan is not None:
+            return BaselineOutcome(name="PipeEdge", plan=best_plan, bits=bits)
+    return BaselineOutcome(name="PipeEdge", plan=None, bits=None)
+
+
+# ----------------------------------------------------------------------
+# Uniform
+# ----------------------------------------------------------------------
+def uniform_plan(
+    model_name: str,
+    cluster: Cluster,
+    workload: Workload,
+    *,
+    latency_model: LatencyModel | None = None,
+) -> BaselineOutcome:
+    """Even split at uniform precision; micro-batch chosen to minimize
+    simulated latency (one size for both phases)."""
+    lat = latency_model or build_latency_model(
+        [d.type_name for d in cluster.devices], get_model(model_name)
+    )
+    b = workload.global_batch
+    mb_candidates = sorted(
+        {m for m in (1, 2, 4, 8, 16, 32, b, max(1, b // cluster.num_devices)) if m <= b}
+    )
+    for bits in BIT_LADDER:
+        best_plan, best_latency = None, float("inf")
+        for mb in mb_candidates:
+            plan = ExecutionPlan.uniform(
+                model_name,
+                cluster.devices,
+                workload,
+                bits=bits,
+                prefill_microbatch=mb,
+                decode_microbatch=mb,
+            )
+            res = simulate_pipeline(plan, cluster, latency_model=lat)
+            if res.feasible and res.total_latency < best_latency:
+                best_latency, best_plan = res.total_latency, plan
+        if best_plan is not None:
+            return BaselineOutcome(name="Uniform", plan=best_plan, bits=bits)
+    return BaselineOutcome(name="Uniform", plan=None, bits=None)
+
+
+# ----------------------------------------------------------------------
+# FlexGen
+# ----------------------------------------------------------------------
+def flexgen_run(
+    model_name: str,
+    cluster: Cluster,
+    workload: Workload,
+    *,
+    bits: int = 16,
+) -> BaselineOutcome:
+    """FlexGen(-int8) offloading baseline.  OPT models only, as upstream."""
+    if not model_name.startswith("opt"):
+        return BaselineOutcome(
+            name=f"FlexGen{'-int8' if bits == 8 else ''}", plan=None, bits=bits,
+            offload=None,
+        )
+    off = simulate_offload(model_name, cluster, workload, bits=bits)
+    return BaselineOutcome(
+        name=f"FlexGen{'-int8' if bits == 8 else ''}",
+        plan=None,
+        bits=bits,
+        offload=off,
+    )

@@ -1,0 +1,345 @@
+"""ILP for joint bitwidth assignment + layer partition (paper Sec. 4.3).
+
+Given a *fixed* device ordering and micro-batch pair, the remaining
+decision is: which contiguous run of layer groups goes on which device,
+and at which bitwidth each group runs.  Binary variables
+
+``z[i, j, b] = 1``  iff layer-group ``i`` sits on device ``j`` at ``b`` bits
+
+with the paper's constraints:
+
+* (9)-(11) each group gets exactly one (device, bitwidth);
+* (15)-(16) contiguity — group ``i-1`` may not sit on a *later* device
+  than group ``i``;
+* (12)-(13) per-device memory: weights at chosen bits + KV cache for the
+  whole batch + embedding / LM-head / workspace extras must fit;
+* auxiliary continuous ``T_pre_max / T_dec_max`` upper-bound every
+  stage's phase time, linearizing the pipeline-latency objective
+
+``min  theta_lat * [ T_pre_sum + (m_p - 1) T_pre_max
+                     + (n - 1) (T_dec_sum + (m_d - 1) T_dec_max) ]
+       + theta * sum omega[i, b] z[i, j, b]``
+
+Solved with ``scipy.optimize.milp`` (HiGHS) — the open-source stand-in
+for the paper's GUROBI.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import sys
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from ..cost.latency import LatencyModel
+from ..cost.memory import (
+    FRAMEWORK_OVERHEAD_BYTES,
+    embedding_bytes,
+    kv_cache_bytes,
+    logits_workspace_bytes,
+    temp_bytes_decode,
+    temp_bytes_prefill,
+)
+from ..hardware.cluster import Device
+from ..models.config import ModelConfig
+from ..quant.indicator import IndicatorTable
+from ..workload.spec import Workload
+
+__all__ = ["ILPSolution", "BitAssignmentILP"]
+
+
+@contextlib.contextmanager
+def _quiet_fd1():
+    """Silence HiGHS's direct-to-fd-1 debug prints during a solve."""
+    sys.stdout.flush()
+    saved = os.dup(1)
+    devnull = os.open(os.devnull, os.O_WRONLY)
+    try:
+        os.dup2(devnull, 1)
+        yield
+    finally:
+        os.dup2(saved, 1)
+        os.close(saved)
+        os.close(devnull)
+
+
+@dataclass(frozen=True)
+class ILPSolution:
+    """Solver output: per-group device index and bitwidth."""
+
+    group_device: tuple[int, ...]
+    group_bits: tuple[int, ...]
+    objective: float
+    latency_term: float
+    quality_term: float
+    status: str
+    solve_seconds: float
+
+    @property
+    def feasible(self) -> bool:
+        """True when the solver proved an optimal assignment."""
+        return self.status == "optimal"
+
+
+@dataclass
+class BitAssignmentILP:
+    """Builds and solves the Sec.-4.3 ILP for one configuration.
+
+    Parameters
+    ----------
+    cfg, workload:
+        Model architecture and offline workload.
+    devices:
+        Pipeline-ordered devices (a candidate ordering from Algorithm 1).
+    latency_model:
+        Fitted per-(gpu, bits, phase) cost model.
+    indicator:
+        omega table, already *grouped* to ``num_groups`` rows.
+    bits:
+        Candidate precisions.
+    group_size:
+        Layers per group (Optimization #2).
+    theta:
+        Quality-vs-latency scalar (higher = favour quality).
+    include_latency:
+        ``False`` gives the paper's "adabits" reduced problem (quality
+        only under memory constraints) used to seed Algorithm 2.
+    phase_aware:
+        ``False`` drops the decode phase from the latency objective — a
+        PipeEdge-style single-phase view used by the phase-awareness
+        ablation.  Memory constraints are unaffected.
+    """
+
+    cfg: ModelConfig
+    workload: Workload
+    devices: Sequence[Device]
+    latency_model: LatencyModel
+    indicator: IndicatorTable
+    prefill_microbatch: int
+    decode_microbatch: int
+    bits: tuple[int, ...] = (3, 4, 8, 16)
+    group_size: int = 1
+    theta: float = 1.0
+    include_latency: bool = True
+    phase_aware: bool = True
+    kv_bits: int = 16
+    time_limit: float = 60.0
+
+    # ------------------------------------------------------------------
+    def _group_sizes(self) -> list[int]:
+        L = self.cfg.num_layers
+        g = self.group_size
+        sizes = [g] * (L // g)
+        if L % g:
+            sizes.append(L % g)
+        return sizes
+
+    def _coefficients(self):
+        """Latency, memory and quality coefficients per (group, dev, bit)."""
+        w = self.workload
+        sizes = self._group_sizes()
+        n_groups, n_dev, n_bits = len(sizes), len(self.devices), len(self.bits)
+        avg_ctx = w.prompt_len + max(w.decode_passes, 1) // 2
+
+        t_pre = np.zeros((n_groups, n_dev, n_bits))
+        t_dec = np.zeros((n_groups, n_dev, n_bits))
+        mem = np.zeros((n_groups, n_bits))
+        omega = np.zeros((n_groups, n_bits))
+
+        per_layer_kv = kv_cache_bytes(
+            self.cfg, 1, w.global_batch, w.max_seq_len, kv_bits=self.kv_bits
+        )
+        for j, dev in enumerate(self.devices):
+            for k, b in enumerate(self.bits):
+                lp = self.latency_model.predict_layer(
+                    dev.spec, b, "prefill", self.prefill_microbatch, w.prompt_len, w.prompt_len
+                )
+                ld = self.latency_model.predict_layer(
+                    dev.spec, b, "decode", self.decode_microbatch, 1, avg_ctx
+                )
+                for i, gs in enumerate(sizes):
+                    t_pre[i, j, k] = gs * lp
+                    t_dec[i, j, k] = gs * ld
+        for k, b in enumerate(self.bits):
+            layer_bytes = self.cfg.layer_weight_bytes(b) + per_layer_kv
+            for i, gs in enumerate(sizes):
+                mem[i, k] = gs * layer_bytes
+        if self.indicator.num_layers != n_groups:
+            raise ValueError(
+                f"indicator has {self.indicator.num_layers} rows, expected "
+                f"{n_groups} groups (did you call .grouped({self.group_size})?)"
+            )
+        for k, b in enumerate(self.bits):
+            omega[:, k] = self.indicator.column(b)
+        return sizes, t_pre, t_dec, mem, omega
+
+    def _device_capacity(self, j: int) -> float:
+        """Memory budget of device ``j`` after fixed per-stage extras."""
+        w = self.workload
+        dev = self.devices[j]
+        cap = dev.spec.memory_bytes - FRAMEWORK_OVERHEAD_BYTES
+        temp = max(
+            temp_bytes_prefill(self.cfg, self.prefill_microbatch, w.prompt_len),
+            temp_bytes_decode(self.cfg, self.decode_microbatch, w.max_seq_len),
+        )
+        cap -= temp
+        if j == 0:
+            cap -= embedding_bytes(self.cfg)
+        if j == len(self.devices) - 1:
+            if j != 0:
+                cap -= embedding_bytes(self.cfg)
+            mb = max(self.prefill_microbatch, self.decode_microbatch)
+            cap -= logits_workspace_bytes(self.cfg, mb, 1)
+        return cap
+
+    # ------------------------------------------------------------------
+    def solve(self) -> ILPSolution:
+        """Build the MILP and solve it with HiGHS; returns the assignment."""
+        import time
+
+        t0 = time.perf_counter()
+        sizes, t_pre, t_dec, mem, omega = self._coefficients()
+        w = self.workload
+        nG, nD, nB = len(sizes), len(self.devices), len(self.bits)
+        nZ = nG * nD * nB
+
+        def zidx(i: int, j: int, k: int) -> int:
+            return (i * nD + j) * nB + k
+
+        # variables: [z..., T_pre_max, T_dec_max]
+        n_var = nZ + 2
+        ip, idx_td = nZ, nZ + 1
+
+        m_p = -(-w.global_batch // self.prefill_microbatch)
+        m_d = -(-w.global_batch // self.decode_microbatch)
+        n_pass = max(w.decode_passes, 0) if self.phase_aware else 0
+
+        c = np.zeros(n_var)
+        lat_scale = 1.0 if self.include_latency else 0.0
+        # latency term: sum of stage times + (m-1) * max stage time
+        for i in range(nG):
+            for j in range(nD):
+                for k in range(nB):
+                    c[zidx(i, j, k)] = lat_scale * (
+                        t_pre[i, j, k] + n_pass * t_dec[i, j, k]
+                    ) + self.theta * omega[i, k]
+        c[ip] = lat_scale * (m_p - 1)
+        c[idx_td] = lat_scale * n_pass * (m_d - 1)
+
+        constraints: list[LinearConstraint] = []
+        rows: list[tuple[dict[int, float], float, float]] = []
+
+        # (9) exactly one (device, bits) per group
+        for i in range(nG):
+            coefs = {zidx(i, j, k): 1.0 for j in range(nD) for k in range(nB)}
+            rows.append((coefs, 1.0, 1.0))
+
+        # every device hosts at least one group (a pipeline stage must not
+        # be empty — matches the paper's runtime, one worker per GPU)
+        for j in range(nD):
+            coefs = {zidx(i, j, k): 1.0 for i in range(nG) for k in range(nB)}
+            rows.append((coefs, 1.0, float(nG)))
+
+        # (16) contiguity: group i on j and group i-1 on k>j forbidden
+        for i in range(1, nG):
+            for j in range(nD - 1):
+                for k2 in range(j + 1, nD):
+                    coefs: dict[int, float] = {}
+                    for kb in range(nB):
+                        coefs[zidx(i, j, kb)] = 1.0
+                        coefs[zidx(i - 1, k2, kb)] = coefs.get(zidx(i - 1, k2, kb), 0.0) + 1.0
+                    rows.append((coefs, -np.inf, 1.0))
+
+        # (12)-(13) memory per device
+        for j in range(nD):
+            coefs = {
+                zidx(i, j, k): mem[i, k] for i in range(nG) for k in range(nB)
+            }
+            cap = self._device_capacity(j)
+            if cap <= 0:
+                # device cannot host anything at this micro-batch setting
+                return ILPSolution(
+                    group_device=(), group_bits=(), objective=np.inf,
+                    latency_term=np.inf, quality_term=np.inf,
+                    status="infeasible", solve_seconds=time.perf_counter() - t0,
+                )
+            rows.append((coefs, -np.inf, cap))
+
+        # T_max definitions: sum_i,k z[i,j,k] * t[i,j,k] - T_max <= 0
+        for j in range(nD):
+            coefs = {zidx(i, j, k): t_pre[i, j, k] for i in range(nG) for k in range(nB)}
+            coefs[ip] = -1.0
+            rows.append((coefs, -np.inf, 0.0))
+            coefs = {zidx(i, j, k): t_dec[i, j, k] for i in range(nG) for k in range(nB)}
+            coefs[idx_td] = -1.0
+            rows.append((coefs, -np.inf, 0.0))
+
+        data, ri, ci, lo, hi = [], [], [], [], []
+        for r, (coefs, lb, ub) in enumerate(rows):
+            for col, val in coefs.items():
+                ri.append(r)
+                ci.append(col)
+                data.append(val)
+            lo.append(lb)
+            hi.append(ub)
+        A = sparse.csr_matrix((data, (ri, ci)), shape=(len(rows), n_var))
+        constraints.append(LinearConstraint(A, lo, hi))
+
+        integrality = np.zeros(n_var)
+        integrality[:nZ] = 1
+        bounds = Bounds(
+            lb=np.zeros(n_var),
+            ub=np.concatenate([np.ones(nZ), [np.inf, np.inf]]),
+        )
+        with _quiet_fd1():
+            res = milp(
+                c,
+                constraints=constraints,
+                integrality=integrality,
+                bounds=bounds,
+                options={"time_limit": self.time_limit, "mip_rel_gap": 1e-4},
+            )
+        dt = time.perf_counter() - t0
+        if res.status != 0 or res.x is None:
+            return ILPSolution(
+                group_device=(), group_bits=(), objective=np.inf,
+                latency_term=np.inf, quality_term=np.inf,
+                status="infeasible", solve_seconds=dt,
+            )
+        z = res.x[:nZ].reshape(nG, nD, nB)
+        gdev, gbits = [], []
+        for i in range(nG):
+            j, k = np.unravel_index(np.argmax(z[i]), (nD, nB))
+            gdev.append(int(j))
+            gbits.append(self.bits[int(k)])
+        quality_term = float(
+            sum(omega[i, self.bits.index(gbits[i])] for i in range(nG))
+        )
+        latency_term = float(res.fun - self.theta * quality_term) if self.include_latency else 0.0
+        return ILPSolution(
+            group_device=tuple(gdev),
+            group_bits=tuple(gbits),
+            objective=float(res.fun),
+            latency_term=latency_term,
+            quality_term=quality_term,
+            status="optimal",
+            solve_seconds=dt,
+        )
+
+    # ------------------------------------------------------------------
+    def expand_groups(
+        self, sol: ILPSolution
+    ) -> tuple[list[int], list[int]]:
+        """Ungroup a solution back to per-layer (device_idx, bits) lists."""
+        sizes = self._group_sizes()
+        dev_per_layer: list[int] = []
+        bits_per_layer: list[int] = []
+        for gs, d, b in zip(sizes, sol.group_device, sol.group_bits):
+            dev_per_layer.extend([d] * gs)
+            bits_per_layer.extend([b] * gs)
+        return dev_per_layer, bits_per_layer

@@ -1,0 +1,258 @@
+"""Algorithm 1: best inference execution plan.
+
+Enumerates the pruned joint search space —
+
+* **device orderings** (Sec. 4.3's ``GetDeviceOrder``): by default the
+  permutations of contiguous same-type *blocks* (same-type devices are
+  interchangeable and keeping them adjacent preserves fast intra-node
+  links); ``ordering_mode="full"`` explores every distinct type sequence;
+* **(prefill, decode) micro-batch pairs** (Optimization #1): prefill
+  micro-batches are enumerated over powers of two in ``[1, xi]``; decode
+  micro-batches evenly split the global batch across stages, because
+  decode is memory-bound and bigger micro-batches amortize weight
+  streaming while prefill prefers small ones to shrink pipeline bubbles —
+
+and solves the Sec.-4.3 ILP for each candidate, keeping the plan with the
+best ``latency + theta * quality`` objective as evaluated by the cost
+models.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..cost.latency import LatencyModel
+from ..cost.profiler import build_latency_model
+from ..hardware.cluster import Cluster, Device
+from ..models.registry import get_model
+from ..quant.indicator import IndicatorTable, synthetic_indicator
+from ..sim.pipeline import PipelineResult, simulate_pipeline
+from ..workload.spec import Workload
+from .ilp import BitAssignmentILP, ILPSolution
+from .plan import ExecutionPlan, StagePlan
+
+__all__ = ["PlannerConfig", "CandidateRecord", "PlannerResult", "LLMPQOptimizer"]
+
+
+@dataclass(frozen=True)
+class PlannerConfig:
+    """Knobs of Algorithm 1."""
+
+    bits: tuple[int, ...] = (3, 4, 8, 16)
+    theta: float = 1.0
+    group_size: int = 1
+    ordering_mode: str = "blocks"  # "blocks" | "full"
+    max_orderings: int = 24
+    prefill_mb_cap: int | None = None  # xi; default: global_batch
+    decode_mb_candidates: tuple[int, ...] | None = None
+    ilp_time_limit: float = 60.0
+    kv_bits: int = 16
+
+
+@dataclass(frozen=True)
+class CandidateRecord:
+    """One (ordering, micro-batch pair) candidate's outcome."""
+
+    ordering: tuple[str, ...]
+    prefill_microbatch: int
+    decode_microbatch: int
+    status: str
+    objective: float
+    latency: float
+    quality: float
+    solve_seconds: float
+
+
+@dataclass(frozen=True)
+class PlannerResult:
+    """Best plan plus the full exploration record."""
+
+    plan: ExecutionPlan | None
+    objective: float
+    predicted: PipelineResult | None
+    candidates: tuple[CandidateRecord, ...]
+    total_seconds: float
+
+    @property
+    def feasible(self) -> bool:
+        """Whether any candidate produced a servable plan."""
+        return self.plan is not None
+
+
+def _block_orderings(cluster: Cluster) -> list[tuple[Device, ...]]:
+    """Permutations of same-type device blocks."""
+    import itertools
+
+    by_type: dict[str, list[Device]] = {}
+    for d in cluster.devices:
+        by_type.setdefault(d.type_name, []).append(d)
+    out = []
+    for perm in itertools.permutations(sorted(by_type)):
+        ordering: list[Device] = []
+        for t in perm:
+            ordering.extend(by_type[t])
+        out.append(tuple(ordering))
+    return out
+
+
+def _microbatch_pairs(
+    workload: Workload, n_devices: int, cfg: PlannerConfig
+) -> list[tuple[int, int]]:
+    b = workload.global_batch
+    xi = cfg.prefill_mb_cap or b
+    prefill = [m for m in (1, 2, 4, 8, 16, 32, 64) if m <= min(b, xi)]
+    if cfg.decode_mb_candidates is not None:
+        decode = [m for m in cfg.decode_mb_candidates if 0 < m <= b]
+    else:
+        even = max(1, -(-b // n_devices))
+        decode = sorted({even, min(2 * even, b), b})
+    return [(p, d) for p in prefill for d in decode]
+
+
+class LLMPQOptimizer:
+    """The offline assigner: cost models + indicator + ILP search."""
+
+    def __init__(
+        self,
+        model_name: str,
+        cluster: Cluster,
+        workload: Workload,
+        *,
+        config: PlannerConfig | None = None,
+        latency_model: LatencyModel | None = None,
+        indicator: IndicatorTable | None = None,
+        profile_seed: int = 0,
+    ) -> None:
+        self.model_name = model_name
+        self.cfg = get_model(model_name)
+        self.cluster = cluster
+        self.workload = workload
+        self.config = config or PlannerConfig()
+        self.latency_model = latency_model or build_latency_model(
+            [d.type_name for d in cluster.devices], self.cfg, seed=profile_seed
+        )
+        base_indicator = indicator or synthetic_indicator(
+            self.cfg, bits=self.config.bits
+        )
+        self.indicator = base_indicator.normalized()
+
+    # ------------------------------------------------------------------
+    def orderings(self) -> list[tuple[Device, ...]]:
+        """Candidate pipeline device orderings under the configured mode."""
+        if self.config.ordering_mode == "full":
+            return list(
+                self.cluster.distinct_orderings(limit=self.config.max_orderings)
+            )
+        if self.config.ordering_mode == "blocks":
+            out = _block_orderings(self.cluster)
+            return out[: self.config.max_orderings]
+        raise ValueError(f"unknown ordering_mode {self.config.ordering_mode!r}")
+
+    def _solve_candidate(
+        self, ordering: Sequence[Device], mb_p: int, mb_d: int, *,
+        include_latency: bool = True,
+    ) -> tuple[ILPSolution, BitAssignmentILP]:
+        ilp = BitAssignmentILP(
+            cfg=self.cfg,
+            workload=self.workload,
+            devices=list(ordering),
+            latency_model=self.latency_model,
+            indicator=self.indicator.grouped(self.config.group_size),
+            prefill_microbatch=mb_p,
+            decode_microbatch=mb_d,
+            bits=self.config.bits,
+            group_size=self.config.group_size,
+            theta=self.config.theta,
+            include_latency=include_latency,
+            kv_bits=self.config.kv_bits,
+            time_limit=self.config.ilp_time_limit,
+        )
+        return ilp.solve(), ilp
+
+    def plan_from_solution(
+        self,
+        ordering: Sequence[Device],
+        sol: ILPSolution,
+        ilp: BitAssignmentILP,
+        mb_p: int,
+        mb_d: int,
+    ) -> ExecutionPlan:
+        """Materialize an ILP solution into an executable plan."""
+        dev_per_layer, bits_per_layer = ilp.expand_groups(sol)
+        stages = []
+        for j, dev in enumerate(ordering):
+            bits = tuple(
+                b for d, b in zip(dev_per_layer, bits_per_layer) if d == j
+            )
+            if bits:
+                stages.append(StagePlan(device=dev, layer_bits=bits))
+        return ExecutionPlan(
+            model_name=self.model_name,
+            stages=tuple(stages),
+            prefill_microbatch=mb_p,
+            decode_microbatch=mb_d,
+            workload=self.workload,
+            meta={
+                "theta": self.config.theta,
+                "group_size": self.config.group_size,
+                "kv_bits": self.config.kv_bits,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    def optimize(self) -> PlannerResult:
+        """Run the full Algorithm-1 search."""
+        t0 = time.perf_counter()
+        records: list[CandidateRecord] = []
+        best_plan: ExecutionPlan | None = None
+        best_obj = np.inf
+        best_pred: PipelineResult | None = None
+
+        orderings = self.orderings()
+        for ordering in orderings:
+            pairs = _microbatch_pairs(self.workload, len(ordering), self.config)
+            for mb_p, mb_d in pairs:
+                sol, ilp = self._solve_candidate(ordering, mb_p, mb_d)
+                type_seq = tuple(d.type_name for d in ordering)
+                if not sol.feasible:
+                    records.append(
+                        CandidateRecord(
+                            ordering=type_seq, prefill_microbatch=mb_p,
+                            decode_microbatch=mb_d, status=sol.status,
+                            objective=np.inf, latency=np.inf, quality=np.inf,
+                            solve_seconds=sol.solve_seconds,
+                        )
+                    )
+                    continue
+                plan = self.plan_from_solution(ordering, sol, ilp, mb_p, mb_d)
+                pred = simulate_pipeline(
+                    plan, self.cluster, latency_model=self.latency_model
+                )
+                if not pred.feasible:
+                    status = "oom"
+                    obj = lat = np.inf
+                else:
+                    status = "optimal"
+                    lat = pred.total_latency
+                    obj = lat + self.config.theta * sol.quality_term
+                records.append(
+                    CandidateRecord(
+                        ordering=type_seq, prefill_microbatch=mb_p,
+                        decode_microbatch=mb_d, status=status, objective=obj,
+                        latency=lat, quality=sol.quality_term,
+                        solve_seconds=sol.solve_seconds,
+                    )
+                )
+                if obj < best_obj:
+                    best_obj, best_plan, best_pred = obj, plan, pred
+        return PlannerResult(
+            plan=best_plan,
+            objective=best_obj,
+            predicted=best_pred,
+            candidates=tuple(records),
+            total_seconds=time.perf_counter() - t0,
+        )

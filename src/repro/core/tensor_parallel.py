@@ -1,0 +1,174 @@
+"""Tensor-parallelism extension (paper Sec. 7, "Search for Tensor
+Parallelization").
+
+The paper sketches how TP folds into LLM-PQ's search space: *"we can
+view the device along the tensor-parallel dimension as a new device with
+larger memory and different kernel performance (as tensor-parallel will
+introduce some communication overhead), and it is still a 1-d partition
+problem along another axis."*  This module implements exactly that:
+
+* :func:`fuse_tp_group` builds a **virtual GPU spec** for ``k`` same-type
+  devices sharding every layer ``k``-way: ``k``-fold memory and compute,
+  discounted by an allreduce-overhead factor derived from the intra-node
+  link (two allreduces of the activation tensor per layer, ring-allreduce
+  cost ``2 (k-1)/k * bytes / bw``);
+* :func:`enumerate_tp_clusters` enumerates uniform TP degrees per GPU
+  type (the realizable device meshes) and rewrites the cluster with
+  virtual devices;
+* :func:`plan_with_tensor_parallel` runs the unchanged 1-D planner on
+  every fused cluster and returns the best (plan, tp-degree) pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..hardware.cluster import Cluster, make_cluster
+from ..hardware.gpu import GPU_REGISTRY, GPUSpec, get_gpu, register_gpu
+from ..hardware.interconnect import link_for
+from ..models.config import ModelConfig
+from ..workload.spec import Workload
+from .optimizer import LLMPQOptimizer, PlannerConfig, PlannerResult
+
+__all__ = [
+    "tp_efficiency",
+    "fuse_tp_group",
+    "enumerate_tp_clusters",
+    "TPPlanResult",
+    "plan_with_tensor_parallel",
+]
+
+
+def tp_efficiency(
+    spec: GPUSpec,
+    k: int,
+    cfg: ModelConfig,
+    *,
+    batch: int = 8,
+    seq: int = 512,
+) -> float:
+    """Fraction of the ideal ``k``-fold speedup TP retains.
+
+    Per decoder layer, Megatron-style TP performs two allreduces of the
+    ``(batch, seq, hidden)`` activation over the intra-node link; the
+    efficiency is compute / (compute + comm) at a representative
+    prefill shape.
+    """
+    if k <= 1:
+        return 1.0
+    flops = cfg.prefill_layer_flops(batch, seq)
+    compute = flops / (spec.effective_flops(16) * k)
+    act_bytes = batch * seq * cfg.hidden_size * 2.0
+    link = link_for(spec.name)
+    comm = 2 * (2.0 * (k - 1) / k) * act_bytes / link.bandwidth + 2 * link.latency
+    return float(compute / (compute + comm))
+
+
+def fuse_tp_group(gpu_type: str, k: int, cfg: ModelConfig) -> GPUSpec:
+    """Virtual spec for ``k`` ``gpu_type`` devices in one TP group.
+
+    Memory and bandwidth aggregate ``k``-fold (weights and KV shard
+    evenly); compute aggregates ``k``-fold discounted by the allreduce
+    efficiency.  The virtual spec is registered so clusters/plans built
+    from it serialize like any other.
+    """
+    if k < 1:
+        raise ValueError("TP degree must be >= 1")
+    spec = get_gpu(gpu_type)
+    if k == 1:
+        return spec
+    name = f"{gpu_type}-tp{k}"
+    if name in GPU_REGISTRY:
+        return GPU_REGISTRY[name]
+    eff = tp_efficiency(spec, k, cfg)
+    fused = replace(
+        spec,
+        name=name,
+        memory_bytes=spec.memory_bytes * k,
+        fp16_tflops=spec.fp16_tflops * k * eff,
+        mem_bandwidth=spec.mem_bandwidth * k,
+        compute_scale=dict(spec.compute_scale),
+        weight_bw_scale=dict(spec.weight_bw_scale),
+    )
+    return register_gpu(fused)
+
+
+def enumerate_tp_clusters(
+    cluster: Cluster, cfg: ModelConfig, *, max_tp: int = 8
+) -> list[tuple[int, Cluster]]:
+    """All uniform TP degrees realizable on ``cluster``.
+
+    A degree ``k`` is realizable when it divides every node's GPU count
+    (TP groups never span nodes — the paper keeps TP inside NVLink
+    domains).  Returns ``[(k, fused_cluster), ...]`` with ``k = 1`` first.
+    """
+    counts = [n.count for n in cluster.nodes]
+    out: list[tuple[int, Cluster]] = []
+    for k in range(1, max_tp + 1):
+        if any(c % k for c in counts):
+            continue
+        spec_list = []
+        for node in cluster.nodes:
+            fused = fuse_tp_group(node.gpu_type, k, cfg)
+            spec_list.append((fused.name, node.count // k))
+        out.append(
+            (
+                k,
+                make_cluster(
+                    spec_list,
+                    inter_node_link=cluster.inter_node_link,
+                    name=f"{cluster.name}-tp{k}",
+                ),
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True)
+class TPPlanResult:
+    """Best plan across tensor-parallel degrees."""
+
+    tp_degree: int
+    result: PlannerResult
+    per_degree: dict[int, float]  #: tp -> best objective found
+
+    @property
+    def plan(self):
+        """The winning execution plan (or None)."""
+        return self.result.plan
+
+
+def plan_with_tensor_parallel(
+    model_name: str,
+    cluster: Cluster,
+    workload: Workload,
+    *,
+    config: PlannerConfig | None = None,
+    max_tp: int = 4,
+) -> TPPlanResult:
+    """Extend Algorithm 1 with the TP dimension (Sec.-7 sketch).
+
+    For every realizable uniform TP degree the cluster is rewritten with
+    virtual fused devices and the standard pipeline planner runs
+    unchanged; the best objective wins.
+    """
+    from ..models.registry import get_model
+
+    cfg = get_model(model_name)
+    best: PlannerResult | None = None
+    best_k = 1
+    per_degree: dict[int, float] = {}
+    for k, fused in enumerate_tp_clusters(cluster, cfg, max_tp=max_tp):
+        optimizer = LLMPQOptimizer(
+            model_name, fused, workload, config=config,
+        )
+        res = optimizer.optimize()
+        per_degree[k] = res.objective
+        if res.feasible and (best is None or res.objective < best.objective):
+            best, best_k = res, k
+    if best is None:
+        best = PlannerResult(
+            plan=None, objective=float("inf"), predicted=None,
+            candidates=(), total_seconds=0.0,
+        )
+    return TPPlanResult(tp_degree=best_k, result=best, per_degree=per_degree)

@@ -1,0 +1,144 @@
+"""Plan validation: pre-flight checks before serving a strategy file.
+
+``llmpq-dist`` accepts strategy JSON from anywhere; these checks catch
+the mistakes that would otherwise surface as mid-serving crashes or
+silent OOMs — wrong layer count, devices not in the target cluster,
+bitwidths the kernels don't support, memory that cannot fit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cost.memory import stage_memory
+from ..hardware.cluster import Cluster
+from ..hardware.gpu import SUPPORTED_BITS
+from ..models.registry import MODEL_REGISTRY, get_model
+from .plan import ExecutionPlan
+
+__all__ = ["ValidationIssue", "ValidationReport", "validate_plan"]
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One problem found in a plan."""
+
+    severity: str  #: "error" | "warning"
+    code: str
+    message: str
+
+
+@dataclass(frozen=True)
+class ValidationReport:
+    """Outcome of :func:`validate_plan`."""
+
+    issues: tuple[ValidationIssue, ...]
+
+    @property
+    def ok(self) -> bool:
+        """No errors (warnings allowed)."""
+        return not any(i.severity == "error" for i in self.issues)
+
+    @property
+    def errors(self) -> list[ValidationIssue]:
+        """Blocking issues."""
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> list[ValidationIssue]:
+        """Non-blocking issues."""
+        return [i for i in self.issues if i.severity == "warning"]
+
+    def describe(self) -> str:
+        """One line per issue, or \"plan OK\"."""
+        if not self.issues:
+            return "plan OK"
+        return "\n".join(f"[{i.severity}] {i.code}: {i.message}" for i in self.issues)
+
+
+def validate_plan(plan: ExecutionPlan, cluster: Cluster | None = None) -> ValidationReport:
+    """Static + memory checks of a strategy against an optional cluster."""
+    issues: list[ValidationIssue] = []
+
+    # model known and layer count matched (ExecutionPlan enforces the
+    # count at construction, but hand-edited JSON can bypass dataclass
+    # invariants only here, so re-check)
+    if plan.model_name not in MODEL_REGISTRY:
+        issues.append(ValidationIssue("error", "unknown-model", plan.model_name))
+        return ValidationReport(tuple(issues))
+    cfg = get_model(plan.model_name)
+    if plan.num_layers != cfg.num_layers:
+        issues.append(
+            ValidationIssue(
+                "error", "layer-count",
+                f"plan has {plan.num_layers} layers, model needs {cfg.num_layers}",
+            )
+        )
+
+    # bitwidths supported by every stage's device
+    for j, stage in enumerate(plan.stages):
+        for b in set(stage.layer_bits):
+            if b not in SUPPORTED_BITS:
+                issues.append(
+                    ValidationIssue(
+                        "error", "unsupported-bits",
+                        f"stage {j} uses {b}-bit, supported: {SUPPORTED_BITS}",
+                    )
+                )
+
+    # micro-batch divisibility (ragged tails work but waste bubbles)
+    b = plan.workload.global_batch
+    if b % plan.prefill_microbatch:
+        issues.append(
+            ValidationIssue(
+                "warning", "ragged-prefill",
+                f"global batch {b} not divisible by prefill micro-batch "
+                f"{plan.prefill_microbatch}",
+            )
+        )
+    if plan.decode_microbatch % plan.prefill_microbatch:
+        issues.append(
+            ValidationIssue(
+                "warning", "regroup-mismatch",
+                "decode micro-batch is not a multiple of the prefill "
+                "micro-batch; the runtime rounds the decode group down to "
+                "whole cache units",
+            )
+        )
+
+    # cluster membership + memory
+    if cluster is not None:
+        available = {d.type_name for d in cluster.devices}
+        counts: dict[str, int] = {}
+        for stage in plan.stages:
+            counts[stage.device.type_name] = counts.get(stage.device.type_name, 0) + 1
+        for t, n in counts.items():
+            have = sum(1 for d in cluster.devices if d.type_name == t)
+            if t not in available or n > have:
+                issues.append(
+                    ValidationIssue(
+                        "error", "device-mismatch",
+                        f"plan wants {n}x {t}, cluster has {have}",
+                    )
+                )
+        kv_bits = int(plan.meta.get("kv_bits", 16))
+        w = plan.workload
+        for j, stage in enumerate(plan.stages):
+            mem = stage_memory(
+                cfg, stage.layer_bits,
+                global_batch=w.global_batch, prompt_len=w.prompt_len,
+                gen_len=w.gen_len,
+                prefill_microbatch=plan.prefill_microbatch,
+                decode_microbatch=plan.decode_microbatch,
+                is_first=(j == 0), is_last=(j == plan.num_stages - 1),
+                kv_bits=kv_bits,
+            )
+            if not mem.fits(stage.device.spec.memory_bytes):
+                issues.append(
+                    ValidationIssue(
+                        "error", "oom",
+                        f"stage {j} needs {mem.total / 2**30:.1f} GiB on "
+                        f"{stage.device.type_name}",
+                    )
+                )
+    return ValidationReport(tuple(issues))

@@ -1,0 +1,35 @@
+"""Cost models: analytical memory and regressed latency (paper Sec. 4.1)."""
+
+from .memory import (
+    FRAMEWORK_OVERHEAD_BYTES,
+    StageMemory,
+    embedding_bytes,
+    kv_cache_bytes,
+    logits_workspace_bytes,
+    stage_memory,
+    temp_bytes_decode,
+    temp_bytes_prefill,
+    weight_bytes,
+)
+from .latency import LatencyModel, LatencySample, Phase, features_for
+from .profiler import ProfileGrid, build_latency_model, profile_cluster, profile_device
+
+__all__ = [
+    "StageMemory",
+    "stage_memory",
+    "weight_bytes",
+    "kv_cache_bytes",
+    "embedding_bytes",
+    "logits_workspace_bytes",
+    "temp_bytes_prefill",
+    "temp_bytes_decode",
+    "FRAMEWORK_OVERHEAD_BYTES",
+    "LatencyModel",
+    "LatencySample",
+    "Phase",
+    "features_for",
+    "ProfileGrid",
+    "profile_device",
+    "profile_cluster",
+    "build_latency_model",
+]

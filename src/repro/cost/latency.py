@@ -1,0 +1,149 @@
+"""Latency cost model: linear regression over phase-aware features.
+
+Profiling every (precision, GPU, input-shape) combination for every
+candidate partition would be prohibitively slow, so — following Sec. 4.1 —
+we fit, per ``(gpu, bitwidth, phase)``, a small linear model
+
+``t ≈ c_flops * FLOPs + c_mem * DRAM-bytes + c_0``
+
+on profiler samples of a *single decoder layer*.  The rationale is the
+paper's: GEMMs take >80% of serving latency and scale with FLOPs and
+MOPs, the rest scales with MOPs, so the workload is shaped and scaled by
+exactly these features.  Coefficients are constrained non-negative
+(scipy NNLS) so the model extrapolates sanely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Literal
+
+import numpy as np
+from scipy.optimize import nnls
+
+from ..hardware.gpu import GPUSpec
+from ..models.config import ModelConfig
+from ..ops import layer_memory_traffic
+
+__all__ = ["Phase", "LatencySample", "LatencyModel", "features_for"]
+
+Phase = Literal["prefill", "decode"]
+
+
+@dataclass(frozen=True)
+class LatencySample:
+    """One profiled observation of a single decoder layer."""
+
+    gpu_name: str
+    bits: int
+    phase: Phase
+    batch: int
+    q: int
+    context: int
+    seconds: float
+
+
+def features_for(
+    cfg: ModelConfig, bits: int, batch: int, q: int, context: int
+) -> np.ndarray:
+    """Feature vector ``[FLOPs, bytes, 1]`` for one layer invocation."""
+    flops = cfg.layer_flops(batch, q, context)
+    mem = layer_memory_traffic(cfg, bits, batch, q, context)
+    return np.array([flops, mem, 1.0])
+
+
+@dataclass
+class LatencyModel:
+    """Per-(gpu, bits, phase) NNLS regression of layer execution time.
+
+    Build with :meth:`fit` on profiler samples, then query with
+    :meth:`predict_layer` / :meth:`predict_layers`.  ``residual_stats``
+    records in-sample relative error per key for diagnostics.
+    """
+
+    cfg: ModelConfig
+    coef: dict[tuple[str, int, str], np.ndarray] = field(default_factory=dict)
+    residual_stats: dict[tuple[str, int, str], float] = field(default_factory=dict)
+
+    def fit(self, samples: Iterable[LatencySample]) -> "LatencyModel":
+        """NNLS-fit one coefficient vector per (gpu, bits, phase) group."""
+        groups: dict[tuple[str, int, str], list[LatencySample]] = {}
+        for s in samples:
+            groups.setdefault((s.gpu_name, s.bits, s.phase), []).append(s)
+        if not groups:
+            raise ValueError("no samples to fit")
+        for key, rows in groups.items():
+            if len(rows) < 3:
+                raise ValueError(f"need >=3 samples per key, got {len(rows)} for {key}")
+            X = np.vstack(
+                [features_for(self.cfg, s.bits, s.batch, s.q, s.context) for s in rows]
+            )
+            y = np.array([s.seconds for s in rows])
+            # scale columns for conditioning; NNLS keeps coefficients >= 0
+            col_scale = X.max(axis=0)
+            col_scale[col_scale == 0] = 1.0
+            beta_scaled, _ = nnls(X / col_scale, y)
+            beta = beta_scaled / col_scale
+            self.coef[key] = beta
+            pred = X @ beta
+            self.residual_stats[key] = float(
+                np.mean(np.abs(pred - y) / np.maximum(y, 1e-12))
+            )
+        return self
+
+    # ------------------------------------------------------------------
+    def _key(self, gpu: GPUSpec | str, bits: int, phase: Phase) -> tuple[str, int, str]:
+        name = gpu if isinstance(gpu, str) else gpu.name
+        key = (name, bits, phase)
+        if key not in self.coef:
+            known = sorted({k[0] for k in self.coef})
+            raise KeyError(f"no coefficients for {key}; profiled GPUs: {known}")
+        return key
+
+    def predict_layer(
+        self,
+        gpu: GPUSpec | str,
+        bits: int,
+        phase: Phase,
+        batch: int,
+        q: int,
+        context: int,
+    ) -> float:
+        """Predicted seconds for one layer invocation."""
+        beta = self.coef[self._key(gpu, bits, phase)]
+        return float(features_for(self.cfg, bits, batch, q, context) @ beta)
+
+    def predict_layers(
+        self,
+        gpu: GPUSpec | str,
+        layer_bits: Iterable[int],
+        phase: Phase,
+        batch: int,
+        q: int,
+        context: int,
+    ) -> float:
+        """Predicted seconds for a shard = sum over its layers' bits."""
+        return float(
+            sum(
+                self.predict_layer(gpu, b, phase, batch, q, context)
+                for b in layer_bits
+            )
+        )
+
+    def decode_step_times(
+        self,
+        gpu: GPUSpec | str,
+        bits: int,
+        batch: int,
+        contexts: np.ndarray,
+    ) -> np.ndarray:
+        """Vectorized decode predictions across context lengths."""
+        beta = self.coef[self._key(gpu, bits, "decode")]
+        feats = np.stack(
+            [features_for(self.cfg, bits, batch, 1, int(c)) for c in np.asarray(contexts)]
+        )
+        return feats @ beta
+
+    def max_relative_residual(self) -> float:
+        """Worst in-sample mean relative error across fitted groups."""
+        return max(self.residual_stats.values()) if self.residual_stats else float("nan")

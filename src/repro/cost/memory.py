@@ -1,0 +1,159 @@
+"""Analytical memory cost model (paper Sec. 4.1).
+
+Peak memory of a pipeline stage serving a model shard =
+
+* **weights** of its decoder layers at their assigned bitwidths,
+* **KV cache** reserved for the maximum sentence length ``s + n`` for the
+  whole global batch (the paper pre-allocates, like FasterTransformer),
+* **embedding weights** on the first stage and the LM head on the last
+  (for tied embeddings the table is shared but the logit projection's
+  output buffer is charged to the last stage),
+* **peak temporary memory** — the worst-case operator workspace across
+  the prefill and decode phases for the resident layers.
+
+All quantities are bytes.  The model is exact by construction up to the
+allocator rounding the simulator applies, which is how the paper's Fig. 7
+finds "almost negligible" memory error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..models.config import ModelConfig
+
+__all__ = [
+    "StageMemory",
+    "weight_bytes",
+    "kv_cache_bytes",
+    "embedding_bytes",
+    "logits_workspace_bytes",
+    "temp_bytes_prefill",
+    "temp_bytes_decode",
+    "stage_memory",
+    "FRAMEWORK_OVERHEAD_BYTES",
+]
+
+#: CUDA context + framework baseline carved out of every device.
+FRAMEWORK_OVERHEAD_BYTES = 1.0 * 2**30
+
+ACT_BYTES = 2.0  # FP16 activations
+
+
+def weight_bytes(cfg: ModelConfig, layer_bits: Sequence[int]) -> float:
+    """Bytes of decoder-layer weights for a shard at the given bitwidths."""
+    return float(sum(cfg.layer_weight_bytes(b) for b in layer_bits))
+
+
+def kv_cache_bytes(
+    cfg: ModelConfig,
+    num_layers: int,
+    batch: int,
+    max_seq_len: int,
+    *,
+    kv_bits: int = 16,
+) -> float:
+    """Pre-allocated KV cache for ``num_layers`` resident layers."""
+    per_token = cfg.kv_bytes_per_token_per_layer(kv_bits)
+    return float(num_layers * batch * max_seq_len * per_token)
+
+
+def embedding_bytes(cfg: ModelConfig) -> float:
+    """Token + position embedding weights (always FP16)."""
+    return cfg.embedding_weight_bytes()
+
+
+def logits_workspace_bytes(cfg: ModelConfig, microbatch: int, q: int) -> float:
+    """Output logits buffer ``(mb, q, vocab)`` on the last stage."""
+    return microbatch * q * cfg.vocab_size * ACT_BYTES
+
+
+def temp_bytes_prefill(cfg: ModelConfig, microbatch: int, prompt_len: int) -> float:
+    """Worst-case live workspace of one decoder layer during prefill.
+
+    Dominated by the attention score matrix ``(mb, heads, s, s)`` and the
+    MLP intermediate ``(mb, s, ffn)``; a handful of hidden-sized tensors
+    are live simultaneously.
+    """
+    h = cfg.hidden_size
+    scores = microbatch * cfg.num_heads * prompt_len * prompt_len * ACT_BYTES
+    mlp = microbatch * prompt_len * cfg.ffn_dim * ACT_BYTES
+    hidden = 4 * microbatch * prompt_len * h * ACT_BYTES
+    return float(scores + mlp + hidden)
+
+
+def temp_bytes_decode(cfg: ModelConfig, microbatch: int, context: int) -> float:
+    """Worst-case live workspace of one decoder layer during decode."""
+    h = cfg.hidden_size
+    scores = microbatch * cfg.num_heads * 1 * context * ACT_BYTES
+    mlp = microbatch * 1 * cfg.ffn_dim * ACT_BYTES
+    hidden = 4 * microbatch * 1 * h * ACT_BYTES
+    return float(scores + mlp + hidden)
+
+
+@dataclass(frozen=True)
+class StageMemory:
+    """Peak-memory breakdown of one pipeline stage, in bytes."""
+
+    weights: float
+    kv_cache: float
+    embedding: float
+    temp: float
+
+    @property
+    def total(self) -> float:
+        """Sum of all components, bytes."""
+        return self.weights + self.kv_cache + self.embedding + self.temp
+
+    def fits(self, capacity_bytes: float) -> bool:
+        """Whether the stage fits a device after framework overhead."""
+        return self.total + FRAMEWORK_OVERHEAD_BYTES <= capacity_bytes
+
+
+def stage_memory(
+    cfg: ModelConfig,
+    layer_bits: Sequence[int],
+    *,
+    global_batch: int,
+    prompt_len: int,
+    gen_len: int,
+    prefill_microbatch: int,
+    decode_microbatch: int,
+    is_first: bool,
+    is_last: bool,
+    kv_bits: int = 16,
+) -> StageMemory:
+    """Peak memory of a stage holding ``layer_bits`` decoder layers.
+
+    The KV cache is sized for the *global* batch at the maximum sentence
+    length ``s + n`` (every request's cache lives on the stage that owns
+    the layer).  Temporary memory takes the worst case over both phases,
+    evaluated at each phase's own micro-batch size — this is the Sec. 6.3
+    effect where smaller prefill micro-batches let an INT8 OPT-13b fit on
+    a single V100.
+    """
+    max_len = prompt_len + gen_len
+    w = weight_bytes(cfg, layer_bits)
+    kv = kv_cache_bytes(cfg, len(layer_bits), global_batch, max_len, kv_bits=kv_bits)
+
+    emb = 0.0
+    if is_first:
+        emb += embedding_bytes(cfg)
+    if is_last:
+        # tied LM head: the matrix is the embedding table; when the stage
+        # is not also first it needs its own copy for the projection.
+        if not is_first:
+            emb += embedding_bytes(cfg)
+
+    temp = 0.0
+    if layer_bits:
+        temp = max(
+            temp_bytes_prefill(cfg, prefill_microbatch, prompt_len),
+            temp_bytes_decode(cfg, decode_microbatch, max_len),
+        )
+    if is_last:
+        temp += logits_workspace_bytes(
+            cfg, max(prefill_microbatch, decode_microbatch), 1
+        )
+    return StageMemory(weights=w, kv_cache=kv, embedding=emb, temp=temp)

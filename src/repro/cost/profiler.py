@@ -1,0 +1,92 @@
+"""Profiler: collects single-layer latency samples from the (simulated)
+devices, the input the latency cost model is fit on.
+
+The paper profiles "each phase on one decoder layer under different
+precisions with common prompt lengths and batch sizes" — we sweep the same
+grid.  Measurement jitter is modelled as multiplicative log-normal noise
+so the regression has something real to smooth over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..hardware.gpu import GPUSpec, get_gpu
+from ..models.config import ModelConfig
+from ..sim.kernels import layer_exec_time
+from .latency import LatencyModel, LatencySample
+
+__all__ = ["ProfileGrid", "profile_device", "profile_cluster", "build_latency_model"]
+
+DEFAULT_BITS = (3, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class ProfileGrid:
+    """Sweep ranges for the profiler."""
+
+    batches: Sequence[int] = (1, 2, 4, 8, 16, 32)
+    prompt_lens: Sequence[int] = (64, 128, 256, 512, 1024)
+    decode_contexts: Sequence[int] = (128, 256, 512, 768, 1024)
+    bits: Sequence[int] = DEFAULT_BITS
+    noise: float = 0.02
+
+
+def profile_device(
+    gpu: GPUSpec | str,
+    cfg: ModelConfig,
+    *,
+    grid: ProfileGrid | None = None,
+    seed: int = 0,
+) -> list[LatencySample]:
+    """Measure one decoder layer of ``cfg`` across the profile grid."""
+    gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
+    grid = grid or ProfileGrid()
+    rng = np.random.default_rng(seed)
+    samples: list[LatencySample] = []
+    for bits in grid.bits:
+        for b in grid.batches:
+            for s in grid.prompt_lens:
+                t = layer_exec_time(
+                    gpu, cfg, bits, b, s, s, rng=rng, noise=grid.noise
+                )
+                samples.append(
+                    LatencySample(gpu.name, bits, "prefill", b, s, s, t)
+                )
+            for c in grid.decode_contexts:
+                t = layer_exec_time(
+                    gpu, cfg, bits, b, 1, c, rng=rng, noise=grid.noise
+                )
+                samples.append(
+                    LatencySample(gpu.name, bits, "decode", b, 1, c, t)
+                )
+    return samples
+
+
+def profile_cluster(
+    gpu_types: Sequence[str],
+    cfg: ModelConfig,
+    *,
+    grid: ProfileGrid | None = None,
+    seed: int = 0,
+) -> list[LatencySample]:
+    """Profile one device of each distinct type (others are identical)."""
+    samples: list[LatencySample] = []
+    for i, name in enumerate(dict.fromkeys(gpu_types)):
+        samples.extend(profile_device(name, cfg, grid=grid, seed=seed + i))
+    return samples
+
+
+def build_latency_model(
+    gpu_types: Sequence[str],
+    cfg: ModelConfig,
+    *,
+    grid: ProfileGrid | None = None,
+    seed: int = 0,
+) -> LatencyModel:
+    """Profile + fit in one step — the planner's usual entry point."""
+    samples = profile_cluster(gpu_types, cfg, grid=grid, seed=seed)
+    return LatencyModel(cfg).fit(samples)

@@ -1,0 +1,44 @@
+"""Hardware substrate: GPU device models, links, clusters, fleet traces."""
+
+from .gpu import GPU_REGISTRY, SUPPORTED_BITS, GPUSpec, get_gpu, list_gpus, register_gpu
+from .interconnect import (
+    ETHERNET_100G,
+    ETHERNET_800G,
+    LOOPBACK,
+    NVLINK_A100,
+    NVLINK_A800,
+    NVLINK_V100,
+    PCIE_GEN3,
+    Link,
+    link_for,
+)
+from .cluster import PAPER_CLUSTERS, Cluster, Device, Node, make_cluster, paper_cluster
+from .trace import DEFAULT_MEAN_UTIL, DEFAULT_PORTIONS, FleetTrace, generate_fleet_trace
+
+__all__ = [
+    "GPUSpec",
+    "GPU_REGISTRY",
+    "SUPPORTED_BITS",
+    "get_gpu",
+    "list_gpus",
+    "register_gpu",
+    "Link",
+    "link_for",
+    "LOOPBACK",
+    "NVLINK_V100",
+    "NVLINK_A100",
+    "NVLINK_A800",
+    "PCIE_GEN3",
+    "ETHERNET_100G",
+    "ETHERNET_800G",
+    "Device",
+    "Node",
+    "Cluster",
+    "make_cluster",
+    "paper_cluster",
+    "PAPER_CLUSTERS",
+    "FleetTrace",
+    "generate_fleet_trace",
+    "DEFAULT_PORTIONS",
+    "DEFAULT_MEAN_UTIL",
+]

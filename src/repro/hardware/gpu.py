@@ -1,0 +1,297 @@
+"""GPU device models.
+
+Every downstream component (latency cost model, pipeline simulator,
+planner) consumes devices exclusively through :class:`GPUSpec`.  The spec
+is a calibrated analytical stand-in for the physical GPUs used in the
+paper's production cluster (Table 3): it carries the peak compute / memory
+capabilities plus *per-precision kernel efficiency factors* that encode the
+behaviours the paper's planner exploits:
+
+* T4 has INT8 tensor cores, so its 8-bit kernels run close to FP16 speed
+  (Sec. 2.5 of the paper), while V100's INT8 path is slower than FP16.
+* Weight-only 3/4-bit GPTQ-style kernels shrink weight traffic by ~4x
+  (helping the memory-bound decode phase) but pay a dequantization compute
+  overhead (hurting the compute-bound prefill phase) — the Fig. 5 effect
+  where "FP16 leads to the fastest inference in many cases".
+
+All units are SI: bytes, seconds, FLOP/s, bytes/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from types import MappingProxyType
+from typing import Mapping
+
+__all__ = [
+    "GPUSpec",
+    "GPU_REGISTRY",
+    "get_gpu",
+    "register_gpu",
+    "list_gpus",
+    "SUPPORTED_BITS",
+]
+
+#: Quantization bitwidths the serving stack understands (paper Sec. 6.1).
+SUPPORTED_BITS: tuple[int, ...] = (3, 4, 8, 16)
+
+GB = 1e9
+GIB = 2**30
+TFLOP = 1e12
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """Analytical model of one GPU type.
+
+    Attributes
+    ----------
+    name:
+        Canonical name, e.g. ``"V100-32G"``.
+    memory_bytes:
+        Usable device memory (framework overhead already carved out by the
+        memory cost model, not here).
+    fp16_tflops:
+        Peak dense FP16 throughput in TFLOP/s (tensor cores where present).
+    mem_bandwidth:
+        Peak DRAM bandwidth in bytes/s.
+    compute_scale:
+        Per-bitwidth multiplicative factor on effective FLOP/s.  ``1.0``
+        means "as fast as FP16"; values above 1 model genuine low-precision
+        tensor-core speedups, values below 1 model dequantization overhead
+        or slow integer paths.
+    weight_bw_scale:
+        Per-bitwidth multiplicative factor on effective *weight-streaming*
+        bandwidth.  Weight-only kernels read quantized weights, so the
+        bytes moved shrink with the bitwidth; minor inefficiency of the
+        packed formats is folded in here.
+    kernel_launch_overhead:
+        Fixed per-layer-invocation overhead in seconds (kernel launches,
+        framework dispatch).
+    compute_efficiency:
+        Achievable fraction of peak FLOP/s for transformer GEMM shapes
+        (model FLOPs utilization); realistic serving stacks land well
+        under the marketing peak.
+    bandwidth_efficiency:
+        Achievable fraction of peak DRAM bandwidth for the streaming
+        access patterns of decode.
+    intra_node_bandwidth:
+        Bandwidth of the intra-node interconnect this GPU ships with
+        (NVLink or PCIe), bytes/s.
+    tensor_core_int8:
+        Whether INT8 matmuls run on tensor cores.
+    """
+
+    name: str
+    memory_bytes: float
+    fp16_tflops: float
+    mem_bandwidth: float
+    compute_scale: Mapping[int, float]
+    weight_bw_scale: Mapping[int, float]
+    kernel_launch_overhead: float = 4e-6
+    intra_node_bandwidth: float = 64 * GB
+    tensor_core_int8: bool = False
+    compute_efficiency: float = 0.42
+    bandwidth_efficiency: float = 0.72
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError(f"{self.name}: memory_bytes must be positive")
+        if self.fp16_tflops <= 0:
+            raise ValueError(f"{self.name}: fp16_tflops must be positive")
+        if self.mem_bandwidth <= 0:
+            raise ValueError(f"{self.name}: mem_bandwidth must be positive")
+        for bits in SUPPORTED_BITS:
+            if bits not in self.compute_scale:
+                raise ValueError(f"{self.name}: missing compute_scale[{bits}]")
+            if bits not in self.weight_bw_scale:
+                raise ValueError(f"{self.name}: missing weight_bw_scale[{bits}]")
+        # Freeze the mappings so specs are safely shareable.
+        object.__setattr__(self, "compute_scale", MappingProxyType(dict(self.compute_scale)))
+        object.__setattr__(self, "weight_bw_scale", MappingProxyType(dict(self.weight_bw_scale)))
+
+    # ------------------------------------------------------------------
+    # Derived quantities
+    # ------------------------------------------------------------------
+    @property
+    def peak_flops(self) -> float:
+        """Peak FP16 throughput in FLOP/s."""
+        return self.fp16_tflops * TFLOP
+
+    def effective_flops(self, bits: int) -> float:
+        """Achievable FLOP/s when operating a ``bits``-wide kernel."""
+        return self.peak_flops * self.compute_scale[bits] * self.compute_efficiency
+
+    def effective_weight_bandwidth(self, bits: int) -> float:
+        """Achievable bytes/s for streaming ``bits``-quantized weights."""
+        return (
+            self.mem_bandwidth
+            * self.weight_bw_scale[bits]
+            * self.bandwidth_efficiency
+        )
+
+    @property
+    def effective_bandwidth(self) -> float:
+        """Achievable bytes/s for generic activation / KV traffic."""
+        return self.mem_bandwidth * self.bandwidth_efficiency
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOP per byte at FP16 peak — the roofline ridge point.
+
+        The paper quotes V100 at 139 FLOP/B (125 TFLOPS / 900 GB/s);
+        this property reproduces that number for our V100 spec.
+        """
+        return self.peak_flops / self.mem_bandwidth
+
+    def supports(self, bits: int) -> bool:
+        """Whether this GPU has a kernel for ``bits``-wide weights."""
+        return bits in self.compute_scale
+
+    def with_memory(self, memory_bytes: float) -> "GPUSpec":
+        """A copy of this spec with a different memory capacity."""
+        return replace(self, memory_bytes=memory_bytes)
+
+
+# ----------------------------------------------------------------------
+# Registry of the GPU types appearing in the paper's clusters (Table 3).
+#
+# compute_scale rationale per device:
+#   16 : baseline.
+#   8  : bitsandbytes-style decomposition kernels.  Near-FP16 on INT8
+#        tensor-core parts (T4, A100/A800), clearly slower on V100/P100
+#        whose INT8 path is emulated (paper Sec. 2.5).
+#   4/3: GPTQ weight-only kernels — activations stay FP16, weights are
+#        dequantized on the fly, costing extra compute everywhere; the
+#        penalty is harsher on older parts with less integer throughput.
+# weight_bw_scale rationale: quantized weights move bits/16 of the bytes;
+# packing inefficiency and scale/zero metadata shave a few percent, and
+# 3-bit's awkward packing is the least efficient.
+# ----------------------------------------------------------------------
+
+_WEIGHT_BW = {16: 1.0, 8: 0.97, 4: 0.95, 3: 0.90}
+
+GPU_REGISTRY: dict[str, GPUSpec] = {}
+
+
+def register_gpu(spec: GPUSpec) -> GPUSpec:
+    """Add ``spec`` to the global registry (idempotent for equal specs)."""
+    existing = GPU_REGISTRY.get(spec.name)
+    if existing is not None and existing != spec:
+        raise ValueError(f"GPU {spec.name!r} already registered with a different spec")
+    GPU_REGISTRY[spec.name] = spec
+    return spec
+
+
+def get_gpu(name: str) -> GPUSpec:
+    """Look up a GPU type by name, e.g. ``get_gpu("T4-16G")``."""
+    try:
+        return GPU_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(GPU_REGISTRY))
+        raise KeyError(f"unknown GPU {name!r}; known: {known}") from None
+
+
+def list_gpus() -> list[str]:
+    """Sorted names of all registered GPU types."""
+    return sorted(GPU_REGISTRY)
+
+
+register_gpu(
+    GPUSpec(
+        name="A100-40G",
+        memory_bytes=40 * GIB,
+        fp16_tflops=312.0,
+        mem_bandwidth=1555 * GB,
+        compute_scale={16: 1.0, 8: 1.05, 4: 0.80, 3: 0.70},
+        weight_bw_scale=_WEIGHT_BW,
+        intra_node_bandwidth=600 * GB,
+        tensor_core_int8=True,
+    )
+)
+
+register_gpu(
+    GPUSpec(
+        name="A800-80G",
+        memory_bytes=80 * GIB,
+        fp16_tflops=312.0,
+        mem_bandwidth=2039 * GB,
+        compute_scale={16: 1.0, 8: 1.05, 4: 0.80, 3: 0.70},
+        weight_bw_scale=_WEIGHT_BW,
+        intra_node_bandwidth=400 * GB,
+        tensor_core_int8=True,
+    )
+)
+
+register_gpu(
+    GPUSpec(
+        name="A100-80G",
+        memory_bytes=80 * GIB,
+        fp16_tflops=312.0,
+        mem_bandwidth=2039 * GB,
+        compute_scale={16: 1.0, 8: 1.05, 4: 0.80, 3: 0.70},
+        weight_bw_scale=_WEIGHT_BW,
+        intra_node_bandwidth=600 * GB,
+        tensor_core_int8=True,
+    )
+)
+
+register_gpu(
+    GPUSpec(
+        name="A10-24G",
+        memory_bytes=24 * GIB,
+        fp16_tflops=125.0,
+        mem_bandwidth=600 * GB,
+        # Ampere inference card: INT8 tensor cores like the T4
+        compute_scale={16: 1.0, 8: 1.05, 4: 0.80, 3: 0.70},
+        weight_bw_scale=_WEIGHT_BW,
+        intra_node_bandwidth=16 * GB,  # PCIe gen4 x8 effective
+        tensor_core_int8=True,
+    )
+)
+
+register_gpu(
+    GPUSpec(
+        name="V100-32G",
+        memory_bytes=32 * GIB,
+        fp16_tflops=125.0,
+        mem_bandwidth=900 * GB,
+        # INT8 runs on the (FP16) tensor cores only via emulation: slower
+        # than FP16, the effect called out in Sec. 2.5.
+        compute_scale={16: 1.0, 8: 0.60, 4: 0.70, 3: 0.60},
+        weight_bw_scale=_WEIGHT_BW,
+        intra_node_bandwidth=300 * GB,
+        tensor_core_int8=False,
+    )
+)
+
+register_gpu(
+    GPUSpec(
+        name="T4-16G",
+        memory_bytes=16 * GIB,
+        fp16_tflops=65.0,
+        mem_bandwidth=300 * GB,
+        # INT8 tensor cores: 8-bit is as fast as FP16 even after the
+        # bitsandbytes decomposition overhead.
+        compute_scale={16: 1.0, 8: 1.00, 4: 0.75, 3: 0.65},
+        weight_bw_scale=_WEIGHT_BW,
+        intra_node_bandwidth=16 * GB,  # PCIe gen3 x16
+        tensor_core_int8=True,
+    )
+)
+
+register_gpu(
+    GPUSpec(
+        name="P100-12G",
+        memory_bytes=12 * GIB,
+        fp16_tflops=18.7,
+        mem_bandwidth=549 * GB,
+        # Pascal: no tensor cores at all; every low-precision path is
+        # dequantize-then-FP16 with hefty overheads.
+        compute_scale={16: 1.0, 8: 0.50, 4: 0.55, 3: 0.45},
+        weight_bw_scale=_WEIGHT_BW,
+        kernel_launch_overhead=6e-6,
+        intra_node_bandwidth=16 * GB,
+        tensor_core_int8=False,
+    )
+)

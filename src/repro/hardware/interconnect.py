@@ -1,0 +1,81 @@
+"""Interconnect (link) models.
+
+Pipeline-parallel serving moves one activation tensor per micro-batch
+between adjacent stages.  We model every link with the classic
+alpha-beta model ``t = alpha + bytes / beta`` where ``alpha`` is the
+per-message latency and ``beta`` the sustained bandwidth.
+
+Links come in three flavours matching the paper's clusters:
+
+* intra-node NVLink (V100 / A100 / A800 nodes),
+* intra-node PCIe (T4 / P100 nodes),
+* inter-node Ethernet at 100 Gbps or 800 Gbps (Table 3's cluster notes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "Link",
+    "NVLINK_V100",
+    "NVLINK_A100",
+    "NVLINK_A800",
+    "PCIE_GEN3",
+    "ETHERNET_100G",
+    "ETHERNET_800G",
+    "LOOPBACK",
+    "link_for",
+]
+
+GB = 1e9
+
+
+@dataclass(frozen=True)
+class Link:
+    """A point-to-point link with an alpha-beta cost model."""
+
+    name: str
+    bandwidth: float  #: sustained bytes/s
+    latency: float  #: per-message seconds (alpha)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError(f"{self.name}: bandwidth must be positive")
+        if self.latency < 0:
+            raise ValueError(f"{self.name}: latency must be non-negative")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` across this link."""
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth
+
+
+#: Same-device "link" — stage boundaries that do not cross GPUs.
+LOOPBACK = Link("loopback", bandwidth=1e15, latency=0.0)
+
+NVLINK_V100 = Link("nvlink-v100", bandwidth=300 * GB, latency=3e-6)
+NVLINK_A100 = Link("nvlink-a100", bandwidth=600 * GB, latency=3e-6)
+NVLINK_A800 = Link("nvlink-a800", bandwidth=400 * GB, latency=3e-6)
+PCIE_GEN3 = Link("pcie-gen3-x16", bandwidth=16 * GB, latency=8e-6)
+ETHERNET_100G = Link("ethernet-100g", bandwidth=12.5 * GB, latency=30e-6)
+ETHERNET_800G = Link("ethernet-800g", bandwidth=100 * GB, latency=20e-6)
+
+_INTRA_NODE = {
+    "A100-40G": NVLINK_A100,
+    "A800-80G": NVLINK_A800,
+    "V100-32G": NVLINK_V100,
+    "T4-16G": PCIE_GEN3,
+    "P100-12G": PCIE_GEN3,
+}
+
+
+def link_for(gpu_name: str) -> Link:
+    """The intra-node link a GPU of this type ships with."""
+    try:
+        return _INTRA_NODE[gpu_name]
+    except KeyError:
+        return PCIE_GEN3

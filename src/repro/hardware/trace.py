@@ -1,0 +1,114 @@
+"""Synthetic production-cluster fleet trace (Fig. 1 substrate).
+
+The paper motivates heterogeneous serving with a month of utilization data
+from a production AI cluster: high-calibre GPUs (A100/V100) are the
+minority yet run hot, while the plentiful inference cards (T4, P100) sit
+under-utilized.  We reproduce that figure from a synthetic-but-shaped
+fleet trace: a fleet inventory with realistic type proportions and a
+per-type utilization time series whose means match the qualitative story.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+__all__ = ["FleetTrace", "generate_fleet_trace", "DEFAULT_PORTIONS", "DEFAULT_MEAN_UTIL"]
+
+#: Fraction of the fleet per GPU type — skewed towards inference cards.
+DEFAULT_PORTIONS: Mapping[str, float] = {
+    "T4-16G": 0.52,
+    "P100-12G": 0.18,
+    "V100-32G": 0.17,
+    "A100-40G": 0.10,
+    "A800-80G": 0.03,
+}
+
+#: Month-average utilization per type: A100s saturated, T4/P100 idle-ish.
+DEFAULT_MEAN_UTIL: Mapping[str, float] = {
+    "T4-16G": 0.32,
+    "P100-12G": 0.21,
+    "V100-32G": 0.58,
+    "A100-40G": 0.92,
+    "A800-80G": 0.88,
+}
+
+
+@dataclass(frozen=True)
+class FleetTrace:
+    """One month of per-GPU-type utilization samples.
+
+    Attributes
+    ----------
+    gpu_types:
+        Type names, aligned with the rows of :attr:`utilization`.
+    portions:
+        Fraction of the fleet per type (sums to 1).
+    utilization:
+        Array of shape ``(num_types, num_samples)`` with values in [0, 1];
+        one sample per hour by default.
+    """
+
+    gpu_types: tuple[str, ...]
+    portions: np.ndarray
+    utilization: np.ndarray
+
+    def mean_utilization(self) -> dict[str, float]:
+        """Month-average utilization per GPU type."""
+        return {
+            t: float(self.utilization[i].mean()) for i, t in enumerate(self.gpu_types)
+        }
+
+    def idle_capacity_fraction(self) -> dict[str, float]:
+        """Share of the whole fleet's device-hours left idle, per type."""
+        means = self.utilization.mean(axis=1)
+        idle = self.portions * (1.0 - means)
+        return {t: float(idle[i]) for i, t in enumerate(self.gpu_types)}
+
+
+def generate_fleet_trace(
+    *,
+    portions: Mapping[str, float] | None = None,
+    mean_util: Mapping[str, float] | None = None,
+    hours: int = 24 * 30,
+    seed: int = 0,
+) -> FleetTrace:
+    """Generate a synthetic month-long fleet utilization trace.
+
+    Utilization per type follows a diurnal sinusoid plus AR(1) noise,
+    clipped to [0, 1], with the requested per-type mean.
+    """
+    portions = dict(DEFAULT_PORTIONS if portions is None else portions)
+    mean_util = dict(DEFAULT_MEAN_UTIL if mean_util is None else mean_util)
+    if set(portions) != set(mean_util):
+        raise ValueError("portions and mean_util must cover the same GPU types")
+    total = sum(portions.values())
+    if total <= 0:
+        raise ValueError("portions must sum to a positive value")
+
+    types = tuple(sorted(portions))
+    p = np.array([portions[t] / total for t in types])
+    rng = np.random.default_rng(seed)
+
+    hours_axis = np.arange(hours)
+    diurnal = 0.08 * np.sin(2 * np.pi * hours_axis / 24.0)
+
+    rows = []
+    for t in types:
+        noise = np.empty(hours)
+        noise[0] = rng.normal(0, 0.02)
+        eps = rng.normal(0, 0.02, size=hours)
+        for k in range(1, hours):  # AR(1): persistence of load
+            noise[k] = 0.9 * noise[k - 1] + eps[k]
+        series = mean_util[t] + diurnal + noise
+        rows.append(np.clip(series, 0.0, 1.0))
+    util = np.vstack(rows)
+    # Re-centre the clipped series so means land on the requested values
+    # (clipping drags saturated types down slightly).
+    for i, t in enumerate(types):
+        target = np.clip(mean_util[t], 0.0, 1.0)
+        util[i] += target - util[i].mean()
+        util[i] = np.clip(util[i], 0.0, 1.0)
+    return FleetTrace(gpu_types=types, portions=p, utilization=util)

@@ -1,0 +1,32 @@
+"""Model substrate: architecture metadata, runnable NumPy LLM, corpora."""
+
+from .config import LayerShape, ModelConfig
+from .registry import MODEL_REGISTRY, get_model, list_models, register_model
+from .transformer import (
+    KVCache,
+    LayerWeights,
+    TinyDecoderLM,
+    attention_forward,
+    decoder_block,
+    init_weights,
+)
+from .generation import GenerationResult, generate
+from .corpus import SyntheticCorpus, calibration_batch, make_corpus
+
+__all__ = [
+    "ModelConfig",
+    "LayerShape",
+    "MODEL_REGISTRY",
+    "get_model",
+    "list_models",
+    "register_model",
+    "TinyDecoderLM",
+    "KVCache",
+    "LayerWeights",
+    "init_weights",
+    "GenerationResult",
+    "generate",
+    "SyntheticCorpus",
+    "make_corpus",
+    "calibration_batch",
+]

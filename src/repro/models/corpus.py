@@ -1,0 +1,98 @@
+"""Synthetic evaluation corpora for the NumPy model.
+
+The paper measures perplexity on WikiText2 / PTB / C4.  Offline we cannot
+ship those, so we generate token streams with realistic statistics: a
+Zipfian unigram distribution overlaid with a first-order Markov structure
+(real text is highly predictable locally), produced deterministically from
+a seed.  Models are *evaluated* on these streams — relative quality across
+quantization schemes is what the experiments consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SyntheticCorpus", "make_corpus", "calibration_batch"]
+
+
+@dataclass(frozen=True)
+class SyntheticCorpus:
+    """Token matrix ``(num_seqs, seq_len)`` plus its generator params."""
+
+    name: str
+    tokens: np.ndarray
+    vocab_size: int
+
+    @property
+    def num_sequences(self) -> int:
+        """Rows of the token matrix."""
+        return int(self.tokens.shape[0])
+
+    @property
+    def seq_len(self) -> int:
+        """Tokens per sequence."""
+        return int(self.tokens.shape[1])
+
+
+def _zipf_probs(vocab: int, alpha: float, rng: np.random.Generator) -> np.ndarray:
+    ranks = np.arange(1, vocab + 1, dtype=np.float64)
+    p = ranks**-alpha
+    # break ties so different corpora differ
+    p *= rng.uniform(0.9, 1.1, size=vocab)
+    return p / p.sum()
+
+
+def make_corpus(
+    vocab_size: int,
+    *,
+    num_seqs: int = 16,
+    seq_len: int = 64,
+    alpha: float = 1.1,
+    markov_weight: float = 0.6,
+    seed: int = 0,
+    name: str = "synthetic",
+) -> SyntheticCorpus:
+    """Zipf + Markov token streams.
+
+    ``markov_weight`` interpolates between pure unigram sampling (0) and
+    fully transition-driven sampling (1).  Higher values make the stream
+    more learnable/predictable, mimicking natural text.
+    """
+    if vocab_size < 4:
+        raise ValueError("vocab_size too small")
+    if not 0.0 <= markov_weight <= 1.0:
+        raise ValueError("markov_weight in [0, 1]")
+    rng = np.random.default_rng(seed)
+    unigram = _zipf_probs(vocab_size, alpha, rng)
+
+    # Sparse Markov structure: each token prefers a small successor set.
+    fanout = min(8, vocab_size)
+    successors = rng.integers(0, vocab_size, size=(vocab_size, fanout))
+    succ_probs = rng.dirichlet(np.ones(fanout), size=vocab_size)
+
+    toks = np.empty((num_seqs, seq_len), dtype=np.int64)
+    toks[:, 0] = rng.choice(vocab_size, size=num_seqs, p=unigram)
+    for t in range(1, seq_len):
+        prev = toks[:, t - 1]
+        use_markov = rng.random(num_seqs) < markov_weight
+        # Markov choice: pick a successor slot per sequence
+        slot = np.array(
+            [rng.choice(fanout, p=succ_probs[p]) for p in prev], dtype=np.int64
+        )
+        markov_next = successors[prev, slot]
+        unigram_next = rng.choice(vocab_size, size=num_seqs, p=unigram)
+        toks[:, t] = np.where(use_markov, markov_next, unigram_next)
+    return SyntheticCorpus(name=name, tokens=toks, vocab_size=vocab_size)
+
+
+def calibration_batch(
+    vocab_size: int, *, batch: int = 8, seq_len: int = 32, seed: int = 1234
+) -> np.ndarray:
+    """Calibration prompts for quantization statistics (the paper uses 128
+    random 2048-token C4 segments; we scale down proportionally)."""
+    corpus = make_corpus(
+        vocab_size, num_seqs=batch, seq_len=seq_len, seed=seed, name="calibration"
+    )
+    return corpus.tokens

@@ -1,0 +1,127 @@
+"""Model zoo: the OPT and BLOOM families the paper evaluates.
+
+Architecture numbers are taken from the public model cards (OPT:
+Zhang et al. 2022, Table 1; BLOOM: Scao et al. 2022).  OPT uses learned
+position embeddings (max 2048) and untied LM head weights in the 350m+
+configurations are actually tied — we follow the HF checkpoints: tied.
+BLOOM uses ALiBi, so it has no position table.
+"""
+
+from __future__ import annotations
+
+from .config import ModelConfig
+
+__all__ = ["MODEL_REGISTRY", "get_model", "list_models", "register_model"]
+
+MODEL_REGISTRY: dict[str, ModelConfig] = {}
+
+
+def register_model(cfg: ModelConfig) -> ModelConfig:
+    """Add ``cfg`` to the zoo (idempotent; conflicting re-registration errors)."""
+    existing = MODEL_REGISTRY.get(cfg.name)
+    if existing is not None and existing != cfg:
+        raise ValueError(f"model {cfg.name!r} already registered differently")
+    MODEL_REGISTRY[cfg.name] = cfg
+    return cfg
+
+
+def get_model(name: str) -> ModelConfig:
+    """Look up an architecture by name, e.g. ``get_model("opt-30b")``."""
+    try:
+        return MODEL_REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(MODEL_REGISTRY))
+        raise KeyError(f"unknown model {name!r}; known: {known}") from None
+
+
+def list_models() -> list[str]:
+    """Sorted names of all registered architectures."""
+    return sorted(MODEL_REGISTRY)
+
+
+def _opt(name: str, layers: int, hidden: int, heads: int) -> None:
+    register_model(
+        ModelConfig(
+            name=name,
+            num_layers=layers,
+            hidden_size=hidden,
+            num_heads=heads,
+            ffn_dim=4 * hidden,
+            vocab_size=50272,
+            max_position_embeddings=2048,
+            tie_word_embeddings=True,
+        )
+    )
+
+
+def _bloom(name: str, layers: int, hidden: int, heads: int) -> None:
+    register_model(
+        ModelConfig(
+            name=name,
+            num_layers=layers,
+            hidden_size=hidden,
+            num_heads=heads,
+            ffn_dim=4 * hidden,
+            vocab_size=250880,
+            max_position_embeddings=0,  # ALiBi
+            tie_word_embeddings=True,
+        )
+    )
+
+
+_opt("opt-125m", 12, 768, 12)
+_opt("opt-350m", 24, 1024, 16)
+_opt("opt-1.3b", 24, 2048, 32)
+_opt("opt-2.7b", 32, 2560, 32)
+_opt("opt-6.7b", 32, 4096, 32)
+_opt("opt-13b", 40, 5120, 40)
+_opt("opt-30b", 48, 7168, 56)
+_opt("opt-66b", 64, 9216, 72)
+_opt("opt-175b", 96, 12288, 96)
+
+_bloom("bloom-560m", 24, 1024, 16)
+_bloom("bloom-1b7", 24, 2048, 16)
+_bloom("bloom-3b", 30, 2560, 32)
+_bloom("bloom-7b1", 30, 4096, 32)
+_bloom("bloom-176b", 70, 14336, 112)
+
+# A deliberately tiny config for *runnable* end-to-end experiments with
+# the NumPy transformer (quality measurements, runtime tests).
+register_model(
+    ModelConfig(
+        name="tiny-8l",
+        num_layers=8,
+        hidden_size=64,
+        num_heads=4,
+        ffn_dim=256,
+        vocab_size=512,
+        max_position_embeddings=256,
+        tie_word_embeddings=True,
+    )
+)
+
+register_model(
+    ModelConfig(
+        name="tiny-bloom-4l",
+        num_layers=4,
+        hidden_size=32,
+        num_heads=2,
+        ffn_dim=128,
+        vocab_size=128,
+        max_position_embeddings=0,  # ALiBi, like the BLOOM family
+        tie_word_embeddings=True,
+    )
+)
+
+register_model(
+    ModelConfig(
+        name="tiny-4l",
+        num_layers=4,
+        hidden_size=32,
+        num_heads=2,
+        ffn_dim=128,
+        vocab_size=128,
+        max_position_embeddings=128,
+        tie_word_embeddings=True,
+    )
+)

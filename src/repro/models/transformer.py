@@ -1,0 +1,388 @@
+"""A runnable decoder-only transformer in pure NumPy.
+
+This is the *real* model substrate: everything the quality experiments
+measure (quantization error, perplexity deltas, layer sensitivity,
+Theorem-1 variance bounds) runs through genuine forward passes of this
+implementation with genuinely quantized weights.  It mirrors the OPT
+block structure (pre-LN, learned position embeddings, GELU MLP) scaled
+down to laptop size via the ``tiny-*`` configs.
+
+Weight layout per layer ``i`` (all ``float64`` for numeric headroom):
+
+======================  =========================
+``ln1.g / ln1.b``       pre-attention LayerNorm
+``q/k/v/out`` (+ bias)  attention projections
+``ln2.g / ln2.b``       pre-MLP LayerNorm
+``fc1 / fc2`` (+ bias)  MLP
+======================  =========================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from .config import ModelConfig
+
+__all__ = ["LayerWeights", "TinyDecoderLM", "KVCache", "init_weights"]
+
+
+@dataclass
+class LayerWeights:
+    """Dense weights of one decoder layer."""
+
+    ln1_g: np.ndarray
+    ln1_b: np.ndarray
+    wq: np.ndarray
+    bq: np.ndarray
+    wk: np.ndarray
+    bk: np.ndarray
+    wv: np.ndarray
+    bv: np.ndarray
+    wo: np.ndarray
+    bo: np.ndarray
+    ln2_g: np.ndarray
+    ln2_b: np.ndarray
+    fc1: np.ndarray
+    bfc1: np.ndarray
+    fc2: np.ndarray
+    bfc2: np.ndarray
+
+    def linear_weights(self) -> dict[str, np.ndarray]:
+        """The quantizable dense matrices, keyed like LayerShape.operators."""
+        return {
+            "q_proj": self.wq,
+            "k_proj": self.wk,
+            "v_proj": self.wv,
+            "out_proj": self.wo,
+            "fc1": self.fc1,
+            "fc2": self.fc2,
+        }
+
+    def replace_linears(self, new: Mapping[str, np.ndarray]) -> "LayerWeights":
+        """Copy of this layer with some dense matrices swapped out."""
+        out = LayerWeights(
+            ln1_g=self.ln1_g, ln1_b=self.ln1_b,
+            wq=new.get("q_proj", self.wq), bq=self.bq,
+            wk=new.get("k_proj", self.wk), bk=self.bk,
+            wv=new.get("v_proj", self.wv), bv=self.bv,
+            wo=new.get("out_proj", self.wo), bo=self.bo,
+            ln2_g=self.ln2_g, ln2_b=self.ln2_b,
+            fc1=new.get("fc1", self.fc1), bfc1=self.bfc1,
+            fc2=new.get("fc2", self.fc2), bfc2=self.bfc2,
+        )
+        return out
+
+
+@dataclass
+class KVCache:
+    """Pre-allocated per-layer key/value cache.
+
+    Shapes: ``(num_layers, batch, max_len, hidden)``.  ``length`` tracks
+    how many positions are filled; the runtime reserves ``s + n`` slots up
+    front exactly like the paper's serving system.
+    """
+
+    k: np.ndarray
+    v: np.ndarray
+    length: int = 0
+
+    @classmethod
+    def allocate(cls, num_layers: int, batch: int, max_len: int, hidden: int) -> "KVCache":
+        """Zero-filled pre-allocated cache of the given capacity."""
+        shape = (num_layers, batch, max_len, hidden)
+        return cls(k=np.zeros(shape), v=np.zeros(shape), length=0)
+
+    @property
+    def max_len(self) -> int:
+        """Reserved KV slots per sequence."""
+        return self.k.shape[2]
+
+    def append(self, layer: int, k_new: np.ndarray, v_new: np.ndarray, start: int) -> None:
+        """Write new K/V rows at absolute position ``start``."""
+        q = k_new.shape[1]
+        if start + q > self.max_len:
+            raise ValueError("KV cache overflow: reserve s + n slots up front")
+        self.k[layer, :, start : start + q] = k_new
+        self.v[layer, :, start : start + q] = v_new
+
+
+def _layernorm(x: np.ndarray, g: np.ndarray, b: np.ndarray, eps: float = 1e-5) -> np.ndarray:
+    mu = x.mean(axis=-1, keepdims=True)
+    var = x.var(axis=-1, keepdims=True)
+    return (x - mu) / np.sqrt(var + eps) * g + b
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    x = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(x)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def init_weights(cfg: ModelConfig, seed: int = 0) -> tuple[np.ndarray, np.ndarray, list[LayerWeights], np.ndarray, np.ndarray]:
+    """Random-but-stable initialization (scaled normal, OPT-style).
+
+    Returns ``(embed_tokens, embed_positions, layers, final_ln_g, final_ln_b)``.
+    """
+    rng = np.random.default_rng(seed)
+    h, f = cfg.hidden_size, cfg.ffn_dim
+    std = 0.02
+    # residual-branch scaling keeps deep stacks stable
+    res_std = std / np.sqrt(2.0 * cfg.num_layers)
+
+    embed_tokens = rng.normal(0, std, size=(cfg.vocab_size, h))
+    n_pos = max(cfg.max_position_embeddings, 1)
+    embed_positions = rng.normal(0, std, size=(n_pos, h))
+
+    layers: list[LayerWeights] = []
+    for _ in range(cfg.num_layers):
+        layers.append(
+            LayerWeights(
+                ln1_g=np.ones(h), ln1_b=np.zeros(h),
+                wq=rng.normal(0, std, (h, h)), bq=np.zeros(h),
+                wk=rng.normal(0, std, (h, h)), bk=np.zeros(h),
+                wv=rng.normal(0, std, (h, h)), bv=np.zeros(h),
+                wo=rng.normal(0, res_std, (h, h)), bo=np.zeros(h),
+                ln2_g=np.ones(h), ln2_b=np.zeros(h),
+                fc1=rng.normal(0, std, (h, f)), bfc1=np.zeros(f),
+                fc2=rng.normal(0, res_std, (f, h)), bfc2=np.zeros(h),
+            )
+        )
+    return embed_tokens, embed_positions, layers, np.ones(h), np.zeros(h)
+
+
+def alibi_slopes(num_heads: int) -> np.ndarray:
+    """ALiBi per-head slopes (Press et al.): geometric in ``2^(-8/n)``.
+
+    BLOOM uses these linear attention biases instead of learned position
+    embeddings.  For non-power-of-two head counts the standard
+    interpolation scheme is applied.
+    """
+    def pow2_slopes(n: int) -> list[float]:
+        start = 2.0 ** (-(2.0 ** -(np.log2(n) - 3)))
+        return [start * (start**i) for i in range(n)]
+
+    if num_heads < 1:
+        raise ValueError("num_heads must be positive")
+    n = 2 ** int(np.floor(np.log2(num_heads)))
+    slopes = pow2_slopes(n)
+    if n < num_heads:
+        extra = pow2_slopes(2 * n)[0::2][: num_heads - n]
+        slopes += extra
+    return np.asarray(slopes)
+
+
+def attention_forward(
+    cfg: ModelConfig,
+    lw: LayerWeights,
+    x: np.ndarray,
+    cache: KVCache,
+    cache_layer: int,
+    start: int,
+    recorder=None,
+) -> np.ndarray:
+    """Multi-head attention for ``q`` new tokens at absolute positions
+    ``start .. start+q`` against everything already in ``cache``.
+
+    Standalone so pipeline-stage shards (which hold only a slice of the
+    model) run the byte-identical computation as :class:`TinyDecoderLM`.
+    Models with ``max_position_embeddings == 0`` (the BLOOM family) use
+    ALiBi biases instead of learned positions.
+    """
+    batch, q, h = x.shape
+    nh, hd = cfg.num_heads, cfg.hidden_size // cfg.num_heads
+
+    if recorder is not None:
+        recorder(cache_layer, "q_proj", x)
+        recorder(cache_layer, "k_proj", x)
+        recorder(cache_layer, "v_proj", x)
+    qp = x @ lw.wq + lw.bq
+    kp = x @ lw.wk + lw.bk
+    vp = x @ lw.wv + lw.bv
+    cache.append(cache_layer, kp, vp, start)
+    total = start + q
+    k_all = cache.k[cache_layer, :, :total]
+    v_all = cache.v[cache_layer, :, :total]
+
+    qh = qp.reshape(batch, q, nh, hd).transpose(0, 2, 1, 3)
+    kh = k_all.reshape(batch, total, nh, hd).transpose(0, 2, 3, 1)
+    vh = v_all.reshape(batch, total, nh, hd).transpose(0, 2, 1, 3)
+    scores = (qh @ kh) / np.sqrt(hd)
+
+    pos_q = start + np.arange(q)[:, None]
+    pos_k = np.arange(total)[None, :]
+    if cfg.max_position_embeddings == 0:
+        # ALiBi: penalize attention linearly in key distance, per head
+        dist = (pos_q - pos_k).astype(np.float64)  # (q, total), >=0 causal
+        bias = -alibi_slopes(nh)[:, None, None] * dist[None]
+        scores = scores + bias[None]
+    scores = np.where(pos_k <= pos_q, scores, -1e30)
+    attn = _softmax(scores, axis=-1)
+    mixed = (attn @ vh).transpose(0, 2, 1, 3).reshape(batch, q, h)
+    if recorder is not None:
+        recorder(cache_layer, "out_proj", mixed)
+    return mixed @ lw.wo + lw.bo
+
+
+def decoder_block(
+    cfg: ModelConfig,
+    lw: LayerWeights,
+    x: np.ndarray,
+    cache: KVCache,
+    cache_layer: int,
+    start: int,
+    recorder=None,
+) -> np.ndarray:
+    """One full pre-LN decoder block (attention + MLP with residuals)."""
+    a = attention_forward(
+        cfg, lw, _layernorm(x, lw.ln1_g, lw.ln1_b), cache, cache_layer, start, recorder
+    )
+    x = x + a
+    h1 = _layernorm(x, lw.ln2_g, lw.ln2_b)
+    if recorder is not None:
+        recorder(cache_layer, "fc1", h1)
+    h2 = _gelu(h1 @ lw.fc1 + lw.bfc1)
+    if recorder is not None:
+        recorder(cache_layer, "fc2", h2)
+    m = h2 @ lw.fc2 + lw.bfc2
+    return x + m
+
+
+class TinyDecoderLM:
+    """Decoder-only LM with pre-allocated KV cache and two-phase inference.
+
+    Use :meth:`prefill` once per batch and then :meth:`decode_step`
+    repeatedly — exactly the generative-serving pattern of Fig. 2.
+    """
+
+    def __init__(self, cfg: ModelConfig, seed: int = 0) -> None:
+        if cfg.hidden_size > 1024 or cfg.num_layers > 48:
+            raise ValueError(
+                f"{cfg.name} is too large to run in NumPy; use the cost models"
+            )
+        self.cfg = cfg
+        (
+            self.embed_tokens,
+            self.embed_positions,
+            self.layers,
+            self.final_ln_g,
+            self.final_ln_b,
+        ) = init_weights(cfg, seed)
+
+    # ------------------------------------------------------------------
+    # Weight surgery (used by the quantization experiments)
+    # ------------------------------------------------------------------
+    def clone(self) -> "TinyDecoderLM":
+        """Deep-copied model (for weight surgery without aliasing)."""
+        import copy
+
+        return copy.deepcopy(self)
+
+    def apply_to_layer(self, layer_idx: int, fn) -> None:
+        """Replace layer ``layer_idx``'s dense matrices with ``fn(name, W)``."""
+        layer = self.layers[layer_idx]
+        new = {name: fn(name, w) for name, w in layer.linear_weights().items()}
+        self.layers[layer_idx] = layer.replace_linears(new)
+
+    # ------------------------------------------------------------------
+    # Forward passes
+    # ------------------------------------------------------------------
+    def _block(
+        self, layer_idx: int, x: np.ndarray, cache: KVCache, start: int, recorder=None
+    ) -> np.ndarray:
+        return decoder_block(
+            self.cfg, self.layers[layer_idx], x, cache, layer_idx, start, recorder
+        )
+
+    def _embed(self, tokens: np.ndarray, start: int) -> np.ndarray:
+        x = self.embed_tokens[tokens]
+        if self.cfg.max_position_embeddings > 0:
+            pos = start + np.arange(tokens.shape[1])
+            x = x + self.embed_positions[pos]
+        return x
+
+    def _logits(self, x: np.ndarray) -> np.ndarray:
+        x = _layernorm(x, self.final_ln_g, self.final_ln_b)
+        return x @ self.embed_tokens.T
+
+    def prefill(
+        self, tokens: np.ndarray, *, reserve: int = 0
+    ) -> tuple[np.ndarray, KVCache]:
+        """Process prompts; returns logits ``(batch, s, vocab)`` and cache.
+
+        ``reserve`` extra KV slots are pre-allocated for decoding — the
+        paper's runtime reserves ``s + n`` up front to avoid reallocation.
+        """
+        tokens = np.asarray(tokens)
+        if tokens.ndim != 2:
+            raise ValueError("tokens must be (batch, seq)")
+        batch, s = tokens.shape
+        cache = KVCache.allocate(
+            self.cfg.num_layers, batch, s + reserve, self.cfg.hidden_size
+        )
+        x = self._embed(tokens, 0)
+        for i in range(self.cfg.num_layers):
+            x = self._block(i, x, cache, 0)
+        cache.length = s
+        return self._logits(x), cache
+
+    def capture_activation_stats(self, tokens: np.ndarray) -> dict[tuple[int, str], tuple[float, float]]:
+        """Calibration pass: per-(layer, operator) input mean and variance.
+
+        Used by the variance indicator (Prop. 2) to evaluate ``G(X_o)``.
+        Returns ``{(layer_idx, op_name): (mean, var)}``.
+        """
+        tokens = np.asarray(tokens)
+        batch, s = tokens.shape
+        cache = KVCache.allocate(self.cfg.num_layers, batch, s, self.cfg.hidden_size)
+        stats: dict[tuple[int, str], tuple[float, float]] = {}
+
+        def recorder(layer: int, op: str, x: np.ndarray) -> None:
+            stats[(layer, op)] = (float(x.mean()), float(x.var()))
+
+        x = self._embed(tokens, 0)
+        for i in range(self.cfg.num_layers):
+            x = self._block(i, x, cache, 0, recorder)
+        return stats
+
+    def decode_step(self, tokens: np.ndarray, cache: KVCache) -> np.ndarray:
+        """One decode step: ``tokens`` is ``(batch,)``; returns ``(batch, vocab)``."""
+        tokens = np.asarray(tokens).reshape(-1, 1)
+        start = cache.length
+        x = self._embed(tokens, start)
+        for i in range(self.cfg.num_layers):
+            x = self._block(i, x, cache, start)
+        cache.length = start + 1
+        return self._logits(x)[:, 0]
+
+    # ------------------------------------------------------------------
+    def forward_full(self, tokens: np.ndarray) -> np.ndarray:
+        """Teacher-forced full forward (for perplexity): logits for all pos."""
+        logits, _ = self.prefill(np.asarray(tokens))
+        return logits
+
+    def nll(self, tokens: np.ndarray) -> float:
+        """Mean next-token negative log-likelihood over a token matrix."""
+        tokens = np.asarray(tokens)
+        logits = self.forward_full(tokens)
+        logp = logits - _log_sum_exp(logits)
+        tgt = tokens[:, 1:]
+        batch_idx = np.arange(tokens.shape[0])[:, None]
+        pos_idx = np.arange(tokens.shape[1] - 1)[None, :]
+        picked = logp[batch_idx, pos_idx, tgt]
+        return float(-picked.mean())
+
+    def perplexity(self, tokens: np.ndarray) -> float:
+        """``exp`` of the mean next-token NLL over ``tokens``."""
+        return float(np.exp(self.nll(tokens)))
+
+
+def _log_sum_exp(x: np.ndarray) -> np.ndarray:
+    m = x.max(axis=-1, keepdims=True)
+    return m + np.log(np.exp(x - m).sum(axis=-1, keepdims=True))

@@ -1,0 +1,39 @@
+"""Operator-level arithmetic shared by the simulator and the cost models.
+
+Kept free of package-level imports (only :mod:`repro.models.config`) so
+both ``repro.sim`` and ``repro.cost`` can use it without import cycles.
+"""
+
+from __future__ import annotations
+
+from .models.config import ModelConfig
+
+__all__ = ["layer_memory_traffic", "ACT_BYTES"]
+
+#: Bytes per element of activations (FP16 everywhere, as in the paper).
+ACT_BYTES = 2.0
+
+
+def layer_memory_traffic(
+    cfg: ModelConfig,
+    bits: int,
+    batch: int,
+    q: int,
+    context: int,
+    *,
+    kv_bits: int = 16,
+) -> float:
+    """Bytes moved through DRAM by one decoder layer invocation.
+
+    Counts quantized weight streaming, activation reads/writes and KV
+    traffic (write ``q`` new entries, read ``context`` old ones).
+    """
+    h = cfg.hidden_size
+    w_bytes = cfg.layer_weight_bytes(bits)
+    # activations: x in/out of ~6 ops plus the MLP intermediate
+    act = batch * q * (6 * h + 2 * cfg.ffn_dim) * ACT_BYTES
+    # attention score matrix read+write (heads folded into h-sized rows)
+    scores = batch * cfg.num_heads * q * context * ACT_BYTES * 2
+    kv_write = batch * q * 2 * h * (kv_bits / 8.0)
+    kv_read = batch * context * 2 * h * (kv_bits / 8.0)
+    return w_bytes + act + scores + kv_write + kv_read

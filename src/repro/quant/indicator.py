@@ -1,0 +1,319 @@
+"""Layer-sensitivity indicators that guide bitwidth selection (Sec. 4.2).
+
+The planner needs, for every decoder layer ``i`` and candidate bitwidth
+``b``, a scalar ``omega[i, b]`` quantifying how much quantizing that layer
+to ``b`` bits perturbs model quality.  Three generators are provided,
+mirroring the paper's Table 6 comparison:
+
+* :func:`variance_indicator` — the paper's contribution (Prop. 2):
+  ``omega_{i,b} = sum_o D_{W_o} * S_{W_o}(b)^2 * G(X_o)``, computed from a
+  single cheap calibration pass;
+* :func:`hessian_indicator` — a HAWQ-style baseline using second-order
+  loss curvature per layer, obtained by (expensive) finite-difference
+  probes — faithful to its 58-72x higher overhead in Table 6;
+* :func:`random_indicator` — the null baseline.
+
+For models too large to run (OPT-13b+), :func:`synthetic_indicator`
+evaluates the same Prop.-2 formula on analytically generated weight/
+activation statistics whose depth profile matches the measured Table-1
+behaviour (later layers are more quantization-sensitive).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..models.config import ModelConfig
+from ..models.transformer import TinyDecoderLM
+from .quantizer import qmax_for_bits, quantize_dequantize
+from .theory import ActivationStats, g_deterministic, g_stochastic
+
+__all__ = [
+    "IndicatorTable",
+    "variance_indicator",
+    "hessian_indicator",
+    "random_indicator",
+    "synthetic_indicator",
+]
+
+DEFAULT_BITS: tuple[int, ...] = (3, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class IndicatorTable:
+    """Per-(layer, bitwidth) sensitivity scores.
+
+    ``omega`` has shape ``(num_layers, len(bits))``; ``omega[i, j]`` is the
+    quality perturbation of putting layer ``i`` at ``bits[j]``.  16-bit
+    entries are exactly zero (lossless).  ``overhead_seconds`` records how
+    long the indicator took to build (Table 6's overhead column).
+    """
+
+    omega: np.ndarray
+    bits: tuple[int, ...]
+    method: str
+    overhead_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.omega.ndim != 2 or self.omega.shape[1] != len(self.bits):
+            raise ValueError("omega must be (num_layers, num_bits)")
+        if np.any(self.omega < 0):
+            raise ValueError("omega entries must be non-negative")
+
+    @property
+    def num_layers(self) -> int:
+        """Rows of the omega table (layers or groups)."""
+        return int(self.omega.shape[0])
+
+    def lookup(self, layer: int, bits: int) -> float:
+        """omega of one (layer, bitwidth) cell."""
+        return float(self.omega[layer, self.bits.index(bits)])
+
+    def column(self, bits: int) -> np.ndarray:
+        """Per-layer omega at a fixed bitwidth."""
+        return self.omega[:, self.bits.index(bits)]
+
+    def normalized(self) -> "IndicatorTable":
+        """Rescale so the 4-bit column sums to 1.
+
+        With this convention ``theta`` reads as "seconds of latency I
+        would pay to avoid quantizing the *whole* model from FP16 to
+        uniform 4-bit", independent of the layer count — which keeps the
+        user scalar portable across model sizes (the paper's Table-9
+        values span 1..1000 on this kind of scale).
+        """
+        if 4 not in self.bits:
+            return self
+        ref = float(self.column(4).sum())
+        if ref <= 0:
+            return self
+        return IndicatorTable(
+            omega=self.omega / ref,
+            bits=self.bits,
+            method=self.method,
+            overhead_seconds=self.overhead_seconds,
+        )
+
+    # ------------------------------------------------------------------
+    # Persistence (the CLI's --omega_file of Sec. 5)
+    # ------------------------------------------------------------------
+    def to_json(self, path=None) -> str:
+        """Serialize to JSON (optionally writing ``path``); the --omega_file format."""
+        import json
+
+        payload = {
+            "omega": self.omega.tolist(),
+            "bits": list(self.bits),
+            "method": self.method,
+            "overhead_seconds": self.overhead_seconds,
+        }
+        text = json.dumps(payload, indent=2)
+        if path is not None:
+            from pathlib import Path
+
+            Path(path).write_text(text)
+        return text
+
+    @classmethod
+    def from_json(cls, src) -> "IndicatorTable":
+        """Load a table from a JSON string or file path."""
+        import json
+        from pathlib import Path
+
+        text = str(src)
+        if not text.lstrip().startswith("{"):
+            text = Path(src).read_text()
+        d = json.loads(text)
+        return cls(
+            omega=np.asarray(d["omega"], dtype=np.float64),
+            bits=tuple(int(b) for b in d["bits"]),
+            method=str(d.get("method", "loaded")),
+            overhead_seconds=float(d.get("overhead_seconds", 0.0)),
+        )
+
+    def grouped(self, group_size: int) -> "IndicatorTable":
+        """Sum omega over consecutive layer groups (Optimization #2)."""
+        if group_size <= 1:
+            return self
+        L = self.num_layers
+        num_groups = (L + group_size - 1) // group_size
+        out = np.zeros((num_groups, len(self.bits)))
+        for g in range(num_groups):
+            out[g] = self.omega[g * group_size : (g + 1) * group_size].sum(axis=0)
+        return IndicatorTable(
+            omega=out, bits=self.bits, method=self.method,
+            overhead_seconds=self.overhead_seconds,
+        )
+
+
+def _zero_fp16_column(omega: np.ndarray, bits: tuple[int, ...]) -> np.ndarray:
+    if 16 in bits:
+        omega[:, bits.index(16)] = 0.0
+    return omega
+
+
+# ----------------------------------------------------------------------
+# Variance indicator (the paper's): one calibration pass.
+# ----------------------------------------------------------------------
+def variance_indicator(
+    model: TinyDecoderLM,
+    calib_tokens: np.ndarray,
+    *,
+    bits: tuple[int, ...] = DEFAULT_BITS,
+    rounding: str = "deterministic",
+) -> IndicatorTable:
+    """Prop.-2 omega from real calibration activations of ``model``."""
+    t0 = time.perf_counter()
+    stats = model.capture_activation_stats(np.asarray(calib_tokens))
+    L = model.cfg.num_layers
+    ops = model.cfg.layer_shape.operators
+    g_fn = g_deterministic if rounding == "deterministic" else g_stochastic
+
+    omega = np.zeros((L, len(bits)))
+    for i in range(L):
+        layer = model.layers[i]
+        for name, w in layer.linear_weights().items():
+            d_w = w.shape[0]
+            amax = float(np.abs(w).max())
+            mean, var = stats[(i, name)]
+            g = g_fn(ActivationStats(mean=mean, var=var))
+            for j, b in enumerate(bits):
+                if b >= 16:
+                    continue
+                scale = amax / qmax_for_bits(b)
+                omega[i, j] += d_w * scale**2 * g
+    del ops
+    omega = _zero_fp16_column(omega, bits)
+    return IndicatorTable(
+        omega=omega, bits=bits, method="variance",
+        overhead_seconds=time.perf_counter() - t0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Hessian (HAWQ-style) baseline: finite-difference curvature probes.
+# ----------------------------------------------------------------------
+def hessian_indicator(
+    model: TinyDecoderLM,
+    calib_tokens: np.ndarray,
+    *,
+    bits: tuple[int, ...] = DEFAULT_BITS,
+    probes: int = 1,
+    eps: float = 1.0,
+) -> IndicatorTable:
+    """Curvature-based sensitivity: for each layer, probe the loss along
+    the quantization-error direction ``Delta`` and score the symmetric
+    second difference ``L(W+eps*Delta) - 2L(W) + L(W-eps*Delta)``, which
+    approximates the HAWQ quantity ``Delta^T H Delta`` at ``eps = 1``.
+
+    Needs ``2 * probes`` extra forward passes *per layer per bitwidth*,
+    which is why Table 6 reports it orders of magnitude more expensive
+    than the variance indicator.
+    """
+    t0 = time.perf_counter()
+    tokens = np.asarray(calib_tokens)
+    base_loss = model.nll(tokens)
+    L = model.cfg.num_layers
+    omega = np.zeros((L, len(bits)))
+
+    for i in range(L):
+        layer = model.layers[i]
+        for j, b in enumerate(bits):
+            if b >= 16:
+                continue
+            # quantization-error direction for this layer at this bitwidth
+            deltas = {
+                name: quantize_dequantize(w, b) - w
+                for name, w in layer.linear_weights().items()
+            }
+            norm2 = sum(float(np.square(d).sum()) for d in deltas.values())
+            if norm2 == 0:
+                continue
+            curv = 0.0
+            for _ in range(probes):
+                plus = model.clone()
+                minus = model.clone()
+                plus.apply_to_layer(i, lambda n, w: w + eps * deltas[n])
+                minus.apply_to_layer(i, lambda n, w: w - eps * deltas[n])
+                lp = plus.nll(tokens)
+                lm = minus.nll(tokens)
+                curv += (lp - 2 * base_loss + lm) / eps**2
+            # curvature along Delta already includes ||Delta||^2 scaling
+            omega[i, j] = max(abs(curv) / probes, 1e-12 * norm2)
+    omega = _zero_fp16_column(omega, bits)
+    return IndicatorTable(
+        omega=omega, bits=bits, method="hessian",
+        overhead_seconds=time.perf_counter() - t0,
+    )
+
+
+# ----------------------------------------------------------------------
+# Random baseline.
+# ----------------------------------------------------------------------
+def random_indicator(
+    num_layers: int,
+    *,
+    bits: tuple[int, ...] = DEFAULT_BITS,
+    seed: int = 0,
+    scale: float = 1.0,
+) -> IndicatorTable:
+    """Uniform-random omega, rescaled to a comparable magnitude so that it
+    exerts a similar pull on the ILP objective (Sec. 6.5's setup)."""
+    rng = np.random.default_rng(seed)
+    # Randomness is in the *layer ranking*; per-bit factors stay monotone
+    # (fewer bits always hurt more) so the ILP is not handed an unphysical
+    # signal — only an uninformed one.
+    layer_score = rng.random(num_layers) * scale
+    bit_factor = np.array([0.0 if b >= 16 else (16.0 / b) ** 2 for b in bits])
+    omega = layer_score[:, None] * bit_factor[None, :]
+    omega = _zero_fp16_column(omega, bits)
+    return IndicatorTable(omega=omega, bits=bits, method="random", overhead_seconds=0.0)
+
+
+# ----------------------------------------------------------------------
+# Synthetic indicator for models too large to execute.
+# ----------------------------------------------------------------------
+def synthetic_indicator(
+    cfg: ModelConfig,
+    *,
+    bits: tuple[int, ...] = DEFAULT_BITS,
+    rounding: str = "deterministic",
+    weight_std: float = 0.02,
+    act_var_base: float = 1.0,
+    act_var_growth: float = 0.04,
+    seed: int = 0,
+) -> IndicatorTable:
+    """Prop.-2 omega from analytic statistics of a ``cfg``-shaped model.
+
+    Weight max-magnitude follows the Gaussian extreme-value estimate
+    ``amax = std * sqrt(2 ln N)``; activation variance grows linearly with
+    depth (the residual stream accumulates), matching Table 1's finding
+    that *later* layers are more quantization-sensitive.
+    """
+    t0 = time.perf_counter()
+    rng = np.random.default_rng(seed)
+    g_fn = g_deterministic if rounding == "deterministic" else g_stochastic
+    ops = cfg.layer_shape.operators
+    L = cfg.num_layers
+
+    omega = np.zeros((L, len(bits)))
+    for i in range(L):
+        act_var = act_var_base * (1.0 + act_var_growth * i)
+        act_var *= rng.uniform(0.9, 1.1)  # layer-to-layer jitter
+        g = g_fn(ActivationStats(mean=0.0, var=act_var))
+        for d_w, cols in ops.values():
+            n = d_w * cols
+            amax = weight_std * np.sqrt(2.0 * np.log(max(n, 2)))
+            for j, b in enumerate(bits):
+                if b >= 16:
+                    continue
+                scale = amax / qmax_for_bits(b)
+                omega[i, j] += d_w * scale**2 * g
+    omega = _zero_fp16_column(omega, bits)
+    return IndicatorTable(
+        omega=omega, bits=bits, method="synthetic-variance",
+        overhead_seconds=time.perf_counter() - t0,
+    )

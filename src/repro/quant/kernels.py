@@ -1,0 +1,125 @@
+"""Quantized linear "kernels": packed storage + numerically real execution.
+
+The runtime executes plans on simulated devices, but the *numerics* are
+real: a :class:`QuantizedLinear` stores bit-packed integer codes exactly
+as a serving kernel would (4-bit nibbles, 3-bit fields, 8-bit bytes) and
+dequantizes on the fly at matmul time.  The packed byte counts feed the
+memory bookkeeping; the dequantize-matmul path feeds the quality
+measurements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .quantizer import QuantizedTensor, qmax_for_bits
+
+__all__ = ["pack_codes", "unpack_codes", "QuantizedLinear"]
+
+
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Bit-pack signed integer codes into a uint8 buffer.
+
+    Codes are biased to unsigned (``code + qmax``) then written little-
+    endian into a flat bitstream.  Works for any ``bits <= 8``; 16-bit
+    tensors are stored as int16 directly and never hit this path.
+    """
+    if bits > 8:
+        raise ValueError("pack_codes handles bits <= 8")
+    qmax = qmax_for_bits(bits)
+    flat = (codes.astype(np.int32).ravel() + qmax).astype(np.uint32)
+    if np.any(flat >> bits):
+        raise ValueError("codes out of range for bitwidth")
+    n = flat.size
+    total_bits = n * bits
+    out = np.zeros((total_bits + 7) // 8, dtype=np.uint8)
+    positions = np.arange(n, dtype=np.int64) * bits
+    for offset in range(bits):
+        bitpos = positions + offset
+        byte_idx = bitpos >> 3
+        bit_in_byte = bitpos & 7
+        bit_vals = ((flat >> offset) & 1).astype(np.uint8)
+        np.bitwise_or.at(out, byte_idx, (bit_vals << bit_in_byte).astype(np.uint8))
+    return out
+
+
+def unpack_codes(packed: np.ndarray, bits: int, size: int) -> np.ndarray:
+    """Inverse of :func:`pack_codes`; returns signed int16 codes."""
+    if bits > 8:
+        raise ValueError("unpack_codes handles bits <= 8")
+    qmax = qmax_for_bits(bits)
+    positions = np.arange(size, dtype=np.int64) * bits
+    vals = np.zeros(size, dtype=np.uint32)
+    for offset in range(bits):
+        bitpos = positions + offset
+        byte_idx = bitpos >> 3
+        bit_in_byte = bitpos & 7
+        bit = (packed[byte_idx] >> bit_in_byte) & 1
+        vals |= bit.astype(np.uint32) << offset
+    return (vals.astype(np.int32) - qmax).astype(np.int16)
+
+
+@dataclass
+class QuantizedLinear:
+    """A dense layer held in packed quantized form.
+
+    16-bit layers skip packing and keep the float weights.  ``forward``
+    computes ``x @ W_hat + b`` where ``W_hat`` is the dequantized weight —
+    numerically identical to what a real weight-only kernel produces.
+    """
+
+    shape: tuple[int, int]
+    bits: int
+    packed: np.ndarray | None
+    scale: np.ndarray | None
+    bias: np.ndarray | None
+    fp_weight: np.ndarray | None = None
+
+    @classmethod
+    def from_float(cls, w: np.ndarray, bias: np.ndarray | None, bits: int) -> "QuantizedLinear":
+        """Quantize + bit-pack a float weight into kernel storage."""
+        w = np.asarray(w, dtype=np.float64)
+        if bits >= 16:
+            return cls(shape=w.shape, bits=16, packed=None, scale=None,
+                       bias=bias, fp_weight=w)
+        from .quantizer import QuantConfig, quantize
+
+        qt = quantize(w, QuantConfig(bits=bits))
+        if bits <= 8:
+            packed = pack_codes(qt.codes, bits)
+        else:
+            packed = qt.codes.astype(np.int16).view(np.uint8)
+        return cls(shape=w.shape, bits=bits, packed=packed, scale=qt.scale, bias=bias)
+
+    @classmethod
+    def from_quantized(cls, qt: QuantizedTensor, bias: np.ndarray | None) -> "QuantizedLinear":
+        """Wrap an existing quantized tensor (e.g. GPTQ output)."""
+        packed = pack_codes(qt.codes, qt.bits) if qt.bits <= 8 else None
+        return cls(shape=qt.shape, bits=qt.bits, packed=packed, scale=qt.scale, bias=bias)
+
+    @property
+    def weight_nbytes(self) -> int:
+        """Actual bytes held for the weight (packed codes or FP16)."""
+        if self.bits >= 16:
+            return int(np.prod(self.shape)) * 2
+        assert self.packed is not None
+        meta = 0 if self.scale is None else self.scale.size * 2
+        return int(self.packed.nbytes) + meta
+
+    def dequantized(self) -> np.ndarray:
+        """Reconstruct the float weight from packed codes (the kernel math)."""
+        if self.bits >= 16:
+            assert self.fp_weight is not None
+            return self.fp_weight
+        assert self.packed is not None and self.scale is not None
+        codes = unpack_codes(self.packed, self.bits, int(np.prod(self.shape)))
+        return codes.reshape(self.shape).astype(np.float64) * self.scale
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """``x @ W_hat + b`` exactly as a weight-only serving kernel computes."""
+        y = x @ self.dequantized()
+        if self.bias is not None:
+            y = y + self.bias
+        return y

@@ -1,0 +1,148 @@
+"""Symmetric weight quantization with deterministic / stochastic rounding.
+
+Implements the paper's Sec. 2.4 quantizer: the weight range is split into
+``2^b - 1`` uniform bins around zero, each value is mapped to an integer
+code ``q = round((w - z) / s)`` and reconstructed as ``ŵ = q * s + z``.
+Symmetric quantization fixes ``z = 0``.
+
+Two rounding modes (Sec. 4.2 / Theorem 1):
+
+* ``deterministic`` — round-to-nearest;
+* ``stochastic`` — round up with probability equal to the fractional part,
+  giving an *unbiased* estimate of the weight.
+
+Granularity is per output channel (one scale per column) by default,
+matching GPTQ-style serving kernels, or per tensor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+__all__ = [
+    "QuantConfig",
+    "QuantizedTensor",
+    "quantize",
+    "dequantize",
+    "quantize_dequantize",
+    "qmax_for_bits",
+]
+
+Rounding = Literal["deterministic", "stochastic"]
+Granularity = Literal["per_channel", "per_tensor"]
+
+
+def qmax_for_bits(bits: int) -> int:
+    """Largest positive integer code of a signed ``bits``-wide format."""
+    if bits < 2 or bits > 16:
+        raise ValueError(f"bits must be in [2, 16], got {bits}")
+    return 2 ** (bits - 1) - 1
+
+
+@dataclass(frozen=True)
+class QuantConfig:
+    """Quantization recipe for one tensor."""
+
+    bits: int
+    rounding: Rounding = "deterministic"
+    granularity: Granularity = "per_channel"
+
+    def __post_init__(self) -> None:
+        qmax_for_bits(self.bits)  # validates bits
+        if self.rounding not in ("deterministic", "stochastic"):
+            raise ValueError(f"unknown rounding {self.rounding!r}")
+        if self.granularity not in ("per_channel", "per_tensor"):
+            raise ValueError(f"unknown granularity {self.granularity!r}")
+
+
+@dataclass(frozen=True)
+class QuantizedTensor:
+    """A quantized weight: integer codes + reconstruction metadata.
+
+    ``codes`` has the original shape with dtype ``int16`` (wide enough for
+    any supported bitwidth); ``scale`` broadcasts against ``codes``.
+    """
+
+    codes: np.ndarray
+    scale: np.ndarray
+    bits: int
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        """Original tensor shape."""
+        return self.codes.shape
+
+    @property
+    def nbytes_packed(self) -> float:
+        """Bytes after ideal bit-packing (codes only, excl. metadata)."""
+        return self.codes.size * self.bits / 8.0
+
+    def dequantize(self) -> np.ndarray:
+        """Reconstruct floats from codes and scales."""
+        return self.codes.astype(np.float64) * self.scale
+
+
+def _scales(w: np.ndarray, cfg: QuantConfig) -> np.ndarray:
+    qmax = qmax_for_bits(cfg.bits)
+    if cfg.granularity == "per_tensor":
+        amax = np.abs(w).max()
+        amax = amax if amax > 0 else 1.0
+        return np.asarray(amax / qmax)
+    # per output channel: one scale per column of a (in, out) matrix
+    amax = np.abs(w).max(axis=0, keepdims=True)
+    amax = np.where(amax > 0, amax, 1.0)
+    return amax / qmax
+
+
+def quantize(
+    w: np.ndarray,
+    cfg: QuantConfig,
+    *,
+    rng: np.random.Generator | None = None,
+) -> QuantizedTensor:
+    """Quantize ``w`` to integer codes.
+
+    Stochastic rounding requires ``rng``; deterministic mode ignores it.
+    """
+    w = np.asarray(w, dtype=np.float64)
+    if w.ndim not in (1, 2):
+        raise ValueError("quantize expects a vector or matrix")
+    scale = _scales(w, cfg)
+    x = w / scale
+    qmax = qmax_for_bits(cfg.bits)
+    if cfg.rounding == "deterministic":
+        q = np.rint(x)
+    else:
+        if rng is None:
+            raise ValueError("stochastic rounding needs an rng")
+        lo = np.floor(x)
+        frac = x - lo
+        q = lo + (rng.random(x.shape) < frac)
+    q = np.clip(q, -qmax, qmax).astype(np.int16)
+    return QuantizedTensor(codes=q, scale=np.asarray(scale), bits=cfg.bits)
+
+
+def dequantize(qt: QuantizedTensor) -> np.ndarray:
+    """Functional alias of :meth:`QuantizedTensor.dequantize`."""
+    return qt.dequantize()
+
+
+def quantize_dequantize(
+    w: np.ndarray,
+    bits: int,
+    *,
+    rounding: Rounding = "deterministic",
+    granularity: Granularity = "per_channel",
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Round-trip a weight through quantization (a 'fake-quant' pass).
+
+    16-bit is treated as lossless passthrough, as in the serving stack.
+    """
+    if bits >= 16:
+        return np.asarray(w, dtype=np.float64)
+    cfg = QuantConfig(bits=bits, rounding=rounding, granularity=granularity)
+    return quantize(w, cfg, rng=rng).dequantize()

@@ -1,0 +1,23 @@
+"""Distributed serving runtime: master engine, stage workers, loaders."""
+
+from .engine import PipelineRuntime, RuntimeStats
+from .kvcache import StageKVManager
+from .loader import LoadTimeline, StageLoad, load_stage_weights, simulate_loading
+from .messages import ActivationMessage, MergeMessage, ShutdownMessage
+from .microbatch import MicroBatchManager
+from .worker import StageWorker
+
+__all__ = [
+    "PipelineRuntime",
+    "RuntimeStats",
+    "StageKVManager",
+    "StageLoad",
+    "load_stage_weights",
+    "LoadTimeline",
+    "simulate_loading",
+    "ActivationMessage",
+    "MergeMessage",
+    "ShutdownMessage",
+    "MicroBatchManager",
+    "StageWorker",
+]

@@ -1,0 +1,270 @@
+"""Master engine: drives a real pipelined generative-serving run.
+
+The :class:`PipelineRuntime` executes an :class:`~repro.core.plan.
+ExecutionPlan` on actual NumPy compute: stage workers (threads) hold the
+plan's quantized shards, the master handles pre/post-processing
+(embedding lookup, final layer norm + logit projection, token sampling)
+and the hybrid micro-batch schedule — prefill micro-batches flow through
+the pipeline concurrently, then merge into larger decode groups exactly
+as the assigner planned.
+
+Because the computation is real, a runtime run on a tiny model can be
+checked token-for-token against the single-process reference
+(:func:`repro.models.generation.generate`), which is what the
+integration tests do.
+"""
+
+from __future__ import annotations
+
+import queue
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.plan import ExecutionPlan
+from ..models.registry import get_model
+from ..models.transformer import TinyDecoderLM
+from .loader import StageLoad, load_stage_weights
+from .messages import ActivationMessage, MergeMessage, ShutdownMessage
+from .worker import StageWorker
+
+__all__ = ["RuntimeStats", "PipelineRuntime"]
+
+
+@dataclass
+class RuntimeStats:
+    """Wall-clock accounting of one :meth:`PipelineRuntime.generate`."""
+
+    prefill_seconds: float = 0.0
+    decode_seconds: float = 0.0
+    prefill_microbatches: int = 0
+    decode_groups: int = 0
+    tokens_generated: int = 0
+
+    @property
+    def total_seconds(self) -> float:
+        """Prefill + decode wall-clock."""
+        return self.prefill_seconds + self.decode_seconds
+
+
+class PipelineRuntime:
+    """Thread-pipelined executor for tiny models.
+
+    Parameters
+    ----------
+    reference:
+        Full-precision model providing weights + embedding tables.  The
+        loader quantizes each stage's slice per the plan.
+    plan:
+        The assigner's output.  ``plan.model_name`` must match the
+        reference's config.
+    """
+
+    def __init__(self, reference: TinyDecoderLM, plan: ExecutionPlan) -> None:
+        cfg = get_model(plan.model_name)
+        if cfg != reference.cfg:
+            raise ValueError("plan and reference model configs differ")
+        self.cfg = cfg
+        self.reference = reference
+        self.plan = plan
+
+        # prepared (quantized) shard weights are cached so that failure
+        # recovery does not pay the quantization cost again — the point
+        # of the paper's on-the-fly loader (Sec. 5)
+        self._loads: list[StageLoad] = []
+        offset = 0
+        for stage in plan.stages:
+            indices = list(range(offset, offset + stage.num_layers))
+            offset += stage.num_layers
+            self._loads.append(
+                load_stage_weights(reference, indices, stage.layer_bits)
+            )
+        self.queues: list[queue.Queue] = []
+        self.workers: list[StageWorker] = []
+        self._build_pipeline()
+        self._alive = True
+        self.stats = RuntimeStats()
+
+    def _build_pipeline(self) -> None:
+        self.queues = [queue.Queue() for _ in range(self.plan.num_stages + 1)]
+        self.workers = [
+            StageWorker(j, self.cfg, load, self.queues[j], self.queues[j + 1])
+            for j, load in enumerate(self._loads)
+        ]
+        for w in self.workers:
+            w.start()
+
+    def recover(self) -> None:
+        """Rebuild the pipeline after a stage failure.
+
+        Dead workers are discarded, live ones shut down, and fresh
+        workers are started from the *cached* quantized shards — KV state
+        is lost (the in-flight batch must be re-served), but weight
+        preparation is skipped, which is the recovery-speed win the
+        paper's loading plugin claims.
+        """
+        for j, w in enumerate(self.workers):
+            if w.is_alive():
+                self.queues[j].put(ShutdownMessage())
+        for w in self.workers:
+            w.join(timeout=5.0)
+        self._build_pipeline()
+        self._alive = True
+
+    # ------------------------------------------------------------------
+    @property
+    def head(self) -> queue.Queue:
+        """Inbound queue of the first stage."""
+        return self.queues[0]
+
+    @property
+    def tail(self) -> queue.Queue:
+        """Outbound queue of the last stage."""
+        return self.queues[-1]
+
+    def _collect(self, count: int, timeout: float = 60.0) -> dict[int, ActivationMessage]:
+        out: dict[int, ActivationMessage] = {}
+        deadline = time.monotonic() + timeout
+        while len(out) < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError("pipeline stalled")
+            msg = self.tail.get(timeout=remaining)
+            if isinstance(msg, ShutdownMessage):
+                self._raise_worker_error()
+                raise RuntimeError("pipeline shut down unexpectedly")
+            if isinstance(msg, MergeMessage):
+                continue  # merge acks surface here, ignore
+            out[msg.microbatch_id] = msg
+        return out
+
+    def _raise_worker_error(self) -> None:
+        for w in self.workers:
+            if w.error is not None:
+                raise RuntimeError(f"stage {w.stage_idx} failed") from w.error
+
+    def _logits_last(self, hidden: np.ndarray) -> np.ndarray:
+        """Master post-processing: final LN + tied LM head, last position."""
+        return self.reference._logits(hidden[:, -1:])[:, 0]
+
+    # ------------------------------------------------------------------
+    def generate(
+        self, prompts: np.ndarray, num_tokens: int, *, greedy: bool = True, seed: int = 0
+    ) -> np.ndarray:
+        """Serve one offline batch; returns ``(batch, num_tokens)`` ids."""
+        if not self._alive:
+            raise RuntimeError("runtime already shut down")
+        prompts = np.asarray(prompts)
+        batch, s = prompts.shape
+        if num_tokens <= 0:
+            raise ValueError("num_tokens must be positive")
+        rng = np.random.default_rng(seed)
+        mb_p = min(self.plan.prefill_microbatch, batch)
+        mb_d = min(self.plan.decode_microbatch, batch)
+
+        # ---------------- prefill (all units in flight at once) --------
+        t0 = time.perf_counter()
+        unit_slices: list[slice] = []
+        for uid, lo in enumerate(range(0, batch, mb_p)):
+            sl = slice(lo, min(lo + mb_p, batch))
+            unit_slices.append(sl)
+            x = self.reference._embed(prompts[sl], 0)
+            self.head.put(
+                ActivationMessage(
+                    microbatch_id=uid, phase="prefill", start=0,
+                    hidden=x, reserve=num_tokens,
+                )
+            )
+        outs = self._collect(len(unit_slices))
+        tokens = np.empty((batch, num_tokens), dtype=np.int64)
+        current = np.empty(batch, dtype=np.int64)
+        for uid, sl in enumerate(unit_slices):
+            logits = self._logits_last(outs[uid].hidden)
+            current[sl] = _pick(logits, greedy, rng)
+        tokens[:, 0] = current
+        self.stats.prefill_seconds += time.perf_counter() - t0
+        self.stats.prefill_microbatches += len(unit_slices)
+
+        # ---------------- regroup for decode ---------------------------
+        t1 = time.perf_counter()
+        units_per_group = max(1, mb_d // mb_p)
+        groups: list[tuple[int, slice]] = []
+        gid_base = 10_000  # distinct id space for merged groups
+        uid = 0
+        g = 0
+        while uid < len(unit_slices):
+            members = tuple(range(uid, min(uid + units_per_group, len(unit_slices))))
+            lo = unit_slices[members[0]].start
+            hi = unit_slices[members[-1]].stop
+            gid = gid_base + g
+            self.head.put(MergeMessage(group_id=gid, member_ids=members))
+            groups.append((gid, slice(lo, hi)))
+            uid += units_per_group
+            g += 1
+        # wait for merge acks to clear the pipe (they arrive at the tail)
+        acks = 0
+        while acks < len(groups):
+            msg = self.tail.get(timeout=60.0)
+            if isinstance(msg, ShutdownMessage):
+                self._raise_worker_error()
+                raise RuntimeError("pipeline shut down unexpectedly")
+            if isinstance(msg, MergeMessage):
+                acks += 1
+        self.stats.decode_groups = len(groups)
+
+        # ---------------- decode loop -----------------------------------
+        for step in range(1, num_tokens):
+            start = s + step - 1
+            for gid, sl in groups:
+                x = self.reference._embed(current[sl].reshape(-1, 1), start)
+                self.head.put(
+                    ActivationMessage(
+                        microbatch_id=gid, phase="decode", start=start, hidden=x
+                    )
+                )
+            outs = self._collect(len(groups))
+            for gid, sl in groups:
+                logits = self._logits_last(outs[gid].hidden)
+                current[sl] = _pick(logits, greedy, rng)
+            tokens[:, step] = current
+        self.stats.decode_seconds += time.perf_counter() - t1
+        self.stats.tokens_generated += batch * num_tokens
+
+        # free decode groups for the next batch
+        for w in self.workers:
+            w.kv.free_all()
+        return tokens
+
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        """Stop all stage workers and drain the pipeline (idempotent)."""
+        if not self._alive:
+            return
+        self.head.put(ShutdownMessage())
+        # the shutdown message propagates to the tail when all stages exit
+        try:
+            while True:
+                msg = self.tail.get(timeout=10.0)
+                if isinstance(msg, ShutdownMessage):
+                    break
+        except queue.Empty:  # pragma: no cover - defensive
+            pass
+        for w in self.workers:
+            w.join(timeout=5.0)
+        self._alive = False
+
+    def __enter__(self) -> "PipelineRuntime":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def _pick(logits: np.ndarray, greedy: bool, rng: np.random.Generator) -> np.ndarray:
+    if greedy:
+        return logits.argmax(axis=-1)
+    z = logits - logits.max(axis=-1, keepdims=True)
+    p = np.exp(z)
+    p /= p.sum(axis=-1, keepdims=True)
+    return np.array([rng.choice(p.shape[1], p=row) for row in p])

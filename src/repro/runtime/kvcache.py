@@ -1,0 +1,84 @@
+"""Per-stage KV-cache management.
+
+Each stage worker owns one :class:`StageKVCache` per live cache unit
+(prefill micro-batch or merged decode group), pre-allocated at ``s + n``
+slots exactly like the paper's runtime (Sec. 5: pre-allocated KV cache).
+The manager also keeps a byte ledger so tests can assert the runtime's
+peak KV memory matches the analytical cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.transformer import KVCache
+
+__all__ = ["StageKVManager"]
+
+
+@dataclass
+class StageKVManager:
+    """Allocates, merges and frees KV caches for one pipeline stage."""
+
+    num_layers: int
+    hidden_size: int
+    caches: dict[int, KVCache] = field(default_factory=dict)
+    peak_bytes: float = 0.0
+
+    def _track(self) -> None:
+        self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+
+    @property
+    def current_bytes(self) -> float:
+        """Live KV bytes across all cache units."""
+        return float(
+            sum(c.k.nbytes + c.v.nbytes for c in self.caches.values())
+        )
+
+    def allocate(self, unit_id: int, batch: int, max_len: int) -> KVCache:
+        """Pre-allocate a cache unit (idempotent per id)."""
+        if unit_id in self.caches:
+            return self.caches[unit_id]
+        cache = KVCache.allocate(self.num_layers, batch, max_len, self.hidden_size)
+        self.caches[unit_id] = cache
+        self._track()
+        return cache
+
+    def get(self, unit_id: int) -> KVCache:
+        """Fetch a unit's cache; KeyError if never allocated."""
+        try:
+            return self.caches[unit_id]
+        except KeyError:
+            raise KeyError(f"no KV cache for unit {unit_id}") from None
+
+    def merge(self, group_id: int, member_ids: tuple[int, ...]) -> KVCache:
+        """Concatenate member units along the batch axis into one group.
+
+        All members must be at the same fill ``length`` (they are — the
+        offline task pads prompts to a uniform ``s``).  Members are freed
+        after merging, so peak memory is ~2x the group transiently, which
+        the ledger records faithfully.
+        """
+        members = [self.get(m) for m in member_ids]
+        lengths = {m.length for m in members}
+        if len(lengths) != 1:
+            raise ValueError(f"cannot merge units at different lengths: {lengths}")
+        k = np.concatenate([m.k for m in members], axis=1)
+        v = np.concatenate([m.v for m in members], axis=1)
+        merged = KVCache(k=k, v=v, length=members[0].length)
+        self.caches[group_id] = merged
+        self._track()
+        for m in member_ids:
+            if m != group_id:
+                del self.caches[m]
+        return merged
+
+    def free(self, unit_id: int) -> None:
+        """Drop one unit (idempotent)."""
+        self.caches.pop(unit_id, None)
+
+    def free_all(self) -> None:
+        """Drop every unit (between batches)."""
+        self.caches.clear()

@@ -1,0 +1,58 @@
+"""Messages exchanged between the master engine and stage workers.
+
+The wire protocol mirrors the paper's runtime (Fig. 6): hidden-state
+activations flow stage to stage; the master injects embedded prompts and
+receives final hidden states to turn into logits; control messages merge
+prefill micro-batches into decode groups (hybrid micro-batch sizing) and
+shut the pipeline down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+__all__ = ["ActivationMessage", "MergeMessage", "ShutdownMessage"]
+
+
+@dataclass
+class ActivationMessage:
+    """A micro-batch's hidden states entering a stage.
+
+    Attributes
+    ----------
+    microbatch_id:
+        Cache-unit id (prefill micro-batch id, or merged group id after a
+        :class:`MergeMessage`).
+    phase:
+        ``"prefill"`` or ``"decode"``.
+    start:
+        Absolute position of the first token in ``hidden`` (0 for
+        prefill, current context length for decode steps).
+    hidden:
+        ``(batch, q, hidden_size)`` activations.
+    reserve:
+        KV slots to pre-allocate on first contact (prefill only).
+    """
+
+    microbatch_id: int
+    phase: Literal["prefill", "decode"]
+    start: int
+    hidden: np.ndarray
+    reserve: int = 0
+
+
+@dataclass
+class MergeMessage:
+    """Merge prefill cache units into one decode group (regrouping step
+    of the hybrid micro-batch sizing)."""
+
+    group_id: int
+    member_ids: tuple[int, ...]
+
+
+@dataclass
+class ShutdownMessage:
+    """Propagates through the pipeline, stopping each worker in turn."""

@@ -1,0 +1,100 @@
+"""Pipeline stage worker.
+
+Each worker is a thread owning one model shard (its layers already
+quantized by the loader) and a KV manager.  It consumes activation
+messages from its inbound queue, runs its decoder blocks with the exact
+same :func:`~repro.models.transformer.decoder_block` computation as the
+reference model, and forwards the result — the runtime therefore
+*executes* plans rather than merely costing them, and its outputs are
+bit-for-bit comparable against a single-process run.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+
+from ..models.config import ModelConfig
+from ..models.transformer import decoder_block
+from .kvcache import StageKVManager
+from .loader import StageLoad
+from .messages import ActivationMessage, MergeMessage, ShutdownMessage
+
+__all__ = ["StageWorker"]
+
+
+class StageWorker(threading.Thread):
+    """One pipeline stage running on its own thread.
+
+    Parameters
+    ----------
+    stage_idx:
+        Position in the pipeline (0-based).
+    cfg:
+        Model architecture.
+    load:
+        The shard's prepared (quantized) weights.
+    inbound / outbound:
+        Message queues toward the previous / next hop.
+    """
+
+    def __init__(
+        self,
+        stage_idx: int,
+        cfg: ModelConfig,
+        load: StageLoad,
+        inbound: "queue.Queue",
+        outbound: "queue.Queue",
+    ) -> None:
+        super().__init__(name=f"stage-{stage_idx}", daemon=True)
+        self.stage_idx = stage_idx
+        self.cfg = cfg
+        self.load = load
+        self.inbound = inbound
+        self.outbound = outbound
+        self.kv = StageKVManager(
+            num_layers=len(load.layers), hidden_size=cfg.hidden_size
+        )
+        self.processed_messages = 0
+        self.error: BaseException | None = None
+
+    # ------------------------------------------------------------------
+    def _process(self, msg: ActivationMessage) -> ActivationMessage:
+        if msg.phase == "prefill":
+            cache = self.kv.allocate(
+                msg.microbatch_id,
+                batch=msg.hidden.shape[0],
+                max_len=msg.hidden.shape[1] + msg.reserve,
+            )
+        else:
+            cache = self.kv.get(msg.microbatch_id)
+        x = msg.hidden
+        for li, lw in enumerate(self.load.layers):
+            x = decoder_block(self.cfg, lw, x, cache, li, msg.start)
+        cache.length = msg.start + msg.hidden.shape[1]
+        return ActivationMessage(
+            microbatch_id=msg.microbatch_id,
+            phase=msg.phase,
+            start=msg.start,
+            hidden=x,
+            reserve=msg.reserve,
+        )
+
+    def run(self) -> None:  # pragma: no cover - exercised via engine tests
+        """Message loop: process activations until shutdown or failure."""
+        try:
+            while True:
+                msg = self.inbound.get()
+                if isinstance(msg, ShutdownMessage):
+                    self.outbound.put(msg)
+                    return
+                if isinstance(msg, MergeMessage):
+                    self.kv.merge(msg.group_id, msg.member_ids)
+                    self.outbound.put(msg)
+                    continue
+                out = self._process(msg)
+                self.processed_messages += 1
+                self.outbound.put(out)
+        except BaseException as exc:  # surface worker crashes to the master
+            self.error = exc
+            self.outbound.put(ShutdownMessage())

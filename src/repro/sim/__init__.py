@@ -1,0 +1,63 @@
+"""Simulation substrate: kernels, pipeline, offloading, quality."""
+
+from .kernels import (
+    KERNELS_PER_LAYER,
+    embedding_exec_time,
+    layer_exec_time,
+    layer_exec_times_decode_sweep,
+    layer_memory_traffic,
+)
+from .comm import activation_bytes, boundary_links, stage_comm_time
+from .pipeline import PipelineResult, StageReport, simulate_pipeline
+from .events import ScheduleResult, Task, simulate_task_graph
+from .pipeline_des import DESResult, simulate_pipeline_des
+from .online import (
+    OnlineRequest,
+    OnlineResult,
+    max_admissible_batch,
+    sample_poisson_trace,
+    simulate_online,
+)
+from .offload import OffloadResult, simulate_offload
+from .quality import (
+    QUALITY_ANCHORS,
+    QualityAnchors,
+    QualityModel,
+    measure_kl_tiny,
+    measure_ppl_tiny,
+    plan_accuracy,
+    plan_perplexity,
+)
+
+__all__ = [
+    "layer_exec_time",
+    "layer_exec_times_decode_sweep",
+    "embedding_exec_time",
+    "layer_memory_traffic",
+    "KERNELS_PER_LAYER",
+    "activation_bytes",
+    "stage_comm_time",
+    "boundary_links",
+    "PipelineResult",
+    "StageReport",
+    "simulate_pipeline",
+    "Task",
+    "ScheduleResult",
+    "simulate_task_graph",
+    "DESResult",
+    "simulate_pipeline_des",
+    "OnlineRequest",
+    "OnlineResult",
+    "sample_poisson_trace",
+    "max_admissible_batch",
+    "simulate_online",
+    "OffloadResult",
+    "simulate_offload",
+    "QualityAnchors",
+    "QUALITY_ANCHORS",
+    "QualityModel",
+    "plan_perplexity",
+    "plan_accuracy",
+    "measure_ppl_tiny",
+    "measure_kl_tiny",
+]

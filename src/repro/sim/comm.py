@@ -1,0 +1,40 @@
+"""Inter-stage communication costs.
+
+Pipeline parallelism moves exactly one hidden-state tensor per micro-batch
+across each stage boundary: ``(microbatch, q, hidden)`` FP16 activations
+(``q = s`` during prefill, ``q = 1`` during decode).  The final stage also
+returns the sampled token ids to the master, which re-embeds them — both
+tiny messages charged via the link's alpha term.
+"""
+
+from __future__ import annotations
+
+from ..hardware.cluster import Cluster, Device
+from ..hardware.interconnect import Link
+from ..models.config import ModelConfig
+
+__all__ = ["activation_bytes", "stage_comm_time", "boundary_links"]
+
+ACT_BYTES = 2.0
+
+
+def activation_bytes(cfg: ModelConfig, microbatch: int, q: int) -> float:
+    """Bytes of the hidden-state tensor crossing a stage boundary."""
+    return microbatch * q * cfg.hidden_size * ACT_BYTES
+
+
+def stage_comm_time(link: Link, cfg: ModelConfig, microbatch: int, q: int) -> float:
+    """Seconds to ship one micro-batch's activations across ``link``."""
+    return link.transfer_time(activation_bytes(cfg, microbatch, q))
+
+
+def boundary_links(cluster: Cluster, devices: list[Device]) -> list[Link]:
+    """Link crossed after each stage ``j`` (j -> j+1); last entry is the
+    token feedback path from the tail device back to the head (the master
+    loop of Fig. 6)."""
+    links = [
+        cluster.link_between(devices[j], devices[j + 1])
+        for j in range(len(devices) - 1)
+    ]
+    links.append(cluster.link_between(devices[-1], devices[0]))
+    return links

@@ -1,0 +1,164 @@
+"""Discrete-event task-graph scheduler.
+
+The analytic pipeline formulas in :mod:`repro.sim.pipeline` model
+micro-batch pipelining with closed forms (GPipe fill/drain, per-token
+barriers).  This module provides the exact counterpart: a dependency
+graph of tasks bound to exclusive resources (devices, links), executed
+by an event-driven scheduler.  :mod:`repro.sim.pipeline_des` builds the
+serving task graph from a plan and the validation tests check the closed
+forms against the event-driven makespan.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Mapping
+
+__all__ = ["Task", "ScheduleResult", "simulate_task_graph"]
+
+TaskId = Hashable
+
+
+@dataclass(frozen=True)
+class Task:
+    """One unit of work.
+
+    Attributes
+    ----------
+    task_id:
+        Unique hashable id.
+    duration:
+        Seconds of exclusive use of ``resource``.
+    resource:
+        The device/link this task occupies; tasks sharing a resource
+        serialize.
+    deps:
+        Task ids that must finish before this one may start.
+    priority:
+        Tie-breaker when several ready tasks contend for one resource
+        (lower runs first) — pipeline schedules use (token, microbatch).
+    """
+
+    task_id: TaskId
+    duration: float
+    resource: Hashable
+    deps: tuple[TaskId, ...] = ()
+    priority: tuple = ()
+
+    def __post_init__(self) -> None:
+        if self.duration < 0:
+            raise ValueError("duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class ScheduleResult:
+    """Outcome of an event-driven execution."""
+
+    finish_times: Mapping[TaskId, float]
+    makespan: float
+    resource_busy: Mapping[Hashable, float]
+
+    def utilization(self, resource: Hashable) -> float:
+        """Busy fraction of ``resource`` over the makespan."""
+        if self.makespan <= 0:
+            return 0.0
+        return self.resource_busy.get(resource, 0.0) / self.makespan
+
+
+def simulate_task_graph(tasks: Iterable[Task]) -> ScheduleResult:
+    """Event-driven execution of a task DAG over exclusive resources.
+
+    Greedy non-idling policy: whenever a resource is free and has ready
+    tasks, it runs the one with the smallest ``priority`` (then id order
+    for determinism).  Raises on unknown dependencies or cycles.
+    """
+    tasks = list(tasks)
+    by_id: dict[TaskId, Task] = {}
+    for t in tasks:
+        if t.task_id in by_id:
+            raise ValueError(f"duplicate task id {t.task_id!r}")
+        by_id[t.task_id] = t
+    indeg: dict[TaskId, int] = {}
+    dependents: dict[TaskId, list[TaskId]] = {}
+    for t in tasks:
+        indeg[t.task_id] = len(t.deps)
+        for d in t.deps:
+            if d not in by_id:
+                raise ValueError(f"task {t.task_id!r} depends on unknown {d!r}")
+            dependents.setdefault(d, []).append(t.task_id)
+
+    # per-resource ready queues (priority, seq, task_id)
+    ready: dict[Hashable, list] = {}
+    seq = 0
+
+    def push_ready(tid: TaskId, _seq: list[int] = [0]) -> None:
+        t = by_id[tid]
+        _seq[0] += 1
+        heapq.heappush(
+            ready.setdefault(t.resource, []), (t.priority, _seq[0], tid)
+        )
+
+    for t in tasks:
+        if indeg[t.task_id] == 0:
+            push_ready(t.task_id)
+
+    resource_free_at: dict[Hashable, float] = {}
+    resource_busy: dict[Hashable, float] = {}
+    finish: dict[TaskId, float] = {}
+    dep_ready_at: dict[TaskId, float] = {t.task_id: 0.0 for t in tasks}
+
+    # event loop: (time, kind, resource) — kind 0 = resource free
+    events: list[tuple[float, int]] = []
+    now = 0.0
+    completed = 0
+    # process until all tasks done: at each step, start every startable
+    # task; then advance time to the next completion
+    running: list[tuple[float, TaskId]] = []  # (finish_time, task)
+    while completed < len(tasks):
+        started_any = True
+        while started_any:
+            started_any = False
+            for res, queue_ in list(ready.items()):
+                if not queue_:
+                    continue
+                free_at = resource_free_at.get(res, 0.0)
+                if free_at > now:
+                    continue
+                # among ready tasks, the scheduler may only start those
+                # whose dependencies finished by `now`
+                startable = [
+                    entry for entry in queue_ if dep_ready_at[entry[2]] <= now
+                ]
+                if not startable:
+                    continue
+                entry = min(startable)
+                queue_.remove(entry)
+                heapq.heapify(queue_)
+                tid = entry[2]
+                t = by_id[tid]
+                end = now + t.duration
+                resource_free_at[res] = end
+                resource_busy[res] = resource_busy.get(res, 0.0) + t.duration
+                heapq.heappush(running, (end, tid))
+                started_any = True
+        if completed + len(running) < len(tasks) and not running:
+            raise ValueError("dependency cycle detected")
+        if not running:
+            break
+        end, tid = heapq.heappop(running)
+        now = max(now, end)
+        finish[tid] = end
+        completed += 1
+        for dep_id in dependents.get(tid, ()):  # release dependents
+            indeg[dep_id] -= 1
+            dep_ready_at[dep_id] = max(dep_ready_at[dep_id], end)
+            if indeg[dep_id] == 0:
+                push_ready(dep_id)
+
+    if completed < len(tasks):
+        raise ValueError("dependency cycle detected")
+    makespan = max(finish.values(), default=0.0)
+    return ScheduleResult(
+        finish_times=finish, makespan=makespan, resource_busy=resource_busy
+    )

@@ -1,0 +1,205 @@
+"""Online-serving extension (paper Sec. 7, "Apply to ORCA or vLLM").
+
+LLM-PQ targets the offline task, but the paper's discussion points out
+the trade-off an online deployment would face: *"there is always a
+trade-off between the speed of quantized operators and the amount of
+available memory"* — lower-precision weights free KV-cache memory, which
+raises the admissible concurrent batch, which raises throughput under
+load.  This module makes that discussion executable with a wave-based
+dynamic-batching simulator:
+
+* requests arrive by a Poisson process with ShareGPT-like lengths;
+* the server runs *waves*: each wave admits up to ``max_batch`` queued
+  requests (bounded by the plan's free KV memory), pads them to the
+  longest member prompt, and serves them with the offline pipeline
+  simulator;
+* per-request latency = completion - arrival; throughput = generated
+  tokens / makespan.
+
+It deliberately does not model iteration-level scheduling (ORCA) or
+paged KV (vLLM) — the point is the memory/precision trade-off, which
+survives either refinement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+import numpy as np
+
+from ..cost.memory import stage_memory
+from ..hardware.cluster import Cluster
+from ..models.registry import get_model
+from ..core.plan import ExecutionPlan
+from ..workload.spec import Workload
+from .pipeline import simulate_pipeline
+
+__all__ = [
+    "OnlineRequest",
+    "OnlineResult",
+    "sample_poisson_trace",
+    "max_admissible_batch",
+    "simulate_online",
+]
+
+
+@dataclass(frozen=True)
+class OnlineRequest:
+    """One request of the online stream."""
+
+    arrival: float
+    prompt_len: int
+    gen_len: int
+
+
+@dataclass(frozen=True)
+class OnlineResult:
+    """Aggregate metrics of an online run."""
+
+    completed: int
+    makespan: float
+    mean_latency: float
+    p95_latency: float
+    throughput: float  #: generated tokens per second
+    waves: int
+    mean_wave_batch: float
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        return (
+            f"{self.completed} reqs in {self.makespan:.1f}s | "
+            f"mean latency {self.mean_latency:.2f}s (p95 {self.p95_latency:.2f}) | "
+            f"{self.throughput:.1f} tok/s | "
+            f"{self.waves} waves, avg batch {self.mean_wave_batch:.1f}"
+        )
+
+
+def sample_poisson_trace(
+    rate: float,
+    duration: float,
+    *,
+    seed: int = 0,
+    max_prompt: int = 512,
+    max_gen: int = 128,
+) -> list[OnlineRequest]:
+    """Poisson arrivals with log-normal prompt/generation lengths."""
+    if rate <= 0 or duration <= 0:
+        raise ValueError("rate and duration must be positive")
+    rng = np.random.default_rng(seed)
+    out: list[OnlineRequest] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / rate)
+        if t > duration:
+            break
+        s = int(np.clip(np.exp(rng.normal(4.8, 0.8)), 8, max_prompt))
+        n = int(np.clip(np.exp(rng.normal(3.4, 0.6)), 4, max_gen))
+        out.append(OnlineRequest(arrival=t, prompt_len=s, gen_len=n))
+    return out
+
+
+def max_admissible_batch(
+    plan: ExecutionPlan,
+    *,
+    prompt_len: int,
+    gen_len: int,
+    cap: int = 256,
+) -> int:
+    """Largest concurrent batch the plan's memory headroom admits.
+
+    The Sec.-7 trade-off in one function: each stage's weights are fixed
+    by the plan's bitwidths, so the remaining memory bounds the KV cache
+    and hence the batch.  Lower-precision plans admit more requests.
+    """
+    cfg = get_model(plan.model_name)
+    kv_bits = int(plan.meta.get("kv_bits", 16))
+    best = 0
+    for b in range(1, cap + 1):
+        ok = True
+        for j, stage in enumerate(plan.stages):
+            mem = stage_memory(
+                cfg, stage.layer_bits,
+                global_batch=b, prompt_len=prompt_len, gen_len=gen_len,
+                prefill_microbatch=min(plan.prefill_microbatch, b),
+                decode_microbatch=min(plan.decode_microbatch, b),
+                is_first=(j == 0), is_last=(j == plan.num_stages - 1),
+                kv_bits=kv_bits,
+            )
+            if not mem.fits(stage.device.spec.memory_bytes):
+                ok = False
+                break
+        if not ok:
+            break
+        best = b
+    return best
+
+
+def simulate_online(
+    plan: ExecutionPlan,
+    cluster: Cluster,
+    trace: Sequence[OnlineRequest],
+    *,
+    max_batch: int | None = None,
+) -> OnlineResult:
+    """Wave-based dynamic batching of ``trace`` on ``plan``'s pipeline.
+
+    Each wave serves the queued requests (up to the admissible batch),
+    padded to the wave's longest prompt / generation — the offline
+    engine's padding discipline applied online.
+    """
+    if not trace:
+        raise ValueError("empty trace")
+    reqs = sorted(trace, key=lambda r: r.arrival)
+    if max_batch is None:
+        s_ref = max(r.prompt_len for r in reqs)
+        n_ref = max(r.gen_len for r in reqs)
+        max_batch = max_admissible_batch(plan, prompt_len=s_ref, gen_len=n_ref)
+    if max_batch <= 0:
+        return OnlineResult(
+            completed=0, makespan=float("inf"), mean_latency=float("inf"),
+            p95_latency=float("inf"), throughput=0.0, waves=0,
+            mean_wave_batch=0.0,
+        )
+
+    now = 0.0
+    i = 0
+    latencies: list[float] = []
+    total_tokens = 0
+    wave_batches: list[int] = []
+    while i < len(reqs):
+        if reqs[i].arrival > now:
+            now = reqs[i].arrival  # idle until next arrival
+        wave = [reqs[i]]
+        j = i + 1
+        while j < len(reqs) and reqs[j].arrival <= now and len(wave) < max_batch:
+            wave.append(reqs[j])
+            j += 1
+        i = j
+        s = max(r.prompt_len for r in wave)
+        n = max(r.gen_len for r in wave)
+        w = Workload(prompt_len=s, gen_len=n, global_batch=len(wave))
+        wave_plan = replace(
+            plan,
+            workload=w,
+            prefill_microbatch=min(plan.prefill_microbatch, len(wave)),
+            decode_microbatch=min(plan.decode_microbatch, len(wave)),
+        )
+        res = simulate_pipeline(wave_plan, cluster)
+        if not res.feasible:
+            raise RuntimeError("wave infeasible despite admissible batch bound")
+        now += res.total_latency
+        latencies.extend(now - r.arrival for r in wave)
+        total_tokens += w.total_generated_tokens
+        wave_batches.append(len(wave))
+
+    lat = np.array(latencies)
+    return OnlineResult(
+        completed=len(reqs),
+        makespan=now,
+        mean_latency=float(lat.mean()),
+        p95_latency=float(np.quantile(lat, 0.95)),
+        throughput=total_tokens / now,
+        waves=len(wave_batches),
+        mean_wave_batch=float(np.mean(wave_batches)),
+    )

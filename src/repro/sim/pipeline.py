@@ -1,0 +1,267 @@
+"""Pipeline-parallel generative-serving simulator.
+
+This is the reproduction's stand-in for the paper's multi-GPU testbed:
+given an :class:`~repro.core.plan.ExecutionPlan` it computes the
+end-to-end batch latency, per-phase breakdown, per-stage memory (with OOM
+detection) and token throughput.
+
+Timing model
+------------
+*Prefill* runs ``m_p = ceil(b / mb_p)`` micro-batches through the stages
+GPipe-style::
+
+    T_pre = sum_j u_j + (m_p - 1) * max_j u_j
+
+where ``u_j`` is stage ``j``'s per-micro-batch busy time (its layers at
+their bitwidths + embedding work at the head, logit projection at the
+tail, + the outbound activation transfer).
+
+*Decode* generates tokens one position at a time; micro-batch ``i``'s
+step ``k+1`` depends on its own step ``k`` (through sampling), while
+different micro-batches overlap within a step.  Per-token cycle (the
+paper's "all pipeline stages plus (mu - 1) x slowest stage" form)::
+
+    T_k = sum_j u_jk + (m_d - 1) * max_j u_jk
+
+Stage times grow with the context (KV reads), so every one of the
+``n - 1`` decode passes is costed at its true context length (vectorized
+over ``k``).
+
+Setting ``latency_model`` swaps ground-truth kernel times for cost-model
+predictions — that is the planner's view of the world, and comparing the
+two is exactly the paper's Fig. 7 experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cost.latency import LatencyModel
+from ..cost.memory import StageMemory, stage_memory
+from ..hardware.cluster import Cluster
+from ..models.registry import get_model
+from ..core.plan import ExecutionPlan
+from .comm import boundary_links, stage_comm_time
+from .kernels import (
+    embedding_exec_time,
+    layer_exec_time,
+    layer_exec_times_decode_sweep,
+)
+
+__all__ = ["StageReport", "PipelineResult", "simulate_pipeline"]
+
+
+@dataclass(frozen=True)
+class StageReport:
+    """Per-stage accounting from one simulation."""
+
+    gpu_type: str
+    num_layers: int
+    prefill_time: float  #: per-micro-batch busy time, seconds
+    decode_time_first: float  #: at context = s
+    decode_time_last: float  #: at context = s + n - 1
+    memory: StageMemory
+    capacity_bytes: float
+
+    @property
+    def fits(self) -> bool:
+        """Whether this stage's peak memory fits its device."""
+        return self.memory.fits(self.capacity_bytes)
+
+
+@dataclass(frozen=True)
+class PipelineResult:
+    """Outcome of simulating one plan on one cluster."""
+
+    plan: ExecutionPlan
+    prefill_latency: float
+    decode_latency: float
+    stage_reports: tuple[StageReport, ...]
+    oom_stages: tuple[int, ...]
+
+    @property
+    def feasible(self) -> bool:
+        """No stage ran out of memory."""
+        return not self.oom_stages
+
+    @property
+    def total_latency(self) -> float:
+        """Prefill + decode batch latency (inf when infeasible)."""
+        if not self.feasible:
+            return float("inf")
+        return self.prefill_latency + self.decode_latency
+
+    @property
+    def throughput(self) -> float:
+        """Generated tokens per second for the whole batch."""
+        t = self.total_latency
+        if not np.isfinite(t) or t <= 0:
+            return 0.0
+        return self.plan.workload.total_generated_tokens / t
+
+    @property
+    def bottleneck_stage(self) -> int:
+        """Index of the slowest prefill stage."""
+        times = [r.prefill_time for r in self.stage_reports]
+        return int(np.argmax(times))
+
+    def summary(self) -> str:
+        """One-line human-readable result."""
+        w = self.plan.workload
+        if not self.feasible:
+            return f"INFEASIBLE (OOM on stages {list(self.oom_stages)})"
+        return (
+            f"latency {self.total_latency:.2f}s "
+            f"(prefill {self.prefill_latency:.2f} + decode {self.decode_latency:.2f}) | "
+            f"throughput {self.throughput:.2f} tok/s | "
+            f"b={w.global_batch} s={w.prompt_len} n={w.gen_len}"
+        )
+
+
+def _stage_prefill_time(
+    plan: ExecutionPlan,
+    stage_idx: int,
+    latency_model: LatencyModel | None,
+) -> float:
+    cfg = get_model(plan.model_name)
+    w = plan.workload
+    stage = plan.stages[stage_idx]
+    gpu = stage.device.spec
+    mb, s = plan.prefill_microbatch, w.prompt_len
+
+    if latency_model is not None:
+        t = latency_model.predict_layers(gpu, stage.layer_bits, "prefill", mb, s, s)
+    else:
+        t = sum(
+            layer_exec_time(gpu, cfg, b, mb, s, s) for b in stage.layer_bits
+        )
+    if stage_idx == 0:
+        t += embedding_exec_time(gpu, cfg, mb, s, with_logits=False)
+    if stage_idx == plan.num_stages - 1:
+        # only the last position's logits are needed out of prefill
+        t += embedding_exec_time(gpu, cfg, mb, 1, with_logits=True)
+    return t
+
+
+def _stage_decode_times(
+    plan: ExecutionPlan,
+    stage_idx: int,
+    contexts: np.ndarray,
+    latency_model: LatencyModel | None,
+) -> np.ndarray:
+    cfg = get_model(plan.model_name)
+    stage = plan.stages[stage_idx]
+    gpu = stage.device.spec
+    mb = plan.decode_microbatch
+
+    total = np.zeros_like(contexts, dtype=np.float64)
+    for bits, count in stage.bit_counts.items():
+        if latency_model is not None:
+            times = latency_model.decode_step_times(gpu, bits, mb, contexts)
+        else:
+            times = layer_exec_times_decode_sweep(gpu, cfg, bits, mb, contexts)
+        total += count * times
+    extra = 0.0
+    if stage_idx == 0:
+        extra += embedding_exec_time(gpu, cfg, mb, 1, with_logits=False)
+    if stage_idx == plan.num_stages - 1:
+        extra += embedding_exec_time(gpu, cfg, mb, 1, with_logits=True)
+    return total + extra
+
+
+def simulate_pipeline(
+    plan: ExecutionPlan,
+    cluster: Cluster,
+    *,
+    latency_model: LatencyModel | None = None,
+    check_memory: bool = True,
+) -> PipelineResult:
+    """Simulate ``plan`` end to end on ``cluster``."""
+    cfg = get_model(plan.model_name)
+    w = plan.workload
+    devices = [s.device for s in plan.stages]
+    links = boundary_links(cluster, devices)
+    n_stages = plan.num_stages
+
+    # ---------------- memory / OOM ----------------
+    kv_bits = int(plan.meta.get("kv_bits", 16))
+    reports: list[StageReport] = []
+    oom: list[int] = []
+    for j, stage in enumerate(plan.stages):
+        mem = stage_memory(
+            cfg,
+            stage.layer_bits,
+            global_batch=w.global_batch,
+            prompt_len=w.prompt_len,
+            gen_len=w.gen_len,
+            prefill_microbatch=plan.prefill_microbatch,
+            decode_microbatch=plan.decode_microbatch,
+            is_first=(j == 0),
+            is_last=(j == n_stages - 1),
+            kv_bits=kv_bits,
+        )
+        cap = stage.device.spec.memory_bytes
+        if check_memory and not mem.fits(cap):
+            oom.append(j)
+        reports.append(
+            StageReport(
+                gpu_type=stage.device.type_name,
+                num_layers=stage.num_layers,
+                prefill_time=0.0,
+                decode_time_first=0.0,
+                decode_time_last=0.0,
+                memory=mem,
+                capacity_bytes=cap,
+            )
+        )
+
+    # ---------------- prefill ----------------
+    m_p = -(-w.global_batch // plan.prefill_microbatch)  # ceil div
+    pre_busy = np.empty(n_stages)
+    for j in range(n_stages):
+        t = _stage_prefill_time(plan, j, latency_model)
+        if j < n_stages - 1:
+            t += stage_comm_time(links[j], cfg, plan.prefill_microbatch, w.prompt_len)
+        pre_busy[j] = t
+    prefill_latency = float(pre_busy.sum() + (m_p - 1) * pre_busy.max())
+
+    # ---------------- decode ----------------
+    decode_latency = 0.0
+    dec_first = np.zeros(n_stages)
+    dec_last = np.zeros(n_stages)
+    if w.decode_passes > 0:
+        m_d = -(-w.global_batch // plan.decode_microbatch)
+        contexts = w.prompt_len + np.arange(1, w.decode_passes + 1, dtype=np.float64)
+        per_stage = np.empty((n_stages, contexts.size))
+        for j in range(n_stages):
+            t = _stage_decode_times(plan, j, contexts, latency_model)
+            # decode activations are (mb, 1, h); the tail->head token
+            # feedback rides the last link
+            t = t + stage_comm_time(links[j], cfg, plan.decode_microbatch, 1)
+            per_stage[j] = t
+        cycle = per_stage.sum(axis=0) + (m_d - 1) * per_stage.max(axis=0)
+        decode_latency = float(cycle.sum())
+        dec_first = per_stage[:, 0]
+        dec_last = per_stage[:, -1]
+
+    reports = [
+        StageReport(
+            gpu_type=r.gpu_type,
+            num_layers=r.num_layers,
+            prefill_time=float(pre_busy[j]),
+            decode_time_first=float(dec_first[j]),
+            decode_time_last=float(dec_last[j]),
+            memory=r.memory,
+            capacity_bytes=r.capacity_bytes,
+        )
+        for j, r in enumerate(reports)
+    ]
+    return PipelineResult(
+        plan=plan,
+        prefill_latency=prefill_latency,
+        decode_latency=decode_latency,
+        stage_reports=tuple(reports),
+        oom_stages=tuple(oom),
+    )

@@ -1,0 +1,13 @@
+"""Workload specs and prompt-length traces."""
+
+from .spec import DEFAULT_WORKLOAD, SHORT_PROMPT_WORKLOAD, Workload
+from .traces import PromptTrace, sample_sharegpt_like, workloads_from_trace
+
+__all__ = [
+    "Workload",
+    "DEFAULT_WORKLOAD",
+    "SHORT_PROMPT_WORKLOAD",
+    "PromptTrace",
+    "sample_sharegpt_like",
+    "workloads_from_trace",
+]

@@ -1,0 +1,64 @@
+"""Workload specification for the offline serving task.
+
+LLM-PQ targets the *offline* scenario (Sec. 2.3): prompts are padded to a
+uniform length ``s``, the number of generated tokens ``n`` is fixed ahead
+of time (ORCA protocol — EOS is never emitted early), and the global batch
+``b`` is known.  This triple is the entire workload description the
+planner needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Workload", "DEFAULT_WORKLOAD", "SHORT_PROMPT_WORKLOAD"]
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Offline batch-inference workload.
+
+    Attributes
+    ----------
+    prompt_len:
+        Padded prompt length ``s``.
+    gen_len:
+        Tokens to generate per request ``n`` (the first comes out of
+        prefill, the remaining ``n - 1`` out of decode passes).
+    global_batch:
+        Requests served together (``b``); micro-batching divides this.
+    """
+
+    prompt_len: int
+    gen_len: int
+    global_batch: int
+
+    def __post_init__(self) -> None:
+        if self.prompt_len <= 0:
+            raise ValueError("prompt_len must be positive")
+        if self.gen_len <= 0:
+            raise ValueError("gen_len must be positive")
+        if self.global_batch <= 0:
+            raise ValueError("global_batch must be positive")
+
+    @property
+    def max_seq_len(self) -> int:
+        """KV slots reserved per request: ``s + n``."""
+        return self.prompt_len + self.gen_len
+
+    @property
+    def total_generated_tokens(self) -> int:
+        """Tokens produced for the whole batch (throughput numerator)."""
+        return self.global_batch * self.gen_len
+
+    @property
+    def decode_passes(self) -> int:
+        """Pipeline passes in the decode phase (prefill yields token 1)."""
+        return self.gen_len - 1
+
+
+#: The paper's default evaluation workload (Sec. 6.1).
+DEFAULT_WORKLOAD = Workload(prompt_len=512, gen_len=100, global_batch=32)
+
+#: The Sec. 6.6 short-prompt variant.
+SHORT_PROMPT_WORKLOAD = Workload(prompt_len=128, gen_len=200, global_batch=32)

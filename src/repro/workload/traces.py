@@ -1,0 +1,83 @@
+"""Prompt-length traces (ShareGPT-like) and workload sampling.
+
+Sec. 2.1 samples 10k ShareGPT conversations and finds prompt lengths vary
+substantially, with a heavy short-prompt mode and a long tail.  We model
+that with a mixture of a log-normal body and a uniform long tail, which
+the workload-characterization example uses to motivate phase-aware
+planning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .spec import Workload
+
+__all__ = ["PromptTrace", "sample_sharegpt_like", "workloads_from_trace"]
+
+
+@dataclass(frozen=True)
+class PromptTrace:
+    """Sampled (prompt_len, gen_len) pairs."""
+
+    prompt_lens: np.ndarray
+    gen_lens: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.prompt_lens.shape != self.gen_lens.shape:
+            raise ValueError("prompt and gen arrays must align")
+
+    @property
+    def size(self) -> int:
+        """Sampled conversations."""
+        return int(self.prompt_lens.size)
+
+    def fraction_short(self, threshold: int = 128) -> float:
+        """Share of prompts below ``threshold`` tokens."""
+        return float((self.prompt_lens < threshold).mean())
+
+
+def sample_sharegpt_like(
+    n: int = 10_000,
+    *,
+    seed: int = 0,
+    max_prompt: int = 2048,
+) -> PromptTrace:
+    """Synthetic conversation-length trace shaped like ShareGPT.
+
+    ~45% of prompts are short (<128 tokens); the rest follow a log-normal
+    with a fat tail clipped to the context window.
+    """
+    rng = np.random.default_rng(seed)
+    short = rng.integers(4, 128, size=n)
+    body = np.exp(rng.normal(5.6, 0.8, size=n)).astype(np.int64)  # ~270 median
+    is_short = rng.random(n) < 0.45
+    prompts = np.where(is_short, short, np.clip(body, 128, max_prompt))
+    gens = np.clip(np.exp(rng.normal(4.6, 0.7, size=n)), 8, 1024).astype(np.int64)
+    return PromptTrace(prompt_lens=prompts.astype(np.int64), gen_lens=gens)
+
+
+def workloads_from_trace(
+    trace: PromptTrace,
+    *,
+    batch: int = 32,
+    pad_to: tuple[int, ...] = (128, 256, 512, 1024, 2048),
+    gen_quantile: float = 0.9,
+) -> list[Workload]:
+    """Bucket a trace into padded offline workloads.
+
+    Each prompt is padded up to the smallest bucket that fits (the offline
+    task pads to uniform length); the per-bucket generation length is the
+    ``gen_quantile`` of the member requests.
+    """
+    out: list[Workload] = []
+    for i, cap in enumerate(pad_to):
+        lo = 0 if i == 0 else pad_to[i - 1]
+        mask = (trace.prompt_lens > lo) & (trace.prompt_lens <= cap)
+        if not mask.any():
+            continue
+        gen = int(np.quantile(trace.gen_lens[mask], gen_quantile))
+        out.append(Workload(prompt_len=cap, gen_len=max(gen, 1), global_batch=batch))
+    return out

@@ -1,0 +1,82 @@
+"""Unit tests for the high-level API (plan / evaluate / compare)."""
+
+import numpy as np
+import pytest
+
+from repro.core.api import ServingReport, compare_schemes, evaluate_plan, plan_llmpq
+from repro.core.plan import ExecutionPlan
+
+
+@pytest.fixture(scope="module")
+def reports(small_hetero_cluster, latmodel_13b):
+    from repro.workload import Workload
+
+    w = Workload(prompt_len=256, gen_len=50, global_batch=16)
+    return compare_schemes(
+        "opt-13b", small_hetero_cluster, w,
+        schemes=("PipeEdge", "Uniform", "FlexGen-int8", "LLM-PQ", "adabits"),
+        group_size=4, latency_model=latmodel_13b,
+    )
+
+
+def test_all_schemes_reported(reports):
+    names = [r.scheme for r in reports]
+    assert names == ["PipeEdge", "Uniform", "FlexGen-int8", "LLM-PQ", "adabits"]
+
+
+def test_llmpq_wins_on_hetero_cluster(reports):
+    by = {r.scheme: r for r in reports}
+    llmpq = by["LLM-PQ"]
+    assert llmpq.feasible
+    for other in ("PipeEdge", "Uniform", "FlexGen-int8"):
+        if by[other].feasible:
+            assert llmpq.throughput >= by[other].throughput * 0.95
+
+
+def test_quality_within_target(reports):
+    by = {r.scheme: r for r in reports}
+    # LLM-PQ's PPL stays close to the best baseline's (paper: negligible
+    # degradation, often better)
+    feasible_ppls = [r.perplexity for r in reports if r.feasible and np.isfinite(r.perplexity)]
+    assert by["LLM-PQ"].perplexity <= min(feasible_ppls) + 0.6
+
+
+def test_speedup_over(reports):
+    by = {r.scheme: r for r in reports}
+    x = by["LLM-PQ"].speedup_over(by["PipeEdge"])
+    assert x == pytest.approx(by["LLM-PQ"].throughput / by["PipeEdge"].throughput)
+
+
+def test_report_row_format(reports):
+    row = reports[0].row()
+    assert set(row) == {"scheme", "ppl", "latency_s", "throughput_tok_s", "avg_bits"}
+
+
+def test_evaluate_plan_roundtrip(small_hetero_cluster):
+    from repro.workload import Workload
+
+    w = Workload(prompt_len=256, gen_len=50, global_batch=16)
+    plan = ExecutionPlan.uniform("opt-13b", small_hetero_cluster.devices, w, bits=8)
+    rep = evaluate_plan(plan, small_hetero_cluster, scheme="test")
+    assert rep.scheme == "test"
+    assert rep.feasible
+    assert rep.average_bits == 8.0
+
+
+def test_unknown_scheme_rejected(small_hetero_cluster):
+    from repro.workload import Workload
+
+    w = Workload(prompt_len=64, gen_len=4, global_batch=4)
+    with pytest.raises(ValueError, match="unknown scheme"):
+        compare_schemes("opt-13b", small_hetero_cluster, w, schemes=("vLLM",))
+
+
+def test_plan_llmpq_heuristic_mode(small_hetero_cluster, latmodel_13b):
+    from repro.workload import Workload
+
+    w = Workload(prompt_len=256, gen_len=20, global_batch=8)
+    res = plan_llmpq(
+        "opt-13b", small_hetero_cluster, w,
+        use_heuristic=True, group_size=4, latency_model=latmodel_13b,
+    )
+    assert res.feasible

@@ -1,0 +1,75 @@
+"""Unit tests for the PipeEdge / Uniform / FlexGen baselines."""
+
+import numpy as np
+import pytest
+
+from repro.core.baselines import flexgen_run, pipeedge_plan, uniform_plan
+from repro.sim.pipeline import simulate_pipeline
+
+
+@pytest.fixture(scope="module")
+def pe(cluster3, workload, latmodel_cluster3):
+    return pipeedge_plan("opt-30b", cluster3, workload, latency_model=latmodel_cluster3)
+
+
+@pytest.fixture(scope="module")
+def un(cluster3, workload, latmodel_cluster3):
+    return uniform_plan("opt-30b", cluster3, workload, latency_model=latmodel_cluster3)
+
+
+def test_pipeedge_feasible_uniform_bits(pe):
+    assert pe.feasible
+    assert pe.bits in (16, 8, 4, 3)
+    assert set(pe.plan.layer_bits) == {pe.bits}
+
+
+def test_pipeedge_same_microbatch_both_phases(pe, workload, cluster3):
+    mb = workload.global_batch // cluster3.num_devices
+    assert pe.plan.prefill_microbatch == mb
+    assert pe.plan.decode_microbatch == mb
+
+
+def test_pipeedge_balances_better_than_uniform(pe, un, cluster3):
+    """PipeEdge's DP balances the (prefill) bottleneck at least as well
+    as an even split at the same precision."""
+    assert pe.bits == un.bits  # both land on the highest feasible bits
+    r_pe = simulate_pipeline(pe.plan, cluster3)
+    r_un = simulate_pipeline(un.plan, cluster3)
+    assert max(r.prefill_time for r in r_pe.stage_reports) <= max(
+        r.prefill_time for r in r_un.stage_reports
+    ) * 1.01
+
+
+def test_pipeedge_gives_slow_devices_fewer_layers(pe):
+    layers_by_type: dict[str, list[int]] = {}
+    for st in pe.plan.stages:
+        layers_by_type.setdefault(st.device.type_name, []).append(st.num_layers)
+    assert np.mean(layers_by_type["T4-16G"]) < np.mean(layers_by_type["V100-32G"])
+
+
+def test_uniform_even_partition(un, cluster3):
+    counts = un.plan.partition
+    assert max(counts) - min(counts) <= 1
+
+
+def test_uniform_feasible(un, cluster3):
+    assert simulate_pipeline(un.plan, cluster3).feasible
+
+
+def test_flexgen_opt_only(cluster3, workload):
+    bloom = flexgen_run("bloom-176b", cluster3, workload)
+    assert not bloom.feasible
+    assert bloom.offload is None
+    opt = flexgen_run("opt-30b", cluster3, workload, bits=8)
+    assert opt.feasible
+    assert opt.name == "FlexGen-int8"
+
+
+def test_flexgen_names():
+    from repro.hardware import make_cluster
+    from repro.workload import Workload
+
+    cl = make_cluster([("V100-32G", 1)])
+    w = Workload(prompt_len=128, gen_len=10, global_batch=4)
+    assert flexgen_run("opt-13b", cl, w, bits=16).name == "FlexGen"
+    assert flexgen_run("opt-13b", cl, w, bits=8).name == "FlexGen-int8"

@@ -1,0 +1,74 @@
+"""Unit tests for adabits + the bitwidth-transfer heuristic (Algorithm 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core.heuristic import (
+    _objective,
+    adabits_plan,
+    bitwidth_transfer,
+    heuristic_optimize,
+)
+from repro.core.optimizer import LLMPQOptimizer, PlannerConfig
+
+
+@pytest.fixture(scope="module")
+def planner(cluster3, latmodel_cluster3, workload):
+    return LLMPQOptimizer(
+        "opt-30b", cluster3, workload,
+        config=PlannerConfig(group_size=4, decode_mb_candidates=(8,), prefill_mb_cap=8),
+        latency_model=latmodel_cluster3,
+    )
+
+
+@pytest.fixture(scope="module")
+def seed_plan(planner):
+    return adabits_plan(planner)
+
+
+def test_adabits_feasible_and_high_precision(planner, seed_plan, cluster3):
+    assert seed_plan is not None
+    from repro.sim.pipeline import simulate_pipeline
+
+    res = simulate_pipeline(seed_plan, cluster3)
+    assert res.feasible
+    # quality-only: should use every spare byte for precision
+    assert seed_plan.average_bits() > 8
+
+
+def test_bitwidth_transfer_never_degrades(planner, seed_plan):
+    improved = bitwidth_transfer(planner, seed_plan)
+    assert _objective(planner, improved) <= _objective(planner, seed_plan) + 1e-9
+
+
+def test_bitwidth_transfer_preserves_layer_count(planner, seed_plan):
+    improved = bitwidth_transfer(planner, seed_plan)
+    assert improved.num_layers == seed_plan.num_layers
+    assert improved.num_stages == seed_plan.num_stages
+
+
+def test_heuristic_optimize_close_to_exact(planner, cluster3):
+    from repro.sim.pipeline import simulate_pipeline
+
+    heur = heuristic_optimize(planner)
+    assert heur.feasible
+    exact = planner.optimize()
+    t_h = simulate_pipeline(heur.plan, cluster3).throughput
+    t_e = simulate_pipeline(exact.plan, cluster3).throughput
+    # Table 8: the heuristic lands in the same ballpark as the ILP
+    assert t_h > 0.6 * t_e
+
+
+def test_heuristic_faster_than_exact_per_candidate(planner):
+    """The heuristic's point is solve-time: its per-ordering cost must be
+    small (Table 8's overhead column)."""
+    heur = heuristic_optimize(planner)
+    solve_times = [c.solve_seconds for c in heur.candidates if np.isfinite(c.objective)]
+    assert solve_times and max(solve_times) < 30.0
+
+
+def test_adabits_with_explicit_ordering(planner, cluster3):
+    ordering = list(reversed(cluster3.devices))
+    plan = adabits_plan(planner, ordering)
+    assert plan is not None
+    assert plan.stages[0].device.type_name == "V100-32G"

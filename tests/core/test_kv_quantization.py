@@ -1,0 +1,52 @@
+"""Tests for quantized-KV-cache planning (the Sec.-7 discussion knob).
+
+The KV cache dominates stage memory for long-sequence batches; halving
+it with 8-bit KV frees room for more layers or higher weight precision.
+"""
+
+import pytest
+
+from repro.core.optimizer import LLMPQOptimizer, PlannerConfig
+from repro.hardware import paper_cluster
+from repro.sim.pipeline import simulate_pipeline
+from repro.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def big_batch_workload():
+    # KV-heavy: 64 requests at 612 max positions
+    return Workload(prompt_len=512, gen_len=100, global_batch=64)
+
+
+def test_kv8_unlocks_infeasible_workloads(cluster3, latmodel_cluster3, big_batch_workload):
+    """At b=64 the FP16 KV cache alone outgrows cluster 3; 8-bit KV
+    makes the same workload plannable."""
+    fp16_kv = LLMPQOptimizer(
+        "opt-30b", cluster3, big_batch_workload,
+        config=PlannerConfig(group_size=4, kv_bits=16,
+                             decode_mb_candidates=(16,), prefill_mb_cap=4),
+        latency_model=latmodel_cluster3,
+    ).optimize()
+    int8_kv = LLMPQOptimizer(
+        "opt-30b", cluster3, big_batch_workload,
+        config=PlannerConfig(group_size=4, kv_bits=8,
+                             decode_mb_candidates=(16,), prefill_mb_cap=4),
+        latency_model=latmodel_cluster3,
+    ).optimize()
+    assert not fp16_kv.feasible
+    assert int8_kv.feasible
+
+
+def test_kv8_buys_precision(cluster3, latmodel_cluster3, workload):
+    """With the same workload, 8-bit KV leaves more room for weight
+    precision: average bits must not decrease."""
+    cfg16 = PlannerConfig(group_size=4, kv_bits=16, theta=5.0,
+                          decode_mb_candidates=(8,), prefill_mb_cap=8)
+    cfg8 = PlannerConfig(group_size=4, kv_bits=8, theta=5.0,
+                         decode_mb_candidates=(8,), prefill_mb_cap=8)
+    r16 = LLMPQOptimizer("opt-30b", cluster3, workload, config=cfg16,
+                         latency_model=latmodel_cluster3).optimize()
+    r8 = LLMPQOptimizer("opt-30b", cluster3, workload, config=cfg8,
+                        latency_model=latmodel_cluster3).optimize()
+    assert r16.feasible and r8.feasible
+    assert r8.plan.average_bits() >= r16.plan.average_bits() - 1e-9

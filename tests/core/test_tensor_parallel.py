@@ -1,0 +1,89 @@
+"""Unit tests for the tensor-parallelism extension (Sec. 7)."""
+
+import pytest
+
+from repro.core.tensor_parallel import (
+    enumerate_tp_clusters,
+    fuse_tp_group,
+    plan_with_tensor_parallel,
+    tp_efficiency,
+)
+from repro.hardware import get_gpu, make_cluster
+from repro.models import get_model
+from repro.workload import Workload
+from repro.core.optimizer import PlannerConfig
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return get_model("opt-13b")
+
+
+def test_tp_efficiency_bounds(cfg):
+    v100 = get_gpu("V100-32G")
+    assert tp_efficiency(v100, 1, cfg) == 1.0
+    e2 = tp_efficiency(v100, 2, cfg)
+    e4 = tp_efficiency(v100, 4, cfg)
+    assert 0.3 < e4 <= e2 < 1.0  # comm overhead grows with degree
+
+
+def test_tp_efficiency_better_on_faster_links(cfg):
+    """NVLink-attached V100 loses less to allreduce than PCIe T4."""
+    assert tp_efficiency(get_gpu("V100-32G"), 2, cfg) > tp_efficiency(
+        get_gpu("T4-16G"), 2, cfg
+    )
+
+
+def test_fuse_tp_group_aggregates(cfg):
+    fused = fuse_tp_group("V100-32G", 2, cfg)
+    base = get_gpu("V100-32G")
+    assert fused.name == "V100-32G-tp2"
+    assert fused.memory_bytes == 2 * base.memory_bytes
+    assert fused.mem_bandwidth == 2 * base.mem_bandwidth
+    # compute less than 2x (allreduce overhead), more than 1x
+    assert base.fp16_tflops < fused.fp16_tflops < 2 * base.fp16_tflops
+    # idempotent registration
+    assert fuse_tp_group("V100-32G", 2, cfg) is fused
+    # degree-1 is the original spec
+    assert fuse_tp_group("V100-32G", 1, cfg) is base
+
+
+def test_fuse_validation(cfg):
+    with pytest.raises(ValueError):
+        fuse_tp_group("V100-32G", 0, cfg)
+
+
+def test_enumerate_tp_clusters(cfg):
+    cl = make_cluster([("V100-32G", 4)])
+    options = enumerate_tp_clusters(cl, cfg, max_tp=4)
+    degrees = [k for k, _ in options]
+    assert degrees == [1, 2, 4]
+    by = dict(options)
+    assert by[2].num_devices == 2
+    assert by[4].num_devices == 1
+    assert by[4].devices[0].type_name == "V100-32G-tp4"
+
+
+def test_enumerate_respects_node_boundaries(cfg):
+    # 3 GPUs per node: TP=2 does not divide -> only TP 1 and 3
+    cl = make_cluster([("T4-16G", 3)])
+    degrees = [k for k, _ in enumerate_tp_clusters(cl, cfg, max_tp=4)]
+    assert degrees == [1, 3]
+
+
+def test_plan_with_tensor_parallel_end_to_end():
+    """On a 2xV100 node serving OPT-13b the planner should consider both
+    pure pipeline (tp=1) and fused tp=2 and pick a feasible winner."""
+    cl = make_cluster([("V100-32G", 2)])
+    w = Workload(prompt_len=256, gen_len=20, global_batch=8)
+    res = plan_with_tensor_parallel(
+        "opt-13b", cl, w,
+        config=PlannerConfig(group_size=4, decode_mb_candidates=(4,),
+                             prefill_mb_cap=4),
+        max_tp=2,
+    )
+    assert res.plan is not None
+    assert set(res.per_degree) == {1, 2}
+    assert res.tp_degree in (1, 2)
+    # the winning degree has the best recorded objective
+    assert res.per_degree[res.tp_degree] == min(res.per_degree.values())

@@ -1,0 +1,75 @@
+"""Unit tests for the regression latency model (Sec. 4.1 / Fig. 7)."""
+
+import numpy as np
+import pytest
+
+from repro.cost import LatencyModel, LatencySample, features_for
+from repro.hardware import get_gpu
+from repro.sim.kernels import layer_exec_time
+
+
+def test_fidelity_under_six_percent(latmodel_cluster3, opt30b):
+    """The paper's Fig.-7 claim: average latency error < 6% on unseen
+    workloads (different batch sizes / context lengths than profiled)."""
+    errs = []
+    for gpu_name in ("T4-16G", "V100-32G"):
+        gpu = get_gpu(gpu_name)
+        for bits in (3, 4, 8, 16):
+            for b, s in ((3, 384), (5, 768), (7, 640)):
+                pred = latmodel_cluster3.predict_layer(gpu, bits, "prefill", b, s, s)
+                true = layer_exec_time(gpu, opt30b, bits, b, s, s)
+                errs.append(abs(pred - true) / true)
+                pred = latmodel_cluster3.predict_layer(gpu, bits, "decode", b, 1, s)
+                true = layer_exec_time(gpu, opt30b, bits, b, 1, s)
+                errs.append(abs(pred - true) / true)
+    assert float(np.mean(errs)) < 0.06
+
+
+def test_predict_layers_sums(latmodel_cluster3):
+    one = latmodel_cluster3.predict_layer("T4-16G", 8, "prefill", 4, 512, 512)
+    many = latmodel_cluster3.predict_layers("T4-16G", [8, 8, 8], "prefill", 4, 512, 512)
+    assert many == pytest.approx(3 * one)
+
+
+def test_decode_step_times_vectorized(latmodel_cluster3):
+    ctxs = np.array([512, 600, 700])
+    vec = latmodel_cluster3.decode_step_times("V100-32G", 4, 8, ctxs)
+    for c, v in zip(ctxs, vec):
+        assert v == pytest.approx(
+            latmodel_cluster3.predict_layer("V100-32G", 4, "decode", 8, 1, int(c))
+        )
+    # decode time grows with context (KV reads)
+    assert vec[2] > vec[0]
+
+
+def test_unknown_gpu_raises(latmodel_cluster3):
+    with pytest.raises(KeyError, match="profiled GPUs"):
+        latmodel_cluster3.predict_layer("A100-40G", 8, "prefill", 4, 512, 512)
+
+
+def test_fit_requires_samples(opt30b):
+    with pytest.raises(ValueError, match="no samples"):
+        LatencyModel(opt30b).fit([])
+    few = [
+        LatencySample("T4-16G", 8, "prefill", 1, 64, 64, 0.01),
+        LatencySample("T4-16G", 8, "prefill", 2, 64, 64, 0.02),
+    ]
+    with pytest.raises(ValueError, match=">=3 samples"):
+        LatencyModel(opt30b).fit(few)
+
+
+def test_coefficients_nonnegative(latmodel_cluster3):
+    for beta in latmodel_cluster3.coef.values():
+        assert np.all(beta >= 0)
+
+
+def test_features_shape(opt30b):
+    f = features_for(opt30b, 8, 4, 512, 512)
+    assert f.shape == (3,)
+    assert f[0] == opt30b.layer_flops(4, 512, 512)
+    assert f[2] == 1.0
+
+
+def test_residual_diagnostics(latmodel_cluster3):
+    assert latmodel_cluster3.max_relative_residual() < 0.25
+    assert len(latmodel_cluster3.residual_stats) == 2 * 4 * 2  # gpus x bits x phases

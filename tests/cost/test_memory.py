@@ -1,0 +1,107 @@
+"""Unit tests for the analytical memory model (Sec. 4.1)."""
+
+import pytest
+
+from repro.cost import (
+    FRAMEWORK_OVERHEAD_BYTES,
+    embedding_bytes,
+    kv_cache_bytes,
+    logits_workspace_bytes,
+    stage_memory,
+    temp_bytes_decode,
+    temp_bytes_prefill,
+    weight_bytes,
+)
+
+
+def test_weight_bytes_sum(opt13b):
+    per_layer_16 = opt13b.layer_weight_bytes(16)
+    assert weight_bytes(opt13b, [16, 16]) == pytest.approx(2 * per_layer_16)
+    assert weight_bytes(opt13b, []) == 0.0
+    assert weight_bytes(opt13b, [4]) < per_layer_16
+
+
+def test_kv_cache_scales_linearly(opt13b):
+    base = kv_cache_bytes(opt13b, 10, 32, 612)
+    assert kv_cache_bytes(opt13b, 20, 32, 612) == pytest.approx(2 * base)
+    assert kv_cache_bytes(opt13b, 10, 64, 612) == pytest.approx(2 * base)
+    assert kv_cache_bytes(opt13b, 10, 32, 1224) == pytest.approx(2 * base)
+    # 8-bit KV halves the bytes
+    assert kv_cache_bytes(opt13b, 10, 32, 612, kv_bits=8) == pytest.approx(base / 2)
+
+
+def test_kv_cache_magnitude_opt13b(opt13b):
+    """OPT-13b, b=32, len 612: 2*5120*2 B/token/layer * 40 layers."""
+    total = kv_cache_bytes(opt13b, opt13b.num_layers, 32, 612)
+    expected = 40 * 32 * 612 * 2 * 5120 * 2
+    assert total == pytest.approx(expected)
+    assert 14e9 < total < 18e9  # ~16 GB: why KV dominates cluster memory
+
+
+def test_temp_memory_prefill_exceeds_decode(opt13b):
+    pre = temp_bytes_prefill(opt13b, 8, 512)
+    dec = temp_bytes_decode(opt13b, 8, 612)
+    assert pre > dec  # s x s attention scores vs 1 x ctx
+
+
+def test_stage_memory_composition(opt13b):
+    mem = stage_memory(
+        opt13b, [16] * 10,
+        global_batch=32, prompt_len=512, gen_len=100,
+        prefill_microbatch=8, decode_microbatch=8,
+        is_first=True, is_last=False,
+    )
+    assert mem.total == pytest.approx(
+        mem.weights + mem.kv_cache + mem.embedding + mem.temp
+    )
+    assert mem.weights == pytest.approx(weight_bytes(opt13b, [16] * 10))
+    assert mem.embedding == pytest.approx(embedding_bytes(opt13b))
+
+
+def test_embedding_charged_to_edges_only(opt13b):
+    kw = dict(
+        global_batch=32, prompt_len=512, gen_len=100,
+        prefill_microbatch=8, decode_microbatch=8,
+    )
+    first = stage_memory(opt13b, [16] * 5, is_first=True, is_last=False, **kw)
+    mid = stage_memory(opt13b, [16] * 5, is_first=False, is_last=False, **kw)
+    last = stage_memory(opt13b, [16] * 5, is_first=False, is_last=True, **kw)
+    assert first.embedding > 0
+    assert mid.embedding == 0
+    assert last.embedding > 0  # untied copy for the logits projection
+    assert last.temp > mid.temp  # logits workspace
+
+
+def test_single_stage_shares_embedding(opt13b):
+    """First == last stage: one embedding table serves both ends."""
+    both = stage_memory(
+        opt13b, [16] * 5,
+        global_batch=32, prompt_len=512, gen_len=100,
+        prefill_microbatch=8, decode_microbatch=8,
+        is_first=True, is_last=True,
+    )
+    assert both.embedding == pytest.approx(embedding_bytes(opt13b))
+
+
+def test_fits_accounts_for_framework_overhead(opt13b):
+    mem = stage_memory(
+        opt13b, [16],
+        global_batch=1, prompt_len=8, gen_len=2,
+        prefill_microbatch=1, decode_microbatch=1,
+        is_first=False, is_last=False,
+    )
+    assert mem.fits(mem.total + FRAMEWORK_OVERHEAD_BYTES + 1)
+    assert not mem.fits(mem.total + FRAMEWORK_OVERHEAD_BYTES - 1)
+
+
+def test_smaller_prefill_microbatch_reduces_peak(opt13b):
+    """The cluster-1 effect: micro-batch sizing shrinks temp memory."""
+    kw = dict(global_batch=32, prompt_len=512, gen_len=100,
+              decode_microbatch=8, is_first=False, is_last=False)
+    big = stage_memory(opt13b, [8] * 40, prefill_microbatch=32, **kw)
+    small = stage_memory(opt13b, [8] * 40, prefill_microbatch=1, **kw)
+    assert small.total < big.total
+
+
+def test_logits_workspace(opt13b):
+    assert logits_workspace_bytes(opt13b, 4, 1) == 4 * opt13b.vocab_size * 2

@@ -1,0 +1,100 @@
+"""Unit tests for GPU device models."""
+
+import pytest
+
+from repro.hardware import GPU_REGISTRY, SUPPORTED_BITS, GPUSpec, get_gpu, list_gpus, register_gpu
+from repro.hardware.gpu import GB, GIB
+
+
+def test_registry_contains_paper_gpus():
+    for name in ("A100-40G", "A800-80G", "V100-32G", "T4-16G", "P100-12G"):
+        assert name in GPU_REGISTRY
+
+
+def test_get_gpu_unknown_raises_with_known_list():
+    with pytest.raises(KeyError, match="V100-32G"):
+        get_gpu("H100-80G")
+
+
+def test_list_gpus_sorted():
+    names = list_gpus()
+    assert names == sorted(names)
+    assert len(names) >= 5
+
+
+def test_v100_arithmetic_intensity_matches_paper():
+    # Sec. 4.1: V100 has arithmetic intensity 139 (125 TFLOPS / 900 GB/s)
+    v100 = get_gpu("V100-32G")
+    assert v100.arithmetic_intensity == pytest.approx(139, abs=1)
+
+
+def test_memory_capacities():
+    assert get_gpu("T4-16G").memory_bytes == 16 * GIB
+    assert get_gpu("A800-80G").memory_bytes == 80 * GIB
+
+
+def test_effective_flops_include_efficiency_and_precision_scale():
+    t4 = get_gpu("T4-16G")
+    fp16 = t4.effective_flops(16)
+    assert fp16 < t4.peak_flops  # efficiency factor applies
+    # T4 INT8 tensor cores: 8-bit at least as fast as FP16
+    assert t4.effective_flops(8) >= fp16
+    # V100's INT8 path is slower than FP16 (paper Sec. 2.5)
+    v100 = get_gpu("V100-32G")
+    assert v100.effective_flops(8) < v100.effective_flops(16)
+
+
+def test_effective_weight_bandwidth_monotone():
+    v100 = get_gpu("V100-32G")
+    # quantized formats carry packing inefficiency in weight_bw_scale
+    assert v100.effective_weight_bandwidth(16) >= v100.effective_weight_bandwidth(3)
+    assert v100.effective_bandwidth < v100.mem_bandwidth
+
+
+def test_all_supported_bits_present():
+    for spec in GPU_REGISTRY.values():
+        for bits in SUPPORTED_BITS:
+            assert spec.supports(bits)
+
+
+def test_with_memory_returns_modified_copy():
+    t4 = get_gpu("T4-16G")
+    big = t4.with_memory(32 * GIB)
+    assert big.memory_bytes == 32 * GIB
+    assert big.fp16_tflops == t4.fp16_tflops
+    assert t4.memory_bytes == 16 * GIB  # original untouched
+
+
+def test_spec_validation_rejects_bad_values():
+    base = get_gpu("T4-16G")
+    with pytest.raises(ValueError, match="memory"):
+        GPUSpec(
+            name="bad", memory_bytes=0, fp16_tflops=1.0, mem_bandwidth=1.0,
+            compute_scale=dict(base.compute_scale),
+            weight_bw_scale=dict(base.weight_bw_scale),
+        )
+    with pytest.raises(ValueError, match="compute_scale"):
+        GPUSpec(
+            name="bad", memory_bytes=1e9, fp16_tflops=1.0, mem_bandwidth=1.0,
+            compute_scale={16: 1.0},  # missing low-bit entries
+            weight_bw_scale=dict(base.weight_bw_scale),
+        )
+
+
+def test_register_gpu_conflict_detection():
+    t4 = get_gpu("T4-16G")
+    register_gpu(t4)  # idempotent
+    conflicting = t4.with_memory(1 * GB)
+    with pytest.raises(ValueError, match="already registered"):
+        register_gpu(conflicting)
+
+
+def test_extended_registry_entries():
+    """Beyond Table 3: common serving GPUs available for custom clusters."""
+    a100_80 = get_gpu("A100-80G")
+    assert a100_80.memory_bytes == 80 * GIB
+    assert a100_80.tensor_core_int8
+    a10 = get_gpu("A10-24G")
+    assert a10.memory_bytes == 24 * GIB
+    # A10 is bandwidth-starved relative to its compute (decode-weak)
+    assert a10.arithmetic_intensity > get_gpu("V100-32G").arithmetic_intensity

@@ -1,0 +1,48 @@
+"""Unit tests for link models."""
+
+import pytest
+
+from repro.hardware import (
+    ETHERNET_100G,
+    ETHERNET_800G,
+    LOOPBACK,
+    NVLINK_V100,
+    PCIE_GEN3,
+    Link,
+    link_for,
+)
+
+
+def test_transfer_time_alpha_beta():
+    link = Link("test", bandwidth=1e9, latency=1e-5)
+    assert link.transfer_time(0) == 0.0
+    assert link.transfer_time(1e9) == pytest.approx(1.0 + 1e-5)
+
+
+def test_transfer_time_negative_rejected():
+    with pytest.raises(ValueError):
+        PCIE_GEN3.transfer_time(-1)
+
+
+def test_link_validation():
+    with pytest.raises(ValueError):
+        Link("bad", bandwidth=0, latency=0)
+    with pytest.raises(ValueError):
+        Link("bad", bandwidth=1e9, latency=-1)
+
+
+def test_bandwidth_hierarchy():
+    # NVLink > 800G ethernet > PCIe > 100G ethernet
+    assert NVLINK_V100.bandwidth > ETHERNET_800G.bandwidth
+    assert PCIE_GEN3.bandwidth > ETHERNET_100G.bandwidth
+
+
+def test_loopback_is_effectively_free():
+    assert LOOPBACK.transfer_time(1e9) < 1e-5
+
+
+def test_link_for_known_types():
+    assert link_for("V100-32G") is NVLINK_V100
+    assert link_for("T4-16G") is PCIE_GEN3
+    # unknown types fall back to PCIe rather than erroring
+    assert link_for("UNKNOWN-GPU") is PCIE_GEN3

@@ -1,0 +1,51 @@
+"""Unit tests for the synthetic fleet trace (Fig. 1 substrate)."""
+
+import numpy as np
+import pytest
+
+from repro.hardware import DEFAULT_MEAN_UTIL, DEFAULT_PORTIONS, generate_fleet_trace
+
+
+def test_trace_shapes_and_bounds():
+    tr = generate_fleet_trace(hours=48, seed=1)
+    assert tr.utilization.shape == (len(DEFAULT_PORTIONS), 48)
+    assert np.all(tr.utilization >= 0) and np.all(tr.utilization <= 1)
+    assert tr.portions.sum() == pytest.approx(1.0)
+
+
+def test_mean_utilization_matches_targets():
+    tr = generate_fleet_trace(seed=0)
+    means = tr.mean_utilization()
+    for gpu, target in DEFAULT_MEAN_UTIL.items():
+        assert means[gpu] == pytest.approx(target, abs=0.03)
+
+
+def test_high_calibre_gpus_run_hot_low_calibre_idle():
+    # The Fig.-1 story: A100 ~saturated, T4/P100 under-utilized.
+    tr = generate_fleet_trace(seed=2)
+    means = tr.mean_utilization()
+    assert means["A100-40G"] > 0.8
+    assert means["T4-16G"] < 0.5
+    assert means["P100-12G"] < means["V100-32G"]
+
+
+def test_idle_capacity_dominated_by_inference_cards():
+    tr = generate_fleet_trace(seed=3)
+    idle = tr.idle_capacity_fraction()
+    # T4s are both plentiful and idle -> largest untapped pool
+    assert idle["T4-16G"] == max(idle.values())
+
+
+def test_determinism_by_seed():
+    a = generate_fleet_trace(seed=7)
+    b = generate_fleet_trace(seed=7)
+    np.testing.assert_array_equal(a.utilization, b.utilization)
+    c = generate_fleet_trace(seed=8)
+    assert not np.array_equal(a.utilization, c.utilization)
+
+
+def test_custom_portions_validation():
+    with pytest.raises(ValueError, match="same GPU types"):
+        generate_fleet_trace(portions={"T4-16G": 1.0}, mean_util={"V100-32G": 0.5})
+    with pytest.raises(ValueError, match="positive"):
+        generate_fleet_trace(portions={"T4-16G": 0.0}, mean_util={"T4-16G": 0.5})

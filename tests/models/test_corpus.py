@@ -1,0 +1,64 @@
+"""Unit tests for the synthetic corpus generator."""
+
+import numpy as np
+import pytest
+
+from repro.models import calibration_batch, make_corpus
+
+
+def test_shape_and_range():
+    c = make_corpus(100, num_seqs=5, seq_len=20, seed=0)
+    assert c.tokens.shape == (5, 20)
+    assert c.tokens.min() >= 0 and c.tokens.max() < 100
+    assert c.num_sequences == 5 and c.seq_len == 20
+
+
+def test_determinism():
+    a = make_corpus(64, seed=4)
+    b = make_corpus(64, seed=4)
+    np.testing.assert_array_equal(a.tokens, b.tokens)
+    c = make_corpus(64, seed=5)
+    assert not np.array_equal(a.tokens, c.tokens)
+
+
+def test_zipfian_head_dominates():
+    c = make_corpus(256, num_seqs=32, seq_len=128, alpha=1.2, seed=1)
+    counts = np.bincount(c.tokens.ravel(), minlength=256)
+    top_quarter = np.sort(counts)[::-1][:64].sum()
+    assert top_quarter / counts.sum() > 0.6
+
+
+def test_markov_weight_increases_bigram_repetition():
+    """Higher markov weight -> successor distribution more concentrated."""
+
+    def bigram_entropy(tokens: np.ndarray, vocab: int) -> float:
+        pairs = {}
+        flat = tokens
+        for row in flat:
+            for a, b in zip(row[:-1], row[1:]):
+                pairs.setdefault(int(a), []).append(int(b))
+        ents = []
+        for _, nxt in pairs.items():
+            if len(nxt) < 4:
+                continue
+            p = np.bincount(nxt, minlength=vocab) / len(nxt)
+            p = p[p > 0]
+            ents.append(-(p * np.log(p)).sum())
+        return float(np.mean(ents))
+
+    lo = make_corpus(64, num_seqs=64, seq_len=64, markov_weight=0.1, seed=2)
+    hi = make_corpus(64, num_seqs=64, seq_len=64, markov_weight=0.9, seed=2)
+    assert bigram_entropy(hi.tokens, 64) < bigram_entropy(lo.tokens, 64)
+
+
+def test_validation():
+    with pytest.raises(ValueError, match="vocab"):
+        make_corpus(2)
+    with pytest.raises(ValueError, match="markov"):
+        make_corpus(64, markov_weight=1.5)
+
+
+def test_calibration_batch_shape():
+    cb = calibration_batch(128, batch=4, seq_len=16)
+    assert cb.shape == (4, 16)
+    np.testing.assert_array_equal(cb, calibration_batch(128, batch=4, seq_len=16))

@@ -1,0 +1,42 @@
+"""Unit tests for the model zoo."""
+
+import pytest
+
+from repro.models import ModelConfig, get_model, list_models, register_model
+
+
+def test_zoo_covers_paper_models():
+    names = list_models()
+    for required in (
+        "opt-1.3b", "opt-13b", "opt-30b", "opt-66b", "opt-175b",
+        "bloom-560m", "bloom-1b7", "bloom-3b", "bloom-176b",
+        "tiny-4l", "tiny-8l",
+    ):
+        assert required in names
+
+
+def test_get_model_unknown():
+    with pytest.raises(KeyError, match="opt-30b"):
+        get_model("gpt-5")
+
+
+def test_register_conflict():
+    cfg = get_model("tiny-4l")
+    register_model(cfg)  # idempotent
+    other = ModelConfig(
+        name="tiny-4l", num_layers=2, hidden_size=32, num_heads=2,
+        ffn_dim=128, vocab_size=128,
+    )
+    with pytest.raises(ValueError, match="already registered"):
+        register_model(other)
+
+
+def test_opt_bloom_family_structure():
+    for name in list_models():
+        cfg = get_model(name)
+        assert cfg.ffn_dim == 4 * cfg.hidden_size
+        if name.startswith("opt"):
+            assert cfg.vocab_size == 50272
+        if name.startswith("bloom"):
+            assert cfg.vocab_size == 250880
+            assert cfg.max_position_embeddings == 0

@@ -1,0 +1,106 @@
+"""Unit tests for the runnable NumPy decoder transformer."""
+
+import numpy as np
+import pytest
+
+from repro.models import KVCache, TinyDecoderLM, get_model, make_corpus
+
+
+@pytest.fixture(scope="module")
+def model(tiny4l):
+    return TinyDecoderLM(tiny4l, seed=0)
+
+
+@pytest.fixture(scope="module")
+def tokens(tiny4l):
+    return make_corpus(tiny4l.vocab_size, num_seqs=3, seq_len=10, seed=1).tokens
+
+
+def test_prefill_shapes(model, tokens):
+    logits, cache = model.prefill(tokens)
+    assert logits.shape == (3, 10, model.cfg.vocab_size)
+    assert cache.length == 10
+    assert cache.k.shape == (model.cfg.num_layers, 3, 10, model.cfg.hidden_size)
+
+
+def test_prefill_reserve_allocates_decode_slots(model, tokens):
+    _, cache = model.prefill(tokens, reserve=5)
+    assert cache.max_len == 15
+
+
+def test_decode_step_matches_incremental_prefill(model, tokens):
+    """Prefill over s+1 tokens == prefill over s then one decode step."""
+    full_logits, _ = model.prefill(tokens)
+    _, cache = model.prefill(tokens[:, :-1], reserve=1)
+    step_logits = model.decode_step(tokens[:, -1], cache)
+    np.testing.assert_allclose(step_logits, full_logits[:, -1], rtol=1e-9, atol=1e-9)
+
+
+def test_causality(model, tokens):
+    """Changing a later token must not affect earlier positions' logits."""
+    logits_a, _ = model.prefill(tokens)
+    mutated = tokens.copy()
+    mutated[:, -1] = (mutated[:, -1] + 1) % model.cfg.vocab_size
+    logits_b, _ = model.prefill(mutated)
+    np.testing.assert_allclose(logits_a[:, :-1], logits_b[:, :-1], atol=1e-12)
+    assert not np.allclose(logits_a[:, -1], logits_b[:, -1])
+
+
+def test_kv_overflow_raises(model, tokens):
+    _, cache = model.prefill(tokens)  # no reserve
+    with pytest.raises(ValueError, match="overflow"):
+        model.decode_step(tokens[:, 0], cache)
+
+
+def test_prefill_rejects_1d_input(model):
+    with pytest.raises(ValueError, match="batch"):
+        model.prefill(np.array([1, 2, 3]))
+
+
+def test_perplexity_positive_and_bounded(model, tokens):
+    ppl = model.perplexity(tokens)
+    assert 1.0 < ppl < model.cfg.vocab_size * 10
+
+
+def test_clone_independent(model):
+    clone = model.clone()
+    clone.apply_to_layer(0, lambda n, w: w * 0)
+    assert np.any(model.layers[0].wq != clone.layers[0].wq)
+
+
+def test_apply_to_layer_targets_only_that_layer(model, tokens):
+    m = model.clone()
+    m.apply_to_layer(1, lambda n, w: w + 0.01)
+    assert np.array_equal(m.layers[0].wq, model.layers[0].wq)
+    assert not np.array_equal(m.layers[1].wq, model.layers[1].wq)
+
+
+def test_capture_activation_stats_covers_all_operators(model, tokens):
+    stats = model.capture_activation_stats(tokens)
+    L = model.cfg.num_layers
+    assert len(stats) == L * 6
+    for (layer, op), (mean, var) in stats.items():
+        assert 0 <= layer < L
+        assert var >= 0
+
+
+def test_too_large_config_rejected():
+    with pytest.raises(ValueError, match="too large"):
+        TinyDecoderLM(get_model("opt-13b"))
+
+
+def test_kvcache_allocate_and_append():
+    cache = KVCache.allocate(num_layers=2, batch=1, max_len=4, hidden=8)
+    k = np.ones((1, 2, 8))
+    cache.append(0, k, k, start=0)
+    assert cache.k[0, 0, 1, 0] == 1.0
+    with pytest.raises(ValueError, match="overflow"):
+        cache.append(0, np.ones((1, 3, 8)), np.ones((1, 3, 8)), start=2)
+
+
+def test_determinism_by_seed(tiny4l, tokens):
+    a = TinyDecoderLM(tiny4l, seed=5)
+    b = TinyDecoderLM(tiny4l, seed=5)
+    la, _ = a.prefill(tokens)
+    lb, _ = b.prefill(tokens)
+    np.testing.assert_array_equal(la, lb)

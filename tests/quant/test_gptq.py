@@ -1,0 +1,69 @@
+"""Unit + property tests for the GPTQ implementation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    calibration_objective,
+    gptq_quantize,
+    qmax_for_bits,
+    rtn_quantize,
+)
+
+
+def _problem(seed: int, d: int = 24, o: int = 16, n: int = 128):
+    rng = np.random.default_rng(seed)
+    w = rng.normal(0, 0.05, size=(d, o))
+    # correlated calibration inputs (the realistic, GPTQ-favouring case)
+    base = rng.normal(0, 1.0, size=(n, d // 2))
+    x = np.hstack([base, base + rng.normal(0, 0.3, size=(n, d - d // 2))])
+    return w, x
+
+
+@settings(max_examples=25, deadline=None)
+@given(seed=st.integers(0, 500), bits=st.sampled_from([3, 4]))
+def test_gptq_beats_rtn_on_calibration_objective(seed, bits):
+    """The whole point of GPTQ: lower ||WX - W_hat X||^2 than RTN."""
+    w, x = _problem(seed)
+    qg = gptq_quantize(w, x, bits)
+    qr = rtn_quantize(w, bits)
+    obj_g = calibration_objective(w, qg.dequantize(), x)
+    obj_r = calibration_objective(w, qr.dequantize(), x)
+    assert obj_g <= obj_r * 1.001
+
+
+def test_gptq_codes_in_range():
+    w, x = _problem(1)
+    for bits in (3, 4, 8):
+        qt = gptq_quantize(w, x, bits)
+        qmax = qmax_for_bits(bits)
+        assert qt.codes.max() <= qmax and qt.codes.min() >= -qmax
+        assert qt.bits == bits
+
+
+def test_gptq_validation():
+    w, x = _problem(2)
+    with pytest.raises(ValueError, match="\\(N, D\\)"):
+        gptq_quantize(w, x[:, :-1], 4)
+    with pytest.raises(ValueError, match="\\(D, O\\)"):
+        gptq_quantize(w[0], x, 4)
+
+
+def test_rtn_scale_per_channel():
+    w, _ = _problem(3)
+    qt = rtn_quantize(w, 4)
+    assert qt.scale.shape == (1, w.shape[1])
+
+
+def test_gptq_8bit_near_lossless():
+    w, x = _problem(4)
+    qt = gptq_quantize(w, x, 8)
+    rel = calibration_objective(w, qt.dequantize(), x) / np.square(x @ w).sum()
+    assert rel < 1e-4
+
+
+def test_calibration_objective_zero_for_identical():
+    w, x = _problem(5)
+    assert calibration_objective(w, w, x) == 0.0

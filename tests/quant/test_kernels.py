@@ -1,0 +1,81 @@
+"""Unit + property tests for bit-packing and quantized linear kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    QuantConfig,
+    QuantizedLinear,
+    pack_codes,
+    qmax_for_bits,
+    quantize,
+    unpack_codes,
+)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    bits=st.sampled_from([3, 4, 8]),
+    n=st.integers(1, 200),
+    seed=st.integers(0, 1000),
+)
+def test_pack_unpack_roundtrip(bits, n, seed):
+    rng = np.random.default_rng(seed)
+    qmax = qmax_for_bits(bits)
+    codes = rng.integers(-qmax, qmax + 1, size=n).astype(np.int16)
+    packed = pack_codes(codes, bits)
+    recovered = unpack_codes(packed, bits, n)
+    np.testing.assert_array_equal(recovered, codes)
+
+
+def test_packed_density():
+    codes = np.zeros(64, dtype=np.int16)
+    assert pack_codes(codes, 4).nbytes == 32   # two nibbles per byte
+    assert pack_codes(codes, 3).nbytes == 24   # 192 bits
+    assert pack_codes(codes, 8).nbytes == 64
+
+
+def test_pack_rejects_wide_codes():
+    with pytest.raises(ValueError, match="bits <= 8"):
+        pack_codes(np.zeros(4, dtype=np.int16), 16)
+    with pytest.raises(ValueError, match="out of range"):
+        pack_codes(np.array([100], dtype=np.int16), 3)
+
+
+def test_quantized_linear_matches_fake_quant():
+    rng = np.random.default_rng(0)
+    w = rng.normal(0, 0.05, size=(24, 16))
+    bias = rng.normal(0, 0.01, size=16)
+    x = rng.normal(size=(5, 24))
+    for bits in (3, 4, 8):
+        ql = QuantizedLinear.from_float(w, bias, bits)
+        qt = quantize(w, QuantConfig(bits=bits))
+        np.testing.assert_allclose(ql.dequantized(), qt.dequantize(), atol=1e-12)
+        np.testing.assert_allclose(ql.forward(x), x @ qt.dequantize() + bias, atol=1e-12)
+
+
+def test_quantized_linear_fp16_identity():
+    rng = np.random.default_rng(1)
+    w = rng.normal(size=(8, 8))
+    ql = QuantizedLinear.from_float(w, None, 16)
+    np.testing.assert_array_equal(ql.dequantized(), w)
+    assert ql.weight_nbytes == 8 * 8 * 2
+
+
+def test_weight_nbytes_scale_with_bits():
+    rng = np.random.default_rng(2)
+    w = rng.normal(size=(64, 64))
+    sizes = {b: QuantizedLinear.from_float(w, None, b).weight_nbytes for b in (3, 4, 8, 16)}
+    assert sizes[3] < sizes[4] < sizes[8] < sizes[16]
+    # 4-bit: half a byte per weight + 2-byte scale per column
+    assert sizes[4] == 64 * 64 // 2 + 64 * 2
+
+
+def test_from_quantized_constructor():
+    rng = np.random.default_rng(3)
+    w = rng.normal(size=(10, 6))
+    qt = quantize(w, QuantConfig(bits=4))
+    ql = QuantizedLinear.from_quantized(qt, None)
+    np.testing.assert_allclose(ql.dequantized(), qt.dequantize(), atol=1e-12)

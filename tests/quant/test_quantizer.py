@@ -1,0 +1,134 @@
+"""Unit + property tests for the symmetric quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.quant import (
+    QuantConfig,
+    qmax_for_bits,
+    quantize,
+    quantize_dequantize,
+)
+
+
+def test_qmax_values():
+    assert qmax_for_bits(8) == 127
+    assert qmax_for_bits(4) == 7
+    assert qmax_for_bits(3) == 3
+    with pytest.raises(ValueError):
+        qmax_for_bits(1)
+    with pytest.raises(ValueError):
+        qmax_for_bits(17)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        QuantConfig(bits=8, rounding="nearest")  # type: ignore[arg-type]
+    with pytest.raises(ValueError):
+        QuantConfig(bits=8, granularity="per_row")  # type: ignore[arg-type]
+
+
+def test_sixteen_bit_passthrough():
+    w = np.random.default_rng(0).normal(size=(8, 8))
+    np.testing.assert_array_equal(quantize_dequantize(w, 16), w)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    bits=st.sampled_from([3, 4, 8]),
+    seed=st.integers(0, 1000),
+)
+def test_roundtrip_error_bounded_by_half_scale(bits, seed):
+    """Deterministic rounding error per element is at most scale/2."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(0, 0.1, size=(16, 12))
+    qt = quantize(w, QuantConfig(bits=bits))
+    err = np.abs(qt.dequantize() - w)
+    assert np.all(err <= qt.scale / 2 + 1e-12)
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000))
+def test_stochastic_rounding_unbiased(seed):
+    """Averaged over many draws, stochastic rounding reproduces w."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(0, 0.1, size=(4, 4))
+    cfg = QuantConfig(bits=4, rounding="stochastic")
+    draws = np.stack(
+        [
+            quantize(w, cfg, rng=np.random.default_rng(seed * 1000 + k)).dequantize()
+            for k in range(400)
+        ]
+    )
+    bias = np.abs(draws.mean(axis=0) - w)
+    scale = np.abs(w).max(axis=0) / qmax_for_bits(4)
+    assert np.all(bias < 0.15 * scale + 1e-9)
+
+
+def test_stochastic_requires_rng():
+    w = np.ones((2, 2))
+    with pytest.raises(ValueError, match="rng"):
+        quantize(w, QuantConfig(bits=4, rounding="stochastic"))
+
+
+def test_per_channel_scales_shape():
+    w = np.random.default_rng(1).normal(size=(6, 10))
+    qt = quantize(w, QuantConfig(bits=4, granularity="per_channel"))
+    assert qt.scale.shape == (1, 10)
+    qt2 = quantize(w, QuantConfig(bits=4, granularity="per_tensor"))
+    assert qt2.scale.ndim == 0
+
+
+def test_per_channel_beats_per_tensor_on_mixed_scales():
+    rng = np.random.default_rng(2)
+    w = np.hstack([rng.normal(0, 1.0, (16, 4)), rng.normal(0, 0.01, (16, 4))])
+    err_pc = np.abs(
+        quantize(w, QuantConfig(bits=4, granularity="per_channel")).dequantize() - w
+    ).mean()
+    err_pt = np.abs(
+        quantize(w, QuantConfig(bits=4, granularity="per_tensor")).dequantize() - w
+    ).mean()
+    assert err_pc < err_pt
+
+
+def test_codes_within_signed_range():
+    w = np.random.default_rng(3).normal(size=(32, 8))
+    for bits in (3, 4, 8):
+        qt = quantize(w, QuantConfig(bits=bits))
+        qmax = qmax_for_bits(bits)
+        assert qt.codes.max() <= qmax and qt.codes.min() >= -qmax
+
+
+def test_zero_column_handled():
+    w = np.zeros((4, 3))
+    w[:, 0] = 1.0
+    qt = quantize(w, QuantConfig(bits=4))
+    np.testing.assert_allclose(qt.dequantize()[:, 1:], 0.0)
+
+
+def test_packed_size_property():
+    w = np.random.default_rng(4).normal(size=(10, 10))
+    qt = quantize(w, QuantConfig(bits=3))
+    assert qt.nbytes_packed == pytest.approx(100 * 3 / 8)
+
+
+def test_rejects_3d_input():
+    with pytest.raises(ValueError, match="vector or matrix"):
+        quantize(np.zeros((2, 2, 2)), QuantConfig(bits=4))
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    bits_lo=st.sampled_from([3, 4]),
+    bits_hi=st.sampled_from([8]),
+    seed=st.integers(0, 500),
+)
+def test_more_bits_never_worse(bits_lo, bits_hi, seed):
+    """Monotonicity: higher precision gives no larger max error."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(0, 0.05, size=(12, 12))
+    err_lo = np.abs(quantize_dequantize(w, bits_lo) - w).max()
+    err_hi = np.abs(quantize_dequantize(w, bits_hi) - w).max()
+    assert err_hi <= err_lo + 1e-12

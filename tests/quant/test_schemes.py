@@ -1,0 +1,122 @@
+"""Unit tests for the Sec.-7 candidate quantization schemes."""
+
+import numpy as np
+import pytest
+
+from repro.quant.quantizer import quantize_dequantize
+from repro.quant.schemes import (
+    awq_quantize_dequantize,
+    double_quantize_scales,
+    spqr_quantize,
+)
+
+
+def _skewed_problem(seed=0, d=64, o=48, n=256):
+    """Weights + activations with strongly skewed channel magnitudes —
+    the regime AWQ is built for."""
+    rng = np.random.default_rng(seed)
+    w = rng.normal(0, 0.05, size=(d, o))
+    chan_scale = np.exp(rng.normal(0, 1.2, size=d))  # heavy channel skew
+    x = rng.normal(0, 1.0, size=(n, d)) * chan_scale
+    return w, x
+
+
+def _weighted_err(w, w_hat, x):
+    return float(np.square(x @ (w - w_hat)).sum())
+
+
+class TestAWQ:
+    def test_beats_rtn_on_skewed_activations(self):
+        w, x = _skewed_problem()
+        for bits in (3, 4):
+            rtn = quantize_dequantize(w, bits)
+            awq = awq_quantize_dequantize(w, x, bits)
+            assert _weighted_err(w, awq, x) < _weighted_err(w, rtn, x)
+
+    def test_alpha_zero_equals_rtn(self):
+        w, x = _skewed_problem(seed=1)
+        awq0 = awq_quantize_dequantize(w, x, 4, alpha=0.0)
+        rtn = quantize_dequantize(w, 4)
+        np.testing.assert_allclose(awq0, rtn, atol=1e-12)
+
+    def test_validation(self):
+        w, x = _skewed_problem()
+        with pytest.raises(ValueError, match="alpha"):
+            awq_quantize_dequantize(w, x, 4, alpha=2.0)
+        with pytest.raises(ValueError, match="\\(N, D\\)"):
+            awq_quantize_dequantize(w, x[:, :-1], 4)
+
+
+class TestSpQR:
+    def test_outliers_kept_exactly(self):
+        rng = np.random.default_rng(2)
+        w = rng.normal(0, 0.02, size=(32, 32))
+        w[3, 5] = 5.0  # a monster outlier
+        res = spqr_quantize(w, 3, outlier_fraction=0.01)
+        assert res.w_hat[3, 5] == 5.0
+
+    def test_error_shrinks_with_outlier_budget(self):
+        rng = np.random.default_rng(3)
+        # heavy-tailed weights: exactly where outliers matter
+        w = rng.standard_t(df=2, size=(64, 48)) * 0.02
+        errs = []
+        for frac in (0.0, 0.01, 0.05):
+            res = spqr_quantize(w, 3, outlier_fraction=frac)
+            errs.append(float(np.abs(res.w_hat - w).max()))
+        assert errs[2] < errs[1] < errs[0]
+
+    def test_storage_accounting(self):
+        rng = np.random.default_rng(4)
+        w = rng.normal(size=(64, 64))
+        res = spqr_quantize(w, 4, outlier_fraction=0.02)
+        assert res.outlier_fraction == pytest.approx(0.02, abs=0.002)
+        assert res.dense_bytes == pytest.approx(64 * 64 * 4 / 8 + 64 * 2)
+        assert res.outlier_bytes == pytest.approx(round(0.02 * 64 * 64) * 6)
+        assert res.total_bytes < w.size * 2  # far below FP16
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="outlier_fraction"):
+            spqr_quantize(np.ones((4, 4)), 4, outlier_fraction=1.0)
+
+
+class TestDoubleQuant:
+    def test_metadata_savings(self):
+        rng = np.random.default_rng(5)
+        scales = np.abs(rng.normal(0.01, 0.002, size=(1, 512)))
+        res = double_quantize_scales(scales, meta_bits=8, block=64)
+        # FP16 baseline 1024 B -> int8 codes 512 B + 8 blocks x 8 B
+        assert res.baseline_bytes == 1024
+        assert res.metadata_bytes == 512 + 8 * 8
+        assert res.savings_fraction > 0.4
+
+    def test_reconstruction_error_tiny(self):
+        rng = np.random.default_rng(6)
+        scales = np.abs(rng.normal(0.01, 0.002, size=256))
+        res = double_quantize_scales(scales)
+        rel = np.abs(res.scales_hat - scales) / scales
+        assert rel.max() < 0.02
+
+    def test_constant_block_exact(self):
+        scales = np.full(64, 0.25)
+        res = double_quantize_scales(scales)
+        np.testing.assert_allclose(res.scales_hat, scales)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            double_quantize_scales(np.array([-1.0]))
+        with pytest.raises(ValueError, match="block"):
+            double_quantize_scales(np.ones(4), block=0)
+
+
+def test_end_to_end_weight_storage_stack():
+    """Compose the schemes: SpQR base + double-quantized scales gives a
+    storage budget well under FP16 at near-FP16 fidelity."""
+    rng = np.random.default_rng(7)
+    w = rng.standard_t(df=3, size=(128, 96)) * 0.02
+    res = spqr_quantize(w, 4, outlier_fraction=0.01)
+    scales = np.abs(w).max(axis=0) / 7
+    dq = double_quantize_scales(scales)
+    total = res.dense_bytes + res.outlier_bytes - 96 * 2 + dq.metadata_bytes
+    assert total < 0.35 * w.size * 2
+    err = np.abs(res.w_hat - w).mean()
+    assert err < 0.01 * np.abs(w).max()

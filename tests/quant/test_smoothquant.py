@@ -1,0 +1,120 @@
+"""Unit tests for the SmoothQuant W8A8 path (paper Sec. 2.4)."""
+
+import numpy as np
+import pytest
+
+from repro.quant.smoothquant import smooth_factors, smoothquant_matmul, w8a8_matmul
+
+
+#: outlier channels are a property of the *model*, stable across batches
+#: (the observation SmoothQuant's static calibration relies on)
+OUTLIER_CHANNELS = (3, 17, 40, 58)
+
+
+def _outlier_problem(seed=0, n=256, d=64, o=48):
+    """Activations with a few huge channels — the W8A8 killer."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(0, 1.0, size=(n, d))
+    x[:, list(OUTLIER_CHANNELS)] *= 50.0
+    w = rng.normal(0, 0.05, size=(d, o))
+    return x, w
+
+
+def _err(x, w, y_hat):
+    y = x @ w
+    return float(np.square(y - y_hat).sum() / np.square(y).sum())
+
+
+def test_smoothing_beats_naive_w8a8_on_outliers():
+    x, w = _outlier_problem()
+    naive = w8a8_matmul(x, w)
+    smooth = smoothquant_matmul(x, w, alpha=0.5)
+    assert _err(x, w, smooth.y) < 0.25 * _err(x, w, naive.y)
+
+
+def test_smoothing_identity_transform():
+    """diag(s)^-1 then diag(s) must be an exact identity pre-quantization."""
+    x, w = _outlier_problem(seed=1)
+    s = smooth_factors(x, w)
+    np.testing.assert_allclose((x / s) @ (w * s[:, None]), x @ w, rtol=1e-10)
+
+
+def test_alpha_zero_moves_everything_to_weights():
+    x, w = _outlier_problem(seed=2)
+    s0 = smooth_factors(x, w, alpha=0.0)
+    s1 = smooth_factors(x, w, alpha=1.0)
+    # alpha=1 tracks activation maxima; alpha=0 inverse weight maxima
+    assert not np.allclose(s0, s1)
+
+
+def test_w8a8_near_exact_on_benign_activations():
+    rng = np.random.default_rng(3)
+    x = rng.normal(0, 1.0, size=(128, 32))
+    w = rng.normal(0, 0.05, size=(32, 16))
+    res = w8a8_matmul(x, w)
+    assert _err(x, w, res.y) < 1e-3
+
+
+def test_metadata_shapes():
+    x, w = _outlier_problem(seed=4)
+    res = smoothquant_matmul(x, w)
+    assert res.y.shape == (x.shape[0], w.shape[1])
+    assert res.weight_scale.shape == (1, w.shape[1])
+    assert res.act_scale > 0
+
+
+def test_validation():
+    x, w = _outlier_problem(seed=5)
+    with pytest.raises(ValueError, match="alpha"):
+        smooth_factors(x, w, alpha=1.5)
+    with pytest.raises(ValueError, match="matching"):
+        smooth_factors(x[:, :-1], w)
+
+
+def test_static_calibration_close_to_dynamic():
+    """Offline smoothing factors from a calibration set work nearly as
+    well as per-batch (the production deployment mode)."""
+    x_calib, w = _outlier_problem(seed=6)
+    x_live, _ = _outlier_problem(seed=7)
+    static = smoothquant_matmul(x_live, w, x_calib=x_calib)
+    dynamic = smoothquant_matmul(x_live, w)
+    assert _err(x_live, w, static.y) < 3 * _err(x_live, w, dynamic.y) + 1e-6
+
+
+class TestLLMInt8:
+    def test_decomposition_rescues_outliers(self):
+        from repro.quant.smoothquant import llm_int8_matmul
+
+        x, w = _outlier_problem(seed=8)
+        naive = w8a8_matmul(x, w)
+        decomposed = llm_int8_matmul(x, w, threshold=6.0)
+        assert _err(x, w, decomposed.y) < 0.05 * _err(x, w, naive.y)
+
+    def test_no_outliers_equals_w8a8(self):
+        from repro.quant.smoothquant import llm_int8_matmul
+
+        rng = np.random.default_rng(9)
+        x = rng.normal(0, 1.0, size=(64, 32))  # no column exceeds 6
+        x = np.clip(x, -5.9, 5.9)
+        w = rng.normal(0, 0.05, size=(32, 16))
+        a = llm_int8_matmul(x, w).y
+        b = w8a8_matmul(x, w).y
+        np.testing.assert_allclose(a, b, atol=1e-12)
+
+    def test_all_outliers_is_exact(self):
+        from repro.quant.smoothquant import llm_int8_matmul
+
+        rng = np.random.default_rng(10)
+        x = rng.normal(0, 10.0, size=(32, 16)) + 20  # every column huge
+        w = rng.normal(0, 0.05, size=(16, 8))
+        res = llm_int8_matmul(x, w, threshold=6.0)
+        np.testing.assert_allclose(res.y, x @ w, rtol=1e-12)
+
+    def test_validation(self):
+        from repro.quant.smoothquant import llm_int8_matmul
+
+        x, w = _outlier_problem(seed=11)
+        with pytest.raises(ValueError, match="threshold"):
+            llm_int8_matmul(x, w, threshold=0)
+        with pytest.raises(ValueError, match="matching"):
+            llm_int8_matmul(x[:, :-1], w)

@@ -1,0 +1,75 @@
+"""Unit tests for the per-stage KV manager."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import StageKVManager
+
+
+@pytest.fixture()
+def mgr():
+    return StageKVManager(num_layers=2, hidden_size=8)
+
+
+def test_allocate_shapes_and_ledger(mgr):
+    c = mgr.allocate(0, batch=3, max_len=10)
+    assert c.k.shape == (2, 3, 10, 8)
+    expected = 2 * (2 * 3 * 10 * 8 * 8)  # k+v, float64
+    assert mgr.current_bytes == expected
+    assert mgr.peak_bytes == expected
+
+
+def test_allocate_idempotent(mgr):
+    a = mgr.allocate(0, batch=2, max_len=4)
+    b = mgr.allocate(0, batch=2, max_len=4)
+    assert a is b
+
+
+def test_get_missing_raises(mgr):
+    with pytest.raises(KeyError, match="unit 7"):
+        mgr.get(7)
+
+
+def test_merge_concatenates_and_frees(mgr):
+    a = mgr.allocate(0, batch=2, max_len=6)
+    b = mgr.allocate(1, batch=2, max_len=6)
+    a.k[:] = 1.0
+    b.k[:] = 2.0
+    a.length = b.length = 3
+    merged = mgr.merge(100, (0, 1))
+    assert merged.k.shape == (2, 4, 6, 8)
+    assert merged.length == 3
+    np.testing.assert_array_equal(merged.k[:, :2], 1.0)
+    np.testing.assert_array_equal(merged.k[:, 2:], 2.0)
+    # members freed
+    with pytest.raises(KeyError):
+        mgr.get(0)
+    assert mgr.get(100) is merged
+
+
+def test_merge_length_mismatch_rejected(mgr):
+    a = mgr.allocate(0, batch=1, max_len=4)
+    b = mgr.allocate(1, batch=1, max_len=4)
+    a.length, b.length = 2, 3
+    with pytest.raises(ValueError, match="different lengths"):
+        mgr.merge(100, (0, 1))
+
+
+def test_peak_tracks_transient_merge_doubling(mgr):
+    mgr.allocate(0, batch=2, max_len=4)
+    mgr.allocate(1, batch=2, max_len=4)
+    before = mgr.current_bytes
+    mgr.merge(100, (0, 1))
+    # transiently both members + merged existed
+    assert mgr.peak_bytes == pytest.approx(2 * before)
+    assert mgr.current_bytes == pytest.approx(before)
+
+
+def test_free(mgr):
+    mgr.allocate(0, batch=1, max_len=2)
+    mgr.free(0)
+    assert mgr.current_bytes == 0
+    mgr.free(0)  # idempotent
+    mgr.allocate(1, batch=1, max_len=2)
+    mgr.free_all()
+    assert not mgr.caches

@@ -1,0 +1,94 @@
+"""Unit tests for the stage worker in isolation."""
+
+import queue
+
+import numpy as np
+import pytest
+
+from repro.models import TinyDecoderLM, get_model
+from repro.runtime.loader import load_stage_weights
+from repro.runtime.messages import ActivationMessage, MergeMessage, ShutdownMessage
+from repro.runtime.worker import StageWorker
+
+
+@pytest.fixture()
+def worker_env(tiny4l):
+    model = TinyDecoderLM(tiny4l, seed=4)
+    load = load_stage_weights(model, [0, 1], [16, 16])
+    inbound, outbound = queue.Queue(), queue.Queue()
+    w = StageWorker(0, tiny4l, load, inbound, outbound)
+    w.start()
+    yield model, w, inbound, outbound
+    inbound.put(ShutdownMessage())
+    w.join(timeout=5.0)
+
+
+def test_worker_processes_prefill(worker_env, tiny4l):
+    model, w, inbound, outbound = worker_env
+    x = np.random.default_rng(0).normal(size=(2, 6, tiny4l.hidden_size))
+    inbound.put(ActivationMessage(0, "prefill", 0, x, reserve=3))
+    out = outbound.get(timeout=5.0)
+    assert isinstance(out, ActivationMessage)
+    assert out.hidden.shape == x.shape
+    assert not np.array_equal(out.hidden, x)  # something was computed
+    assert w.kv.get(0).length == 6
+
+
+def test_worker_decode_continues_cache(worker_env, tiny4l):
+    model, w, inbound, outbound = worker_env
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(1, 4, tiny4l.hidden_size))
+    inbound.put(ActivationMessage(7, "prefill", 0, x, reserve=2))
+    outbound.get(timeout=5.0)
+    step = rng.normal(size=(1, 1, tiny4l.hidden_size))
+    inbound.put(ActivationMessage(7, "decode", 4, step))
+    out = outbound.get(timeout=5.0)
+    assert out.hidden.shape == (1, 1, tiny4l.hidden_size)
+    assert w.kv.get(7).length == 5
+
+
+def test_worker_merge_forwarded(worker_env, tiny4l):
+    model, w, inbound, outbound = worker_env
+    rng = np.random.default_rng(2)
+    for uid in (0, 1):
+        inbound.put(
+            ActivationMessage(uid, "prefill", 0,
+                              rng.normal(size=(1, 3, tiny4l.hidden_size)),
+                              reserve=1)
+        )
+        outbound.get(timeout=5.0)
+    inbound.put(MergeMessage(group_id=100, member_ids=(0, 1)))
+    ack = outbound.get(timeout=5.0)
+    assert isinstance(ack, MergeMessage)
+    assert w.kv.get(100).k.shape[1] == 2  # merged batch
+
+
+def test_worker_shutdown_propagates(tiny4l):
+    model = TinyDecoderLM(tiny4l, seed=5)
+    load = load_stage_weights(model, [0], [16])
+    inbound, outbound = queue.Queue(), queue.Queue()
+    w = StageWorker(0, tiny4l, load, inbound, outbound)
+    w.start()
+    inbound.put(ShutdownMessage())
+    out = outbound.get(timeout=5.0)
+    assert isinstance(out, ShutdownMessage)
+    w.join(timeout=5.0)
+    assert not w.is_alive()
+
+
+def test_worker_error_surfaces(tiny4l):
+    """A malformed message must not hang the pipeline: the worker stores
+    the error and emits a shutdown so the master can fail fast."""
+    model = TinyDecoderLM(tiny4l, seed=6)
+    load = load_stage_weights(model, [0], [16])
+    inbound, outbound = queue.Queue(), queue.Queue()
+    w = StageWorker(0, tiny4l, load, inbound, outbound)
+    w.start()
+    # decode for a cache that was never allocated -> KeyError inside
+    bad = ActivationMessage(99, "decode", 4,
+                            np.zeros((1, 1, tiny4l.hidden_size)))
+    inbound.put(bad)
+    out = outbound.get(timeout=5.0)
+    assert isinstance(out, ShutdownMessage)
+    w.join(timeout=5.0)
+    assert isinstance(w.error, KeyError)

@@ -1,0 +1,37 @@
+"""Unit tests for inter-stage communication costs."""
+
+import pytest
+
+from repro.hardware import make_cluster
+from repro.hardware.interconnect import ETHERNET_100G, PCIE_GEN3
+from repro.models import get_model
+from repro.sim.comm import activation_bytes, boundary_links, stage_comm_time
+
+
+def test_activation_bytes():
+    cfg = get_model("opt-13b")
+    assert activation_bytes(cfg, 8, 512) == 8 * 512 * cfg.hidden_size * 2
+
+
+def test_stage_comm_time_uses_alpha_beta():
+    cfg = get_model("opt-13b")
+    nbytes = activation_bytes(cfg, 8, 512)
+    t = stage_comm_time(ETHERNET_100G, cfg, 8, 512)
+    assert t == pytest.approx(ETHERNET_100G.latency + nbytes / ETHERNET_100G.bandwidth)
+
+
+def test_boundary_links_structure():
+    c = make_cluster([("T4-16G", 2), ("V100-32G", 1)])
+    devices = list(c.devices)
+    links = boundary_links(c, devices)
+    assert len(links) == 3  # 2 forward boundaries + token feedback
+    assert links[0] is PCIE_GEN3  # intra T4 node
+    assert links[1] is c.inter_node_link
+    assert links[2] is c.inter_node_link  # V100 -> T4 feedback
+
+
+def test_single_device_feedback_is_loopback():
+    c = make_cluster([("V100-32G", 1)])
+    links = boundary_links(c, list(c.devices))
+    assert len(links) == 1
+    assert links[0].name == "loopback"

@@ -1,0 +1,110 @@
+"""Unit tests for the ground-truth kernel timing model.
+
+These pin down the device-behaviour facts the paper's planner exploits
+(Figs. 3 and 5); if the device model drifts, the planner's choices stop
+matching the paper and these tests catch it.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hardware import get_gpu
+from repro.sim.kernels import (
+    embedding_exec_time,
+    layer_exec_time,
+    layer_exec_times_decode_sweep,
+    layer_memory_traffic,
+)
+
+
+@pytest.fixture(scope="module")
+def gpus():
+    return {n: get_gpu(n) for n in ("V100-32G", "P100-12G", "T4-16G", "A100-40G")}
+
+
+def test_prefill_compute_bound_decode_memory_bound(gpus, opt30b):
+    """Fig.-3 asymmetry: the P100/V100 time ratio differs strongly
+    between phases because prefill stresses FLOPs and decode stresses
+    bandwidth."""
+    pre_ratio = layer_exec_time(gpus["P100-12G"], opt30b, 16, 8, 512, 512) / layer_exec_time(
+        gpus["V100-32G"], opt30b, 16, 8, 512, 512
+    )
+    dec_ratio = layer_exec_time(gpus["P100-12G"], opt30b, 16, 8, 1, 512) / layer_exec_time(
+        gpus["V100-32G"], opt30b, 16, 8, 1, 512
+    )
+    assert pre_ratio > 3 * dec_ratio  # compute gap >> bandwidth gap
+
+
+def test_fp16_fastest_prefill_on_v100(gpus, opt30b):
+    """Fig. 5: uniform low-precision does not speed up the compute-bound
+    phase on V100 (dequant overhead)."""
+    v100 = gpus["V100-32G"]
+    t16 = layer_exec_time(v100, opt30b, 16, 8, 512, 512)
+    for bits in (3, 4, 8):
+        assert layer_exec_time(v100, opt30b, bits, 8, 512, 512) > t16
+
+
+def test_quantization_speeds_up_decode_everywhere(gpus, opt30b):
+    """Decode streams weights: fewer bits -> fewer bytes -> faster."""
+    for gpu in gpus.values():
+        t16 = layer_exec_time(gpu, opt30b, 16, 8, 1, 512)
+        t4 = layer_exec_time(gpu, opt30b, 4, 8, 1, 512)
+        assert t4 < t16
+
+
+def test_t4_int8_tensor_cores(gpus, opt30b):
+    """Sec. 2.5: T4's INT8 runs at FP16 speed; V100's does not."""
+    t4 = gpus["T4-16G"]
+    v100 = gpus["V100-32G"]
+    assert layer_exec_time(t4, opt30b, 8, 8, 512, 512) <= layer_exec_time(
+        t4, opt30b, 16, 8, 512, 512
+    ) * 1.01
+    assert layer_exec_time(v100, opt30b, 8, 8, 512, 512) > layer_exec_time(
+        v100, opt30b, 16, 8, 512, 512
+    )
+
+
+def test_decode_sweep_matches_scalar(gpus, opt30b):
+    ctxs = np.array([256, 512, 1024])
+    sweep = layer_exec_times_decode_sweep(gpus["A100-40G"], opt30b, 4, 8, ctxs)
+    for c, t in zip(ctxs, sweep):
+        assert t == pytest.approx(
+            layer_exec_time(gpus["A100-40G"], opt30b, 4, 8, 1, int(c))
+        )
+
+
+def test_decode_time_grows_with_context(gpus, opt30b):
+    sweep = layer_exec_times_decode_sweep(
+        gpus["V100-32G"], opt30b, 16, 8, np.arange(128, 1024, 64)
+    )
+    assert np.all(np.diff(sweep) > 0)
+
+
+def test_noise_requires_rng(gpus, opt30b):
+    with pytest.raises(ValueError, match="rng"):
+        layer_exec_time(gpus["T4-16G"], opt30b, 8, 1, 64, 64, noise=0.1)
+
+
+def test_validation(gpus, opt30b):
+    with pytest.raises(ValueError):
+        layer_exec_time(gpus["T4-16G"], opt30b, 8, 0, 64, 64)
+
+
+def test_memory_traffic_components(opt30b):
+    """Traffic must shrink with weight bits but keep KV/act terms."""
+    hi = layer_memory_traffic(opt30b, 16, 8, 1, 512)
+    lo = layer_memory_traffic(opt30b, 4, 8, 1, 512)
+    assert lo < hi
+    assert lo > 0.2 * hi  # KV + activations survive quantization
+
+
+def test_embedding_time_with_logits(gpus, opt30b):
+    plain = embedding_exec_time(gpus["V100-32G"], opt30b, 8, 1, with_logits=False)
+    full = embedding_exec_time(gpus["V100-32G"], opt30b, 8, 1, with_logits=True)
+    assert full > plain
+
+
+def test_faster_gpu_is_faster(gpus, opt30b):
+    assert layer_exec_time(gpus["A100-40G"], opt30b, 16, 8, 512, 512) < layer_exec_time(
+        gpus["T4-16G"], opt30b, 16, 8, 512, 512
+    )

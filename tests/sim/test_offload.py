@@ -1,0 +1,67 @@
+"""Unit tests for the FlexGen offloading model."""
+
+import pytest
+
+from repro.hardware import make_cluster, paper_cluster
+from repro.sim.offload import simulate_offload
+from repro.sim.pipeline import simulate_pipeline
+from repro.core.plan import ExecutionPlan
+from repro.workload import Workload
+
+
+def test_offload_feasible_where_pipeline_ooms(cluster3, workload):
+    """FlexGen's raison d'etre: FP16 OPT-30b OOMs as a plain pipeline on
+    cluster 3, but offloading serves it (slowly)."""
+    plain = simulate_pipeline(
+        ExecutionPlan.uniform("opt-30b", cluster3.devices, workload, bits=16),
+        cluster3,
+    )
+    assert not plain.feasible
+    off = simulate_offload("opt-30b", cluster3, workload, bits=16)
+    assert off.feasible
+    assert off.throughput > 0
+
+
+def test_int8_offload_faster_than_fp16(cluster3, workload):
+    """Half the bytes to stream + resident fraction doubles."""
+    fp16 = simulate_offload("opt-30b", cluster3, workload, bits=16)
+    int8 = simulate_offload("opt-30b", cluster3, workload, bits=8)
+    assert int8.throughput > fp16.throughput
+    assert int8.weight_resident_fraction >= fp16.weight_resident_fraction
+
+
+def test_offload_loses_when_memory_plentiful(workload):
+    """On a big-memory cluster a plain quantized pipeline beats offload
+    (the paper's 'heavy swapping overhead' result)."""
+    cl = paper_cluster(11)  # 4xA800-80G
+    plain = simulate_pipeline(
+        ExecutionPlan.uniform("opt-30b", cl.devices, workload, bits=8), cl
+    )
+    off = simulate_offload("opt-30b", cl, workload, bits=16)
+    assert plain.feasible
+    assert plain.throughput > off.throughput
+
+
+def test_resident_fractions_bounds(cluster3, workload):
+    off = simulate_offload("opt-30b", cluster3, workload, bits=16)
+    assert 0.0 <= off.weight_resident_fraction <= 1.0
+    assert 0.0 <= off.kv_resident_fraction <= 1.0
+    assert off.block_size >= 1
+
+
+def test_infeasible_when_budget_negative():
+    """A model whose workspace alone exceeds the GPU yields infeasible."""
+    cl = make_cluster([("P100-12G", 1)])
+    w = Workload(prompt_len=2048, gen_len=100, global_batch=64)
+    off = simulate_offload("opt-66b", cl, w, bits=16)
+    assert not off.feasible
+    assert off.throughput == 0 or off.total_latency == float("inf")
+
+
+def test_latency_components_positive(cluster3, workload):
+    off = simulate_offload("opt-30b", cluster3, workload, bits=8)
+    assert off.prefill_latency > 0
+    assert off.decode_latency > 0
+    assert off.total_latency == pytest.approx(
+        off.prefill_latency + off.decode_latency
+    )

@@ -1,0 +1,88 @@
+"""Unit tests for the online-serving extension (Sec. 7 discussion)."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ExecutionPlan
+from repro.sim.online import (
+    OnlineRequest,
+    max_admissible_batch,
+    sample_poisson_trace,
+    simulate_online,
+)
+from repro.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def w():
+    return Workload(prompt_len=512, gen_len=100, global_batch=16)
+
+
+def _plan(cluster3, w, bits):
+    return ExecutionPlan.uniform("opt-30b", cluster3.devices, w, bits=bits)
+
+
+def test_trace_generation_poisson():
+    trace = sample_poisson_trace(rate=2.0, duration=100.0, seed=1)
+    arrivals = np.array([r.arrival for r in trace])
+    assert 120 < len(trace) < 280  # ~200 expected
+    assert np.all(np.diff(arrivals) > 0)
+    assert all(r.prompt_len >= 8 and r.gen_len >= 4 for r in trace)
+    with pytest.raises(ValueError):
+        sample_poisson_trace(rate=0, duration=1)
+
+
+def test_trace_deterministic_by_seed():
+    a = sample_poisson_trace(2.0, 50.0, seed=3)
+    b = sample_poisson_trace(2.0, 50.0, seed=3)
+    assert [r.arrival for r in a] == [r.arrival for r in b]
+
+
+def test_lower_precision_admits_bigger_batches(cluster3, w):
+    """The Sec.-7 trade-off: 4-bit weights free KV memory."""
+    b8 = max_admissible_batch(_plan(cluster3, w, 8), prompt_len=512, gen_len=100)
+    b4 = max_admissible_batch(_plan(cluster3, w, 4), prompt_len=512, gen_len=100)
+    assert b4 > b8 > 0
+
+
+def test_online_simulation_metrics(cluster3, w):
+    plan = _plan(cluster3, w, 4)
+    trace = [
+        OnlineRequest(arrival=float(k), prompt_len=256, gen_len=32)
+        for k in range(12)
+    ]
+    res = simulate_online(plan, cluster3, trace, max_batch=8)
+    assert res.completed == 12
+    assert res.makespan > 0
+    assert res.p95_latency >= res.mean_latency > 0
+    assert res.throughput > 0
+    assert res.waves >= 2
+    assert "reqs" in res.summary()
+
+
+def test_online_higher_load_increases_latency(cluster3, w):
+    plan = _plan(cluster3, w, 4)
+    light = sample_poisson_trace(0.2, 60.0, seed=5, max_prompt=256, max_gen=32)
+    heavy = sample_poisson_trace(3.0, 60.0, seed=5, max_prompt=256, max_gen=32)
+    r_light = simulate_online(plan, cluster3, light, max_batch=16)
+    r_heavy = simulate_online(plan, cluster3, heavy, max_batch=16)
+    assert r_heavy.mean_latency > r_light.mean_latency
+    assert r_heavy.mean_wave_batch > r_light.mean_wave_batch
+
+
+def test_online_quantized_plan_wins_under_load(cluster3, w):
+    """8-bit weights are slower to admit fewer requests: under load the
+    4-bit plan's bigger waves deliver better throughput."""
+    trace = sample_poisson_trace(4.0, 40.0, seed=7, max_prompt=256, max_gen=32)
+    plan8 = _plan(cluster3, w, 8)
+    plan4 = _plan(cluster3, w, 4)
+    b8 = max_admissible_batch(plan8, prompt_len=256, gen_len=32)
+    b4 = max_admissible_batch(plan4, prompt_len=256, gen_len=32)
+    r8 = simulate_online(plan8, cluster3, trace, max_batch=min(b8, 64))
+    r4 = simulate_online(plan4, cluster3, trace, max_batch=min(b4, 64))
+    assert r4.throughput > r8.throughput * 0.9  # at worst comparable
+
+
+def test_empty_trace_rejected(cluster3, w):
+    with pytest.raises(ValueError, match="empty"):
+        simulate_online(_plan(cluster3, w, 4), cluster3, [])

@@ -1,0 +1,127 @@
+"""Validation: event-driven pipeline schedule vs the closed-form model."""
+
+import pytest
+
+from repro.core.plan import ExecutionPlan
+from repro.hardware import make_cluster, paper_cluster
+from repro.sim.pipeline import simulate_pipeline
+from repro.sim.pipeline_des import simulate_pipeline_des
+from repro.workload import Workload
+
+
+@pytest.fixture(scope="module")
+def small_w():
+    return Workload(prompt_len=512, gen_len=20, global_batch=16)
+
+
+def test_des_close_to_analytic(cluster3, small_w):
+    """The closed form uses per-token barriers, so it upper-bounds the
+    event-driven makespan and stays within ~15% of it."""
+    plan = ExecutionPlan.uniform(
+        "opt-30b", cluster3.devices, small_w, bits=8,
+        prefill_microbatch=4, decode_microbatch=8,
+    )
+    ana = simulate_pipeline(plan, cluster3).total_latency
+    des = simulate_pipeline_des(plan, cluster3).total_latency
+    assert des <= ana * 1.001
+    assert ana <= des * 1.25
+
+
+def test_des_exact_for_single_stage_single_microbatch():
+    """No pipelining at all: DES and closed form must agree exactly."""
+    cl = make_cluster([("A800-80G", 1)])
+    w = Workload(prompt_len=128, gen_len=4, global_batch=2)
+    plan = ExecutionPlan.uniform(
+        "opt-13b", cl.devices, w, bits=8,
+        prefill_microbatch=2, decode_microbatch=2,
+    )
+    ana = simulate_pipeline(plan, cl).total_latency
+    des = simulate_pipeline_des(plan, cl).total_latency
+    assert des == pytest.approx(ana, rel=1e-9)
+
+
+def test_des_task_count(cluster3, small_w):
+    plan = ExecutionPlan.uniform(
+        "opt-30b", cluster3.devices, small_w, bits=8,
+        prefill_microbatch=4, decode_microbatch=8,
+    )
+    res = simulate_pipeline_des(plan, cluster3)
+    m_p, m_d, S = 4, 2, 4
+    expected = m_p * S + m_d * small_w.decode_passes * S
+    assert res.num_tasks == expected
+
+
+def test_des_utilization_bounded(cluster3, small_w):
+    plan = ExecutionPlan.uniform(
+        "opt-30b", cluster3.devices, small_w, bits=8,
+        prefill_microbatch=4, decode_microbatch=8,
+    )
+    res = simulate_pipeline_des(plan, cluster3)
+    for j in range(4):
+        u = res.schedule.utilization(("dev", j))
+        assert 0.0 < u <= 1.0
+
+
+def test_des_more_microbatches_do_not_hurt(cluster3, small_w):
+    """Pipelining with more prefill micro-batches shouldn't slow down
+    the event-driven schedule by much (bubbles shrink)."""
+    coarse = ExecutionPlan.uniform(
+        "opt-30b", cluster3.devices, small_w, bits=8,
+        prefill_microbatch=16, decode_microbatch=16,
+    )
+    fine = ExecutionPlan.uniform(
+        "opt-30b", cluster3.devices, small_w, bits=8,
+        prefill_microbatch=4, decode_microbatch=16,
+    )
+    t_coarse = simulate_pipeline_des(coarse, cluster3).total_latency
+    t_fine = simulate_pipeline_des(fine, cluster3).total_latency
+    assert t_fine <= t_coarse * 1.05
+
+
+def test_async_comm_overlap_helps(small_w):
+    """With heavy comm, letting transfers ride the link while the sender
+    starts its next micro-batch must not slow the pipeline down."""
+    from repro.hardware.interconnect import Link
+    from repro.sim.pipeline_des import simulate_pipeline_des as des
+
+    slow = Link("slow-backbone", bandwidth=2e9, latency=1e-4)
+    cl = make_cluster([("V100-32G", 2), ("V100-32G", 2)], inter_node_link=slow)
+    w = Workload(prompt_len=1024, gen_len=4, global_batch=16)
+    plan = ExecutionPlan.uniform(
+        "opt-13b", cl.devices, w, bits=8,
+        prefill_microbatch=2, decode_microbatch=8,
+    )
+    folded = des(plan, cl).total_latency
+    overlapped = des(plan, cl, async_comm=True).total_latency
+    assert overlapped <= folded * 1.001
+
+
+def test_async_comm_shared_fabric_serializes(small_w):
+    """Interleaving stages across two nodes makes every boundary cross
+    the same node pair: the DES must account all that traffic against a
+    single shared link resource."""
+    from repro.core.plan import StagePlan
+    from repro.sim.comm import activation_bytes
+    from repro.sim.pipeline_des import simulate_pipeline_des as des
+    from repro.models import get_model
+
+    cl = make_cluster([("V100-32G", 2), ("V100-32G", 2)])
+    w = Workload(prompt_len=512, gen_len=3, global_batch=8)
+    devs = list(cl.devices)
+    interleaved = [devs[0], devs[2], devs[1], devs[3]]  # n0,n1,n0,n1
+    stages = tuple(StagePlan(d, (8,) * 10) for d in interleaved)
+    plan = ExecutionPlan(
+        model_name="opt-13b", stages=stages,
+        prefill_microbatch=2, decode_microbatch=4, workload=w,
+    )
+    res = des(plan, cl, async_comm=True)
+    key = ("link", "inter", 0, 1)
+    busy = res.schedule.resource_busy.get(key, 0.0)
+    # all 4 boundaries share the node pair: every prefill and decode
+    # transfer lands on this one resource
+    cfg = get_model("opt-13b")
+    per_pre = activation_bytes(cfg, 2, 512) / cl.inter_node_link.bandwidth
+    # 3 forward boundaries cross the pair x 4 prefill micro-batches, plus
+    # the decode-phase transfers on all 4 boundaries
+    assert busy > 3 * 4 * per_pre
+    assert res.total_latency >= busy

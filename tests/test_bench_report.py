@@ -1,0 +1,50 @@
+"""Unit tests for the consolidated report generator."""
+
+import json
+
+from repro.bench.report import build_report, load_results, write_report
+
+
+def _seed_results(d):
+    (d / "table4_cluster1.json").write_text(
+        json.dumps([{"scheme": "LLM-PQ", "throughput": 1.0}])
+    )
+    (d / "table5_gain_comparison.json").write_text(
+        json.dumps({"hetero": 1.8, "homo": 1.5})
+    )
+    (d / "custom_extra.json").write_text(json.dumps([{"x": 1}]))
+    (d / "broken.json").write_text("{not json")
+
+
+def test_load_results_skips_broken(tmp_path):
+    _seed_results(tmp_path)
+    res = load_results(tmp_path)
+    assert set(res) == {"table4_cluster1", "table5_gain_comparison", "custom_extra"}
+
+
+def test_build_report_sections(tmp_path):
+    _seed_results(tmp_path)
+    text = build_report(tmp_path)
+    assert "# LLM-PQ reproduction" in text
+    assert "Table 4 — cluster 1" in text
+    assert "hetero vs homo gain" in text
+    assert "custom_extra" in text  # unknown stems still rendered
+    assert "LLM-PQ" in text
+
+
+def test_write_report(tmp_path):
+    _seed_results(tmp_path)
+    out = write_report(tmp_path / "report.md", tmp_path)
+    assert out.exists()
+    assert out.read_text().startswith("# LLM-PQ")
+
+
+def test_empty_results_dir(tmp_path):
+    text = build_report(tmp_path / "nonexistent")
+    assert "0 result files" in text
+
+
+def test_report_on_real_results():
+    """Against whatever the benchmarks have actually produced."""
+    text = build_report()
+    assert text.startswith("# LLM-PQ")

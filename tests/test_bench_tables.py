@@ -1,0 +1,41 @@
+"""Unit tests for the benchmark-harness table helpers."""
+
+import json
+
+from repro.bench import tables
+from repro.bench.tables import format_table, save_results
+
+
+def test_format_table_basic():
+    rows = [{"a": 1, "b": 2.3456}, {"a": 10, "b": None}]
+    text = format_table(rows, title="demo")
+    lines = text.splitlines()
+    assert lines[0] == "demo"
+    assert "a" in lines[1] and "b" in lines[1]
+    assert "2.35" in text  # floats rounded to 2 decimals
+    assert "-" in lines[-1]  # None rendered as dash
+
+
+def test_format_table_column_selection():
+    rows = [{"a": 1, "b": 2, "c": 3}]
+    text = format_table(rows, columns=("c", "a"))
+    header = text.splitlines()[0]
+    assert header.index("c") < header.index("a")
+    assert "b" not in header
+
+
+def test_format_table_empty():
+    assert "(no rows)" in format_table([], title="x")
+
+
+def test_save_results_roundtrip(tmp_path, monkeypatch):
+    monkeypatch.setattr(tables, "RESULTS_DIR", tmp_path)
+    path = save_results("unit", [{"k": 1}])
+    assert path.parent == tmp_path
+    assert json.loads(path.read_text()) == [{"k": 1}]
+
+
+def test_save_results_handles_non_json_types(tmp_path, monkeypatch):
+    monkeypatch.setattr(tables, "RESULTS_DIR", tmp_path)
+    path = save_results("unit2", {"p": tmp_path})  # Path is not JSON-native
+    assert json.loads(path.read_text())["p"] == str(tmp_path)

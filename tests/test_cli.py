@@ -1,0 +1,122 @@
+"""End-to-end tests for the llmpq-algo / llmpq-dist CLI entry points."""
+
+import json
+
+import pytest
+
+from repro.cli import algo_main, dist_main
+from repro.core.plan import ExecutionPlan
+
+
+@pytest.fixture(scope="module")
+def strategy_file(tmp_path_factory):
+    out = tmp_path_factory.mktemp("cli") / "strategy.json"
+    rc = algo_main([
+        "--model-name", "opt-13b",
+        "--cluster", "1",
+        "--group", "4",
+        "--global-bz", "16",
+        "--s", "256",
+        "--n", "20",
+        "-o", str(out),
+    ])
+    assert rc == 0
+    return out
+
+
+def test_algo_writes_valid_strategy(strategy_file):
+    plan = ExecutionPlan.from_json(strategy_file)
+    assert plan.model_name == "opt-13b"
+    assert plan.num_layers == 40
+    data = json.loads(strategy_file.read_text())
+    assert data["workload"]["prompt_len"] == 256
+
+
+def test_dist_simulates_strategy(strategy_file, capsys):
+    rc = dist_main(["--strat-file-name", str(strategy_file)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+
+
+def test_dist_on_explicit_cluster(strategy_file):
+    assert dist_main(["--strat-file-name", str(strategy_file), "--cluster", "1"]) == 0
+
+
+def test_algo_custom_devices(tmp_path):
+    out = tmp_path / "s.json"
+    rc = algo_main([
+        "--model-name", "opt-13b",
+        "--device-names", "T4-16G", "V100-32G",
+        "--device-numbers", "1", "1",
+        "--group", "4",
+        "--global-bz", "8",
+        "--s", "128",
+        "--n", "10",
+        "-o", str(out),
+    ])
+    assert rc == 0
+    plan = ExecutionPlan.from_json(out)
+    assert plan.num_stages == 2
+
+
+def test_algo_requires_cluster_or_devices():
+    with pytest.raises(SystemExit):
+        algo_main(["--model-name", "opt-13b"])
+
+
+def test_dist_runs_tiny_model_for_real(tmp_path, capsys):
+    """A tiny-model strategy is executed on the actual NumPy runtime."""
+    from repro.core.plan import StagePlan
+    from repro.hardware import Device, get_gpu
+    from repro.workload import Workload
+
+    dev = lambda i: Device(get_gpu("T4-16G"), node_id=0, local_rank=i)
+    plan = ExecutionPlan(
+        model_name="tiny-4l",
+        stages=(StagePlan(dev(0), (16, 16)), StagePlan(dev(1), (8, 8))),
+        prefill_microbatch=2,
+        decode_microbatch=4,
+        workload=Workload(prompt_len=8, gen_len=4, global_batch=4),
+    )
+    path = tmp_path / "tiny.json"
+    plan.to_json(path)
+    assert dist_main(["--strat-file-name", str(path)]) == 0
+    assert "tok/s wall" in capsys.readouterr().out
+
+
+def test_algo_with_omega_file(tmp_path):
+    """The paper's --omega_file flow: precompute an indicator, feed it in."""
+    from repro.models import get_model
+    from repro.quant import synthetic_indicator
+
+    omega = tmp_path / "omega.json"
+    synthetic_indicator(get_model("opt-13b")).to_json(omega)
+    out = tmp_path / "s.json"
+    rc = algo_main([
+        "--model-name", "opt-13b",
+        "--cluster", "1",
+        "--group", "4",
+        "--global-bz", "8",
+        "--s", "128",
+        "--n", "10",
+        "--omega-file", str(omega),
+        "-o", str(out),
+    ])
+    assert rc == 0
+    assert ExecutionPlan.from_json(out).num_layers == 40
+
+
+def test_dist_rejects_invalid_strategy(tmp_path, capsys):
+    """Pre-flight validation: an OOM-bound strategy exits with code 2."""
+    from repro.hardware import paper_cluster
+    from repro.workload import Workload
+
+    w = Workload(prompt_len=512, gen_len=100, global_batch=32)
+    cl = paper_cluster(3)
+    plan = ExecutionPlan.uniform("opt-30b", cl.devices, w, bits=16)  # OOMs
+    path = tmp_path / "bad.json"
+    plan.to_json(path)
+    rc = dist_main(["--strat-file-name", str(path), "--cluster", "3"])
+    assert rc == 2
+    assert "oom" in capsys.readouterr().err

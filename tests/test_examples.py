@@ -1,0 +1,39 @@
+"""Smoke tests for the example scripts.
+
+Every example must at least compile; the fast ones are executed
+end-to-end (the planner-heavy ones are exercised by the benchmarks and
+would slow the unit suite down).
+"""
+
+import py_compile
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).resolve().parents[1] / "examples").glob("*.py"))
+FAST = {"quantization_study.py", "tiny_runtime_demo.py"}
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES}
+    assert "quickstart.py" in names
+    assert len(names) >= 5
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.name)
+def test_example_compiles(path):
+    py_compile.compile(str(path), doraise=True)
+
+
+@pytest.mark.parametrize(
+    "path", [p for p in EXAMPLES if p.name in FAST], ids=lambda p: p.name
+)
+def test_fast_example_runs(path):
+    proc = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr[-2000:]
+    assert proc.stdout.strip()

@@ -1,0 +1,37 @@
+"""Unit tests for the shared operator-traffic arithmetic."""
+
+import pytest
+
+from repro.models import get_model
+from repro.ops import ACT_BYTES, layer_memory_traffic
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return get_model("opt-13b")
+
+
+def test_traffic_monotone_in_everything(cfg):
+    base = layer_memory_traffic(cfg, 16, 4, 64, 64)
+    assert layer_memory_traffic(cfg, 16, 8, 64, 64) > base      # batch
+    assert layer_memory_traffic(cfg, 16, 4, 128, 64) > base     # q
+    assert layer_memory_traffic(cfg, 16, 4, 64, 128) > base     # context
+    assert layer_memory_traffic(cfg, 4, 4, 64, 64) < base       # bits
+
+
+def test_weight_term_dominates_decode(cfg):
+    """Single-token decode at moderate context: weight bytes are the
+    biggest traffic component (why quantization helps decode)."""
+    total16 = layer_memory_traffic(cfg, 16, 1, 1, 512)
+    w_bytes = cfg.layer_weight_bytes(16)
+    assert w_bytes / total16 > 0.5
+
+
+def test_kv_bits_reduce_traffic(cfg):
+    full = layer_memory_traffic(cfg, 16, 8, 1, 1024, kv_bits=16)
+    half = layer_memory_traffic(cfg, 16, 8, 1, 1024, kv_bits=8)
+    assert half < full
+
+
+def test_act_bytes_constant():
+    assert ACT_BYTES == 2.0  # FP16 activations throughout

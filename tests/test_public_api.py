@@ -1,0 +1,34 @@
+"""Smoke tests for the top-level public API surface."""
+
+import repro
+
+
+def test_version():
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert getattr(repro, name, None) is not None, name
+
+
+def test_subpackage_exports_resolve():
+    import repro.core as core
+    import repro.hardware as hardware
+    import repro.models as models
+    import repro.quant as quant
+    import repro.runtime as runtime
+    import repro.sim as sim
+    import repro.workload as workload
+
+    for mod in (core, hardware, models, quant, runtime, sim, workload):
+        for name in mod.__all__:
+            assert getattr(mod, name, None) is not None, f"{mod.__name__}.{name}"
+
+
+def test_quickstart_docstring_example_shape():
+    """The module docstring's quickstart names must exist."""
+    assert callable(repro.plan_llmpq)
+    assert callable(repro.evaluate_plan)
+    assert callable(repro.compare_schemes)
+    assert repro.DEFAULT_WORKLOAD.prompt_len == 512

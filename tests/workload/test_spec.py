@@ -1,0 +1,35 @@
+"""Unit tests for workload specs."""
+
+import pytest
+
+from repro.workload import DEFAULT_WORKLOAD, SHORT_PROMPT_WORKLOAD, Workload
+
+
+def test_defaults_match_paper():
+    assert DEFAULT_WORKLOAD.prompt_len == 512
+    assert DEFAULT_WORKLOAD.gen_len == 100
+    assert DEFAULT_WORKLOAD.global_batch == 32
+    assert SHORT_PROMPT_WORKLOAD.prompt_len == 128
+    assert SHORT_PROMPT_WORKLOAD.gen_len == 200
+
+
+def test_derived_quantities():
+    w = Workload(prompt_len=100, gen_len=10, global_batch=4)
+    assert w.max_seq_len == 110
+    assert w.total_generated_tokens == 40
+    assert w.decode_passes == 9  # prefill yields the first token
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        Workload(prompt_len=0, gen_len=1, global_batch=1)
+    with pytest.raises(ValueError):
+        Workload(prompt_len=1, gen_len=0, global_batch=1)
+    with pytest.raises(ValueError):
+        Workload(prompt_len=1, gen_len=1, global_batch=0)
+
+
+def test_frozen():
+    w = Workload(prompt_len=1, gen_len=1, global_batch=1)
+    with pytest.raises(AttributeError):
+        w.gen_len = 5  # type: ignore[misc]

@@ -1,0 +1,44 @@
+"""Unit tests for the ShareGPT-like prompt trace."""
+
+import numpy as np
+import pytest
+
+from repro.workload import sample_sharegpt_like, workloads_from_trace
+
+
+def test_trace_shape_and_determinism():
+    a = sample_sharegpt_like(1000, seed=0)
+    b = sample_sharegpt_like(1000, seed=0)
+    assert a.size == 1000
+    np.testing.assert_array_equal(a.prompt_lens, b.prompt_lens)
+
+
+def test_substantial_short_fraction():
+    """Sec. 2.1's observation: a large share of prompts are short."""
+    tr = sample_sharegpt_like(10_000, seed=1)
+    assert 0.3 < tr.fraction_short(128) < 0.6
+
+
+def test_long_tail_capped():
+    tr = sample_sharegpt_like(10_000, seed=2, max_prompt=2048)
+    assert tr.prompt_lens.max() <= 2048
+    assert tr.prompt_lens.min() >= 1
+    # heavy tail: some prompts exceed 1024
+    assert (tr.prompt_lens > 1024).sum() > 0
+
+
+def test_workloads_from_trace_buckets():
+    tr = sample_sharegpt_like(5000, seed=3)
+    ws = workloads_from_trace(tr, batch=16)
+    assert ws
+    pads = [w.prompt_len for w in ws]
+    assert pads == sorted(pads)
+    assert all(w.global_batch == 16 for w in ws)
+    assert all(w.gen_len >= 1 for w in ws)
+
+
+def test_mismatched_arrays_rejected():
+    from repro.workload import PromptTrace
+
+    with pytest.raises(ValueError):
+        PromptTrace(prompt_lens=np.zeros(3), gen_lens=np.zeros(4))
