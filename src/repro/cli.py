@@ -7,7 +7,13 @@
 ``llmpq-dist``
     Strategy execution: loads a strategy file and serves it — on the
     simulated cluster for big models, and on the real thread-pipelined
-    NumPy runtime for ``tiny-*`` models.
+    NumPy runtime for ``tiny-*`` models.  ``--fault-spec`` (or the
+    ``REPRO_FAULTS`` environment variable) injects deterministic faults
+    into the real runtime to exercise the recovery path.
+
+Both commands report user mistakes (missing files, malformed JSON,
+unknown models, mismatched omega tables) as one-line errors with a
+non-zero exit code instead of tracebacks.
 """
 
 from __future__ import annotations
@@ -28,6 +34,11 @@ from .workload.spec import Workload
 __all__ = ["algo_main", "dist_main"]
 
 
+def _fail(msg: str, code: int = 2) -> int:
+    print(f"error: {msg}", file=sys.stderr)
+    return code
+
+
 def _build_cluster(args: argparse.Namespace) -> Cluster:
     if args.cluster is not None:
         return paper_cluster(args.cluster)
@@ -36,6 +47,25 @@ def _build_cluster(args: argparse.Namespace) -> Cluster:
     if len(args.device_names) != len(args.device_numbers):
         raise SystemExit("--device-names and --device-numbers must align")
     return make_cluster(list(zip(args.device_names, args.device_numbers)))
+
+
+def _load_indicator(path: str, model_name: str):
+    """Validate and load an ``--omega_file`` indicator, or exit friendly."""
+    from .quant.indicator import IndicatorTable
+
+    try:
+        indicator = IndicatorTable.from_json(path)
+    except FileNotFoundError:
+        raise SystemExit(f"error: omega file not found: {path}")
+    except (json.JSONDecodeError, KeyError, ValueError, TypeError) as e:
+        raise SystemExit(f"error: invalid omega file {path}: {e}")
+    cfg = get_model(model_name)
+    if indicator.num_layers != cfg.num_layers:
+        raise SystemExit(
+            f"error: omega file {path} covers {indicator.num_layers} layers "
+            f"but {model_name} has {cfg.num_layers} — infeasible indicator"
+        )
+    return indicator
 
 
 def algo_main(argv: list[str] | None = None) -> int:
@@ -68,9 +98,7 @@ def algo_main(argv: list[str] | None = None) -> int:
     workload = Workload(prompt_len=args.s, gen_len=args.n, global_batch=args.global_bz)
     indicator = None
     if args.omega_file:
-        from .quant.indicator import IndicatorTable
-
-        indicator = IndicatorTable.from_json(args.omega_file)
+        indicator = _load_indicator(args.omega_file, args.model_name)
     print(f"planning {args.model_name} on {cluster.describe()}", file=sys.stderr)
     result = plan_llmpq(
         args.model_name, cluster, workload,
@@ -93,8 +121,29 @@ def algo_main(argv: list[str] | None = None) -> int:
     return 0
 
 
+def _load_plan(path: str) -> ExecutionPlan:
+    """Load a strategy file with friendly diagnostics (SystemExit on error)."""
+    try:
+        return ExecutionPlan.from_json(path)
+    except FileNotFoundError:
+        raise SystemExit(f"error: strategy file not found: {path}")
+    except IsADirectoryError:
+        raise SystemExit(f"error: strategy path is a directory: {path}")
+    except json.JSONDecodeError as e:
+        raise SystemExit(f"error: strategy file {path} is not valid JSON: {e}")
+    except KeyError as e:
+        raise SystemExit(
+            f"error: strategy file {path} is invalid or names an unknown "
+            f"model/GPU: {e}"
+        )
+    except (ValueError, TypeError) as e:
+        raise SystemExit(f"error: strategy file {path} is invalid: {e}")
+
+
 def dist_main(argv: list[str] | None = None) -> int:
     """``llmpq-dist``: validate and serve a strategy file."""
+    from .runtime.faults import FaultInjector
+
     p = argparse.ArgumentParser(
         prog="llmpq-dist", description="LLM-PQ strategy execution"
     )
@@ -103,9 +152,17 @@ def dist_main(argv: list[str] | None = None) -> int:
     p.add_argument("--cluster", type=int, default=None,
                    help="paper cluster id to serve on (defaults to plan devices)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--fault-spec", default=None,
+                   help="deterministic fault injection spec for the real "
+                        "runtime, e.g. 'crash:stage=1,at=5;slow:stage=0,"
+                        "delay=0.01' (overrides $REPRO_FAULTS)")
+    p.add_argument("--fault-seed", type=int, default=0,
+                   help="seed for the fault injector's randomness")
+    p.add_argument("--no-recovery", action="store_true",
+                   help="fail fast on stage crashes instead of recovering")
     args = p.parse_args(argv)
 
-    plan = ExecutionPlan.from_json(args.strategy)
+    plan = _load_plan(args.strategy)
     cfg = get_model(plan.model_name)
 
     if args.cluster is not None:
@@ -127,20 +184,48 @@ def dist_main(argv: list[str] | None = None) -> int:
     if plan.model_name.startswith("tiny-"):
         # real execution on the thread-pipelined runtime
         from .models.transformer import TinyDecoderLM
-        from .runtime.engine import PipelineRuntime
+        from .runtime.engine import PipelineRuntime, SupervisionConfig
 
+        injector = None
+        if args.fault_spec:
+            try:
+                injector = FaultInjector.from_spec(args.fault_spec, seed=args.fault_seed)
+            except ValueError as e:
+                return _fail(f"invalid --fault-spec: {e}")
+        else:
+            try:
+                injector = FaultInjector.from_env()
+            except ValueError as e:
+                return _fail(f"invalid $REPRO_FAULTS: {e}")
+
+        supervision = SupervisionConfig(enable_recovery=not args.no_recovery)
         ref = TinyDecoderLM(cfg, seed=args.seed)
         rng = np.random.default_rng(args.seed)
         prompts = rng.integers(
             0, cfg.vocab_size,
             size=(plan.workload.global_batch, plan.workload.prompt_len),
         )
-        with PipelineRuntime(ref, plan) as rt:
-            tokens = rt.generate(prompts, plan.workload.gen_len)
+        try:
+            with PipelineRuntime(
+                ref, plan, fault_injector=injector, supervision=supervision
+            ) as rt:
+                tokens = rt.generate(prompts, plan.workload.gen_len)
+        except RuntimeError as e:
+            return _fail(f"serving failed: {e}", code=3)
         print(
             f"generated {tokens.size} tokens in {rt.stats.total_seconds:.3f}s "
             f"({tokens.size / rt.stats.total_seconds:.1f} tok/s wall)"
         )
+        st = rt.stats
+        if injector is not None or st.retries or st.replans or st.degrade_events:
+            print(
+                f"recovery: {st.retries} retries, {st.stage_restarts} stage "
+                f"restarts, {st.degrade_events} degrades, {st.replans} replans, "
+                f"{st.recovery_seconds:.3f}s recovering"
+            )
+        if rt.plan is not rt.original_plan:
+            print("downgraded plan after device loss:", file=sys.stderr)
+            print(rt.plan.describe(), file=sys.stderr)
         return 0
 
     outcome = evaluate_plan(plan, cluster)

@@ -5,7 +5,13 @@ from .ilp import BitAssignmentILP, ILPSolution
 from .optimizer import CandidateRecord, LLMPQOptimizer, PlannerConfig, PlannerResult
 from .heuristic import adabits_plan, bitwidth_transfer, heuristic_optimize
 from .baselines import BaselineOutcome, flexgen_run, pipeedge_plan, uniform_plan
-from .api import ServingReport, compare_schemes, evaluate_plan, plan_llmpq
+from .api import (
+    ServingReport,
+    compare_schemes,
+    evaluate_plan,
+    plan_llmpq,
+    replan_after_failure,
+)
 from .validate import ValidationIssue, ValidationReport, validate_plan
 from .tensor_parallel import (
     TPPlanResult,
@@ -35,6 +41,7 @@ __all__ = [
     "compare_schemes",
     "evaluate_plan",
     "plan_llmpq",
+    "replan_after_failure",
     "ValidationIssue",
     "ValidationReport",
     "validate_plan",

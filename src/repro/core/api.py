@@ -30,7 +30,13 @@ from .heuristic import adabits_plan, heuristic_optimize
 from .optimizer import LLMPQOptimizer, PlannerConfig, PlannerResult
 from .plan import ExecutionPlan
 
-__all__ = ["ServingReport", "plan_llmpq", "evaluate_plan", "compare_schemes"]
+__all__ = [
+    "ServingReport",
+    "plan_llmpq",
+    "evaluate_plan",
+    "compare_schemes",
+    "replan_after_failure",
+]
 
 
 @dataclass(frozen=True)
@@ -157,6 +163,93 @@ def _report_offload(out: BaselineOutcome, model_name: str) -> ServingReport:
         throughput=out.offload.throughput,
         average_bits=float(out.bits or 16),
         offload=out.offload,
+    )
+
+
+def replan_after_failure(
+    plan: ExecutionPlan,
+    failed_stage: int,
+    *,
+    cluster: Cluster | None = None,
+    use_planner: bool = False,
+    theta: float = 1.0,
+    latency_model: LatencyModel | None = None,
+) -> ExecutionPlan:
+    """Re-plan onto the surviving devices after a permanent stage loss.
+
+    The runtime's last degradation rung: when a stage's device is gone
+    for good, its layers (with their assigned bitwidths) are
+    redistributed to the surviving neighbours — leading layers to the
+    upstream stage, trailing layers to the downstream one — preserving
+    pipeline order and per-layer quantization so the degraded plan's
+    outputs stay bit-identical to the original recipe.
+
+    With ``use_planner=True`` and a ``cluster``, a full LLM-PQ re-plan
+    is attempted on the surviving device set first (new partition *and*
+    new bitwidths for the shrunken cluster), falling back to the
+    deterministic redistribution if the planner finds nothing feasible.
+    """
+    if not 0 <= failed_stage < plan.num_stages:
+        raise ValueError(f"failed_stage {failed_stage} out of range")
+    if plan.num_stages == 1:
+        raise ValueError("no surviving devices to re-plan on")
+
+    meta = dict(plan.meta)
+    meta["replanned_after_stage_failure"] = failed_stage
+    meta["lost_device"] = plan.stages[failed_stage].device.name
+
+    if use_planner and cluster is not None:
+        from ..hardware.cluster import make_cluster
+
+        counts: dict[str, int] = {}
+        for j, st in enumerate(plan.stages):
+            if j == failed_stage:
+                continue
+            counts[st.device.type_name] = counts.get(st.device.type_name, 0) + 1
+        survivors = make_cluster(list(counts.items()), name="degraded")
+        result = plan_llmpq(
+            plan.model_name, survivors, plan.workload,
+            theta=theta, latency_model=latency_model,
+        )
+        if result.plan is not None:
+            replanned = result.plan
+            meta.update(replanned.meta)
+            return ExecutionPlan(
+                model_name=replanned.model_name,
+                stages=replanned.stages,
+                prefill_microbatch=replanned.prefill_microbatch,
+                decode_microbatch=replanned.decode_microbatch,
+                workload=replanned.workload,
+                meta=meta,
+            )
+
+    from .plan import StagePlan
+
+    stages = list(plan.stages)
+    failed = stages.pop(failed_stage)
+    if failed_stage == 0:
+        nxt = stages[0]
+        stages[0] = StagePlan(nxt.device, failed.layer_bits + nxt.layer_bits)
+    elif failed_stage == len(stages):  # was the last stage
+        prev = stages[-1]
+        stages[-1] = StagePlan(prev.device, prev.layer_bits + failed.layer_bits)
+    else:
+        k = (len(failed.layer_bits) + 1) // 2  # leading half upstream
+        prev = stages[failed_stage - 1]
+        nxt = stages[failed_stage]
+        stages[failed_stage - 1] = StagePlan(
+            prev.device, prev.layer_bits + failed.layer_bits[:k]
+        )
+        stages[failed_stage] = StagePlan(
+            nxt.device, failed.layer_bits[k:] + nxt.layer_bits
+        )
+    return ExecutionPlan(
+        model_name=plan.model_name,
+        stages=tuple(stages),
+        prefill_microbatch=plan.prefill_microbatch,
+        decode_microbatch=plan.decode_microbatch,
+        workload=plan.workload,
+        meta=meta,
     )
 
 

@@ -1,15 +1,45 @@
-"""Distributed serving runtime: master engine, stage workers, loaders."""
+"""Distributed serving runtime: master engine, stage workers, loaders,
+fault injection and supervised recovery."""
 
-from .engine import PipelineRuntime, RuntimeStats
+from .engine import (
+    PipelineControl,
+    PipelineRuntime,
+    RuntimeStats,
+    StageFailureError,
+    SupervisionConfig,
+)
+from .faults import (
+    FaultInjector,
+    InjectedFault,
+    KVAllocationError,
+    KVAllocPressure,
+    MessageCorruption,
+    MessageDrop,
+    PipelineStallError,
+    StageCrash,
+    Straggler,
+)
 from .kvcache import StageKVManager
 from .loader import LoadTimeline, StageLoad, load_stage_weights, simulate_loading
-from .messages import ActivationMessage, MergeMessage, ShutdownMessage
+from .messages import ActivationMessage, FailureMessage, MergeMessage, ShutdownMessage
 from .microbatch import MicroBatchManager
 from .worker import StageWorker
 
 __all__ = [
     "PipelineRuntime",
     "RuntimeStats",
+    "SupervisionConfig",
+    "PipelineControl",
+    "StageFailureError",
+    "FaultInjector",
+    "InjectedFault",
+    "KVAllocationError",
+    "PipelineStallError",
+    "StageCrash",
+    "Straggler",
+    "MessageDrop",
+    "MessageCorruption",
+    "KVAllocPressure",
     "StageKVManager",
     "StageLoad",
     "load_stage_weights",
@@ -18,6 +48,7 @@ __all__ = [
     "ActivationMessage",
     "MergeMessage",
     "ShutdownMessage",
+    "FailureMessage",
     "MicroBatchManager",
     "StageWorker",
 ]

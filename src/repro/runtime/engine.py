@@ -12,11 +12,32 @@ Because the computation is real, a runtime run on a tiny model can be
 checked token-for-token against the single-process reference
 (:func:`repro.models.generation.generate`), which is what the
 integration tests do.
+
+Fault tolerance (paper Sec. 5's recovery story, made concrete): every
+blocking wait is bounded, worker health is tracked through a shared
+:class:`PipelineControl`, and a stage failure triggers the degradation
+ladder
+
+1. **retry** — rebuild the dead workers from the *cached* quantized
+   shards (no re-quantization — the point of the on-the-fly loader) and
+   replay the batch.  Generation is seeded, so the replay is
+   token-for-token identical to an undisturbed run.
+2. **shrink** — on KV-allocation pressure, halve the decode group via
+   :class:`~repro.runtime.microbatch.MicroBatchManager` and keep
+   serving with smaller groups instead of crashing.
+3. **replan** — on a permanent device loss (a stage that dies on every
+   restart), call back into :func:`repro.core.api.replan_after_failure`
+   to redistribute its layers over the surviving devices and serve the
+   downgraded plan.
+
+Deterministic failures for all of this come from
+:class:`~repro.runtime.faults.FaultInjector`.
 """
 
 from __future__ import annotations
 
 import queue
+import threading
 import time
 from dataclasses import dataclass
 
@@ -25,22 +46,38 @@ import numpy as np
 from ..core.plan import ExecutionPlan
 from ..models.registry import get_model
 from ..models.transformer import TinyDecoderLM
+from .faults import FaultInjector, KVAllocationError, PipelineStallError
 from .loader import StageLoad, load_stage_weights
-from .messages import ActivationMessage, MergeMessage, ShutdownMessage
+from .messages import ActivationMessage, FailureMessage, MergeMessage, ShutdownMessage
+from .microbatch import MicroBatchManager
 from .worker import StageWorker
 
-__all__ = ["RuntimeStats", "PipelineRuntime"]
+__all__ = [
+    "RuntimeStats",
+    "SupervisionConfig",
+    "PipelineControl",
+    "StageFailureError",
+    "PipelineRuntime",
+]
 
 
 @dataclass
 class RuntimeStats:
-    """Wall-clock accounting of one :meth:`PipelineRuntime.generate`."""
+    """Wall-clock and fault accounting of a :class:`PipelineRuntime`."""
 
     prefill_seconds: float = 0.0
     decode_seconds: float = 0.0
     prefill_microbatches: int = 0
     decode_groups: int = 0
     tokens_generated: int = 0
+    # --- fault-tolerance counters -------------------------------------
+    retries: int = 0             #: batch replays after a stage failure
+    stage_restarts: int = 0      #: workers rebuilt from cached shards
+    degrade_events: int = 0      #: decode-group shrinks under KV pressure
+    kv_alloc_failures: int = 0   #: KV allocations denied
+    replans: int = 0             #: plans rebuilt after permanent device loss
+    replayed_microbatches: int = 0  #: in-flight units lost to failures
+    recovery_seconds: float = 0.0   #: wall-clock spent rebuilding workers
 
     @property
     def total_seconds(self) -> float:
@@ -48,8 +85,57 @@ class RuntimeStats:
         return self.prefill_seconds + self.decode_seconds
 
 
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Bounds and switches for the runtime's fault handling."""
+
+    queue_timeout: float = 30.0      #: master wait for pipeline progress
+    heartbeat_interval: float = 0.05  #: worker poll / heartbeat granularity
+    join_timeout: float = 5.0        #: per-worker stop() join bound
+    max_retries: int = 3             #: batch replays before escalating
+    max_replans: int = 2             #: device losses tolerated per runtime
+    enable_recovery: bool = True     #: False = fail fast with RuntimeError
+    degrade_on_kv_pressure: bool = True
+    replan_on_permanent_failure: bool = False
+
+
+class PipelineControl:
+    """Shared control plane: first-failure record + abort flag.
+
+    Workers report crashes here; every worker (and the master's
+    collector) polls :meth:`aborted` between bounded queue waits, so a
+    failure propagates to *both* pipeline directions without relying on
+    the data path.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._abort = threading.Event()
+        self.failure: tuple[int, BaseException] | None = None
+
+    def report_failure(self, stage_idx: int, exc: BaseException) -> None:
+        """Record the first failure and raise the abort flag."""
+        with self._lock:
+            if self.failure is None:
+                self.failure = (stage_idx, exc)
+        self._abort.set()
+
+    def aborted(self) -> bool:
+        """True once any stage has failed."""
+        return self._abort.is_set()
+
+
+class StageFailureError(RuntimeError):
+    """Internal signal: a serving attempt died and may be retried."""
+
+    def __init__(self, stage_idx: int | None, cause: BaseException, message: str):
+        super().__init__(message)
+        self.stage_idx = stage_idx
+        self.cause = cause
+
+
 class PipelineRuntime:
-    """Thread-pipelined executor for tiny models.
+    """Supervised thread-pipelined executor for tiny models.
 
     Parameters
     ----------
@@ -59,58 +145,140 @@ class PipelineRuntime:
     plan:
         The assigner's output.  ``plan.model_name`` must match the
         reference's config.
+    fault_injector:
+        Optional deterministic fault driver (crashes, stragglers,
+        drops, corruption, KV pressure).
+    supervision:
+        Timeouts and retry/degradation bounds; the defaults recover
+        transparently from transient faults.
     """
 
-    def __init__(self, reference: TinyDecoderLM, plan: ExecutionPlan) -> None:
+    def __init__(
+        self,
+        reference: TinyDecoderLM,
+        plan: ExecutionPlan,
+        *,
+        fault_injector: FaultInjector | None = None,
+        supervision: SupervisionConfig | None = None,
+    ) -> None:
         cfg = get_model(plan.model_name)
         if cfg != reference.cfg:
             raise ValueError("plan and reference model configs differ")
         self.cfg = cfg
         self.reference = reference
         self.plan = plan
+        self.original_plan = plan
+        self.injector = fault_injector
+        self.supervision = supervision or SupervisionConfig()
 
         # prepared (quantized) shard weights are cached so that failure
         # recovery does not pay the quantization cost again — the point
         # of the paper's on-the-fly loader (Sec. 5)
         self._loads: list[StageLoad] = []
+        self._build_loads()
+        self.queues: list[queue.Queue] = []
+        self.workers: list[StageWorker] = []
+        self.control = PipelineControl()
+        self._build_pipeline()
+        self._alive = True
+        self._decode_microbatch = plan.decode_microbatch
+        self._mbm: MicroBatchManager | None = None
+        self.stats = RuntimeStats()
+
+    def _build_loads(self) -> None:
+        self._loads = []
         offset = 0
-        for stage in plan.stages:
+        for stage in self.plan.stages:
             indices = list(range(offset, offset + stage.num_layers))
             offset += stage.num_layers
             self._loads.append(
-                load_stage_weights(reference, indices, stage.layer_bits)
+                load_stage_weights(self.reference, indices, stage.layer_bits)
             )
-        self.queues: list[queue.Queue] = []
-        self.workers: list[StageWorker] = []
-        self._build_pipeline()
-        self._alive = True
-        self.stats = RuntimeStats()
 
     def _build_pipeline(self) -> None:
+        self.control = PipelineControl()
         self.queues = [queue.Queue() for _ in range(self.plan.num_stages + 1)]
         self.workers = [
-            StageWorker(j, self.cfg, load, self.queues[j], self.queues[j + 1])
+            StageWorker(
+                j, self.cfg, load, self.queues[j], self.queues[j + 1],
+                injector=self.injector,
+                control=self.control,
+                poll_interval=self.supervision.heartbeat_interval,
+            )
             for j, load in enumerate(self._loads)
         ]
         for w in self.workers:
             w.start()
 
-    def recover(self) -> None:
-        """Rebuild the pipeline after a stage failure.
+    # ------------------------------------------------------------------
+    # Recovery machinery
+    # ------------------------------------------------------------------
+    def _restart_stages(self) -> None:
+        """Tear the pipeline down and rebuild it from the cached shards.
 
-        Dead workers are discarded, live ones shut down, and fresh
-        workers are started from the *cached* quantized shards — KV state
-        is lost (the in-flight batch must be re-served), but weight
-        preparation is skipped, which is the recovery-speed win the
-        paper's loading plugin claims.
+        KV state is lost (the in-flight batch must be re-served), but
+        weight preparation is skipped, which is the recovery-speed win
+        the paper's loading plugin claims.
         """
-        for j, w in enumerate(self.workers):
-            if w.is_alive():
-                self.queues[j].put(ShutdownMessage())
+        t0 = time.perf_counter()
+        crashed = sum(1 for w in self.workers if w.error is not None)
+        stuck: list[str] = []
         for w in self.workers:
-            w.join(timeout=5.0)
+            try:
+                w.stop(timeout=self.supervision.join_timeout)
+            except RuntimeError as e:  # pragma: no cover - defensive
+                stuck.append(str(e))
+            if self.injector is not None:
+                self.injector.notify_restart(w.stage_idx)
+        if stuck:  # pragma: no cover - defensive
+            raise RuntimeError("; ".join(stuck))
         self._build_pipeline()
+        self.stats.stage_restarts += max(crashed, 1)
+        self.stats.recovery_seconds += time.perf_counter() - t0
+
+    def recover(self) -> None:
+        """Rebuild the pipeline after a stage failure (public, manual)."""
+        self._restart_stages()
         self._alive = True
+
+    def _replan_without_stage(self, failed_stage: int) -> None:
+        """Degrade the plan: drop the dead stage's device, redistribute
+        its layers to the surviving neighbours, rebuild shards + workers."""
+        from ..core.api import replan_after_failure
+
+        new_plan = replan_after_failure(self.plan, failed_stage)
+        if self.injector is not None:
+            self.injector.retire_stage(failed_stage)
+        self.plan = new_plan
+        self._decode_microbatch = min(self._decode_microbatch, new_plan.decode_microbatch)
+        t0 = time.perf_counter()
+        self._build_loads()  # new stage boundaries: shards must be re-cut
+        self.stats.recovery_seconds += time.perf_counter() - t0
+        self._restart_stages()
+        self.stats.replans += 1
+
+    def _shrink_decode_group(self) -> bool:
+        floor = min(self.plan.prefill_microbatch, self._decode_microbatch)
+        new = max(floor, self._decode_microbatch // 2)
+        if new == self._decode_microbatch:
+            return False
+        self._decode_microbatch = new
+        return True
+
+    def _fail_cleanly(self, err: StageFailureError) -> None:
+        """Stop everything and surface a clean RuntimeError (no deadlock)."""
+        self._alive = False
+        problems: list[str] = []
+        for w in self.workers:
+            try:
+                w.stop(timeout=self.supervision.join_timeout)
+            except RuntimeError as e:  # pragma: no cover - defensive
+                problems.append(str(e))
+        detail = f" ({'; '.join(problems)})" if problems else ""
+        where = (
+            f"stage {err.stage_idx}" if err.stage_idx is not None else "pipeline"
+        )
+        raise RuntimeError(f"{where} failed: {err.cause!r}{detail}") from err.cause
 
     # ------------------------------------------------------------------
     @property
@@ -123,26 +291,73 @@ class PipelineRuntime:
         """Outbound queue of the last stage."""
         return self.queues[-1]
 
-    def _collect(self, count: int, timeout: float = 60.0) -> dict[int, ActivationMessage]:
-        out: dict[int, ActivationMessage] = {}
-        deadline = time.monotonic() + timeout
-        while len(out) < count:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise TimeoutError("pipeline stalled")
-            msg = self.tail.get(timeout=remaining)
+    def _check_health(self) -> None:
+        if self.control.failure is not None:
+            stage_idx, exc = self.control.failure
+            raise StageFailureError(
+                stage_idx, exc, f"stage {stage_idx} failed: {exc!r}"
+            )
+        for w in self.workers:
+            if not w.is_alive():
+                exc = w.error or RuntimeError(f"stage {w.stage_idx} worker died")
+                raise StageFailureError(
+                    w.stage_idx, exc, f"stage {w.stage_idx} died: {exc!r}"
+                )
+
+    def _next_message(self, what: str):
+        """Bounded wait on the tail with health checks between polls.
+
+        The deadline measures *progress*: it spans one message, not the
+        whole phase, so slow-but-alive stages (stragglers) never trip it
+        while a dropped message or a silent wedge does.
+        """
+        deadline = time.monotonic() + self.supervision.queue_timeout
+        while True:
+            self._check_health()
+            try:
+                msg = self.tail.get(timeout=min(self.supervision.heartbeat_interval, 0.05))
+            except queue.Empty:
+                if time.monotonic() >= deadline:
+                    cause = PipelineStallError(
+                        f"no progress for {self.supervision.queue_timeout:.1f}s "
+                        f"while waiting for {what}"
+                    )
+                    raise StageFailureError(None, cause, str(cause))
+                continue
+            if isinstance(msg, FailureMessage):
+                stage_idx = msg.stage_idx
+                exc = next(
+                    (w.error for w in self.workers
+                     if w.stage_idx == stage_idx and w.error is not None),
+                    None,
+                ) or RuntimeError(msg.error)
+                raise StageFailureError(
+                    stage_idx, exc, f"stage {stage_idx} failed: {msg.error}"
+                )
             if isinstance(msg, ShutdownMessage):
-                self._raise_worker_error()
-                raise RuntimeError("pipeline shut down unexpectedly")
+                cause = RuntimeError("pipeline shut down unexpectedly")
+                raise StageFailureError(None, cause, str(cause))
+            return msg
+
+    def _collect(
+        self, count: int, mbm: MicroBatchManager | None = None
+    ) -> dict[int, ActivationMessage]:
+        out: dict[int, ActivationMessage] = {}
+        while len(out) < count:
+            msg = self._next_message(f"activation {len(out) + 1}/{count}")
             if isinstance(msg, MergeMessage):
                 continue  # merge acks surface here, ignore
             out[msg.microbatch_id] = msg
+            if mbm is not None:
+                mbm.mark_done(msg.microbatch_id)
         return out
 
-    def _raise_worker_error(self) -> None:
-        for w in self.workers:
-            if w.error is not None:
-                raise RuntimeError(f"stage {w.stage_idx} failed") from w.error
+    def _collect_merge_acks(self, count: int) -> None:
+        acks = 0
+        while acks < count:
+            msg = self._next_message(f"merge ack {acks + 1}/{count}")
+            if isinstance(msg, MergeMessage):
+                acks += 1
 
     def _logits_last(self, hidden: np.ndarray) -> np.ndarray:
         """Master post-processing: final LN + tied LM head, last position."""
@@ -152,79 +367,111 @@ class PipelineRuntime:
     def generate(
         self, prompts: np.ndarray, num_tokens: int, *, greedy: bool = True, seed: int = 0
     ) -> np.ndarray:
-        """Serve one offline batch; returns ``(batch, num_tokens)`` ids."""
+        """Serve one offline batch; returns ``(batch, num_tokens)`` ids.
+
+        Supervised: stage crashes, stalls and KV pressure inside the
+        attempt are handled per the degradation ladder (retry → shrink
+        decode group → replan) within the configured bounds; only when
+        the ladder is exhausted — or recovery is disabled — does a
+        :class:`RuntimeError` escape, and it does so within the
+        configured timeouts rather than deadlocking.
+        """
         if not self._alive:
             raise RuntimeError("runtime already shut down")
         prompts = np.asarray(prompts)
-        batch, s = prompts.shape
         if num_tokens <= 0:
             raise ValueError("num_tokens must be positive")
+        sup = self.supervision
+        retries = 0
+        while True:
+            try:
+                return self._serve_batch(prompts, num_tokens, greedy, seed)
+            except StageFailureError as err:
+                if self._mbm is not None:
+                    self.stats.replayed_microbatches += len(self._mbm.inflight_ids())
+                if not sup.enable_recovery:
+                    self._fail_cleanly(err)
+                if (
+                    isinstance(err.cause, KVAllocationError)
+                    and sup.degrade_on_kv_pressure
+                ):
+                    self.stats.kv_alloc_failures += 1
+                    if self._shrink_decode_group():
+                        # shrinking is finitely repeatable (halving hits
+                        # the prefill floor), so it has its own budget
+                        self.stats.degrade_events += 1
+                        self._restart_stages()
+                        continue
+                retries += 1
+                self.stats.retries += 1
+                if retries > sup.max_retries:
+                    if (
+                        sup.replan_on_permanent_failure
+                        and err.stage_idx is not None
+                        and self.plan.num_stages > 1
+                        and self.stats.replans < sup.max_replans
+                    ):
+                        self._replan_without_stage(err.stage_idx)
+                        retries = 0
+                        continue
+                    self._fail_cleanly(err)
+                self._restart_stages()
+
+    def _serve_batch(
+        self, prompts: np.ndarray, num_tokens: int, greedy: bool, seed: int
+    ) -> np.ndarray:
+        """One unsupervised serving attempt (raises StageFailureError)."""
         rng = np.random.default_rng(seed)
-        mb_p = min(self.plan.prefill_microbatch, batch)
-        mb_d = min(self.plan.decode_microbatch, batch)
+        batch, s = prompts.shape
+        mbm = MicroBatchManager(
+            batch,
+            min(self.plan.prefill_microbatch, batch),
+            min(self._decode_microbatch, batch),
+        )
+        self._mbm = mbm
 
         # ---------------- prefill (all units in flight at once) --------
         t0 = time.perf_counter()
-        unit_slices: list[slice] = []
-        for uid, lo in enumerate(range(0, batch, mb_p)):
-            sl = slice(lo, min(lo + mb_p, batch))
-            unit_slices.append(sl)
+        for uid, sl in mbm.prefill_units:
             x = self.reference._embed(prompts[sl], 0)
+            mbm.mark_inflight(uid)
             self.head.put(
                 ActivationMessage(
                     microbatch_id=uid, phase="prefill", start=0,
                     hidden=x, reserve=num_tokens,
                 )
             )
-        outs = self._collect(len(unit_slices))
+        outs = self._collect(mbm.num_prefill_microbatches, mbm)
         tokens = np.empty((batch, num_tokens), dtype=np.int64)
         current = np.empty(batch, dtype=np.int64)
-        for uid, sl in enumerate(unit_slices):
+        for uid, sl in mbm.prefill_units:
             logits = self._logits_last(outs[uid].hidden)
             current[sl] = _pick(logits, greedy, rng)
         tokens[:, 0] = current
         self.stats.prefill_seconds += time.perf_counter() - t0
-        self.stats.prefill_microbatches += len(unit_slices)
+        self.stats.prefill_microbatches += mbm.num_prefill_microbatches
 
         # ---------------- regroup for decode ---------------------------
         t1 = time.perf_counter()
-        units_per_group = max(1, mb_d // mb_p)
-        groups: list[tuple[int, slice]] = []
-        gid_base = 10_000  # distinct id space for merged groups
-        uid = 0
-        g = 0
-        while uid < len(unit_slices):
-            members = tuple(range(uid, min(uid + units_per_group, len(unit_slices))))
-            lo = unit_slices[members[0]].start
-            hi = unit_slices[members[-1]].stop
-            gid = gid_base + g
+        groups = mbm.decode_groups
+        for gid, members, _sl in groups:
             self.head.put(MergeMessage(group_id=gid, member_ids=members))
-            groups.append((gid, slice(lo, hi)))
-            uid += units_per_group
-            g += 1
-        # wait for merge acks to clear the pipe (they arrive at the tail)
-        acks = 0
-        while acks < len(groups):
-            msg = self.tail.get(timeout=60.0)
-            if isinstance(msg, ShutdownMessage):
-                self._raise_worker_error()
-                raise RuntimeError("pipeline shut down unexpectedly")
-            if isinstance(msg, MergeMessage):
-                acks += 1
-        self.stats.decode_groups = len(groups)
+        self._collect_merge_acks(len(groups))
+        self.stats.decode_groups = mbm.num_decode_groups
 
         # ---------------- decode loop -----------------------------------
         for step in range(1, num_tokens):
             start = s + step - 1
-            for gid, sl in groups:
+            for gid, _members, sl in groups:
                 x = self.reference._embed(current[sl].reshape(-1, 1), start)
+                mbm.mark_inflight(gid)
                 self.head.put(
                     ActivationMessage(
                         microbatch_id=gid, phase="decode", start=start, hidden=x
                     )
                 )
-            outs = self._collect(len(groups))
-            for gid, sl in groups:
+            outs = self._collect(len(groups), mbm)
+            for gid, _members, sl in groups:
                 logits = self._logits_last(outs[gid].hidden)
                 current[sl] = _pick(logits, greedy, rng)
             tokens[:, step] = current
@@ -234,25 +481,23 @@ class PipelineRuntime:
         # free decode groups for the next batch
         for w in self.workers:
             w.kv.free_all()
+        self._mbm = None
         return tokens
 
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
-        """Stop all stage workers and drain the pipeline (idempotent)."""
+        """Stop all stage workers and join with escalation (idempotent)."""
         if not self._alive:
             return
-        self.head.put(ShutdownMessage())
-        # the shutdown message propagates to the tail when all stages exit
-        try:
-            while True:
-                msg = self.tail.get(timeout=10.0)
-                if isinstance(msg, ShutdownMessage):
-                    break
-        except queue.Empty:  # pragma: no cover - defensive
-            pass
-        for w in self.workers:
-            w.join(timeout=5.0)
         self._alive = False
+        problems: list[str] = []
+        for w in self.workers:
+            try:
+                w.stop(timeout=self.supervision.join_timeout)
+            except RuntimeError as e:  # pragma: no cover - defensive
+                problems.append(str(e))
+        if problems:  # pragma: no cover - defensive
+            raise RuntimeError("shutdown leaked threads: " + "; ".join(problems))
 
     def __enter__(self) -> "PipelineRuntime":
         return self

@@ -5,11 +5,19 @@ Each stage worker owns one :class:`StageKVCache` per live cache unit
 slots exactly like the paper's runtime (Sec. 5: pre-allocated KV cache).
 The manager also keeps a byte ledger so tests can assert the runtime's
 peak KV memory matches the analytical cost model.
+
+An optional ``alloc_guard`` callable is consulted with the requested
+byte count before every allocation (including the transient copy a
+merge makes); it may raise
+:class:`~repro.runtime.faults.KVAllocationError` to model memory
+pressure — the hook the fault injector uses to drive the runtime's
+degrade-and-replan ladder.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -26,9 +34,14 @@ class StageKVManager:
     hidden_size: int
     caches: dict[int, KVCache] = field(default_factory=dict)
     peak_bytes: float = 0.0
+    alloc_guard: Callable[[float], None] | None = None
 
     def _track(self) -> None:
         self.peak_bytes = max(self.peak_bytes, self.current_bytes)
+
+    def _check_guard(self, requested_bytes: float) -> None:
+        if self.alloc_guard is not None:
+            self.alloc_guard(requested_bytes)
 
     @property
     def current_bytes(self) -> float:
@@ -41,6 +54,9 @@ class StageKVManager:
         """Pre-allocate a cache unit (idempotent per id)."""
         if unit_id in self.caches:
             return self.caches[unit_id]
+        # k + v, float64 — checked against the guard before committing
+        requested = 2.0 * self.num_layers * batch * max_len * self.hidden_size * 8
+        self._check_guard(requested)
         cache = KVCache.allocate(self.num_layers, batch, max_len, self.hidden_size)
         self.caches[unit_id] = cache
         self._track()
@@ -56,15 +72,21 @@ class StageKVManager:
     def merge(self, group_id: int, member_ids: tuple[int, ...]) -> KVCache:
         """Concatenate member units along the batch axis into one group.
 
+        Members are concatenated in ascending unit-id order regardless of
+        the order ``member_ids`` arrives in — unit ids are assigned in
+        global-batch order, so this keeps the merged rows aligned with
+        the master's batch slices even if control messages are reordered.
+
         All members must be at the same fill ``length`` (they are — the
         offline task pads prompts to a uniform ``s``).  Members are freed
         after merging, so peak memory is ~2x the group transiently, which
         the ledger records faithfully.
         """
-        members = [self.get(m) for m in member_ids]
+        members = [self.get(m) for m in sorted(member_ids)]
         lengths = {m.length for m in members}
         if len(lengths) != 1:
             raise ValueError(f"cannot merge units at different lengths: {lengths}")
+        self._check_guard(float(sum(m.k.nbytes + m.v.nbytes for m in members)))
         k = np.concatenate([m.k for m in members], axis=1)
         v = np.concatenate([m.v for m in members], axis=1)
         merged = KVCache(k=k, v=v, length=members[0].length)

@@ -14,7 +14,7 @@ from typing import Literal
 
 import numpy as np
 
-__all__ = ["ActivationMessage", "MergeMessage", "ShutdownMessage"]
+__all__ = ["ActivationMessage", "MergeMessage", "ShutdownMessage", "FailureMessage"]
 
 
 @dataclass
@@ -56,3 +56,17 @@ class MergeMessage:
 @dataclass
 class ShutdownMessage:
     """Propagates through the pipeline, stopping each worker in turn."""
+
+
+@dataclass
+class FailureMessage:
+    """A stage crashed.
+
+    Emitted by the failing worker on its outbound queue and forwarded
+    by every downstream stage so the master's collector unblocks
+    immediately (the upstream direction is covered by the shared
+    control-plane abort flag that all workers poll).
+    """
+
+    stage_idx: int
+    error: str

@@ -43,6 +43,11 @@ class MicroBatchManager:
         from whole prefill units, so the effective decode size is
         ``prefill_microbatch * ceil(decode_microbatch / prefill_microbatch)``
         capped at the global batch — the closest realizable regrouping.
+
+    Under KV memory pressure the engine calls :meth:`shrink_decode` to
+    halve the decode group size (down to one prefill unit per group) and
+    regroup, rather than crashing — one rung of the runtime's
+    degradation ladder.
     """
 
     GROUP_ID_BASE = 10_000
@@ -64,6 +69,9 @@ class MicroBatchManager:
             _Unit(uid, lo, min(lo + self.prefill_microbatch, global_batch))
             for uid, lo in enumerate(range(0, global_batch, self.prefill_microbatch))
         ]
+        self._rebuild_groups()
+
+    def _rebuild_groups(self) -> None:
         per_group = max(1, self.decode_microbatch // self.prefill_microbatch)
         self._groups: list[tuple[int, tuple[int, ...], slice]] = []
         for g, lo_idx in enumerate(range(0, len(self._units), per_group)):
@@ -98,6 +106,24 @@ class MicroBatchManager:
         return len(self._groups)
 
     # ------------------------------------------------------------------
+    def shrink_decode(self) -> bool:
+        """Halve the decode group size and regroup (degradation rung).
+
+        Returns ``False`` when already at the floor (one prefill unit
+        per decode group) — the ladder must escalate instead.  Safe to
+        call between serving attempts; group ids are reissued from
+        :data:`GROUP_ID_BASE`, so callers must re-merge.
+        """
+        with self._lock:
+            floor = self.prefill_microbatch
+            new = max(floor, self.decode_microbatch // 2)
+            if new == self.decode_microbatch:
+                return False
+            self.decode_microbatch = new
+            self._rebuild_groups()
+            return True
+
+    # ------------------------------------------------------------------
     def mark_inflight(self, unit_id: int) -> None:
         """Record a unit entering the pipeline (errors on double entry)."""
         with self._lock:
@@ -115,3 +141,16 @@ class MicroBatchManager:
         """Units currently in the pipeline."""
         with self._lock:
             return len(self._inflight)
+
+    def inflight_ids(self) -> tuple[int, ...]:
+        """Snapshot of the in-flight ledger (sorted unit/group ids).
+
+        On a stage failure this is exactly the set of micro-batches the
+        recovery path must replay."""
+        with self._lock:
+            return tuple(sorted(self._inflight))
+
+    def clear_inflight(self) -> None:
+        """Reset the ledger (the pipeline was rebuilt; nothing survives)."""
+        with self._lock:
+            self._inflight.clear()

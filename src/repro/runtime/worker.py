@@ -7,18 +7,28 @@ same :func:`~repro.models.transformer.decoder_block` computation as the
 reference model, and forwards the result — the runtime therefore
 *executes* plans rather than merely costing them, and its outputs are
 bit-for-bit comparable against a single-process run.
+
+Supervision: the message loop never blocks unboundedly.  Every inbound
+``get`` uses a short timeout; between polls the worker refreshes its
+heartbeat and checks both its own stop flag and the shared control
+plane's abort flag, so a failure anywhere in the pipeline propagates in
+*both* directions — downstream via a :class:`FailureMessage` riding the
+data path, upstream via the abort flag — and no neighbour can deadlock
+on a dead stage.
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 
 from ..models.config import ModelConfig
 from ..models.transformer import decoder_block
+from .faults import FaultInjector
 from .kvcache import StageKVManager
 from .loader import StageLoad
-from .messages import ActivationMessage, MergeMessage, ShutdownMessage
+from .messages import ActivationMessage, FailureMessage, MergeMessage, ShutdownMessage
 
 __all__ = ["StageWorker"]
 
@@ -36,6 +46,17 @@ class StageWorker(threading.Thread):
         The shard's prepared (quantized) weights.
     inbound / outbound:
         Message queues toward the previous / next hop.
+    injector:
+        Optional :class:`~repro.runtime.faults.FaultInjector` consulted
+        on every activation (and on every KV allocation via the
+        manager's guard).
+    control:
+        Optional shared control plane (the engine's
+        :class:`~repro.runtime.engine.PipelineControl`): crashes are
+        reported to it and its abort flag is polled so the whole
+        pipeline unwinds together.
+    poll_interval:
+        Heartbeat granularity: the bound on every blocking queue wait.
     """
 
     def __init__(
@@ -45,6 +66,10 @@ class StageWorker(threading.Thread):
         load: StageLoad,
         inbound: "queue.Queue",
         outbound: "queue.Queue",
+        *,
+        injector: FaultInjector | None = None,
+        control=None,
+        poll_interval: float = 0.05,
     ) -> None:
         super().__init__(name=f"stage-{stage_idx}", daemon=True)
         self.stage_idx = stage_idx
@@ -52,11 +77,18 @@ class StageWorker(threading.Thread):
         self.load = load
         self.inbound = inbound
         self.outbound = outbound
+        self.injector = injector
+        self.control = control
+        self.poll_interval = poll_interval
         self.kv = StageKVManager(
-            num_layers=len(load.layers), hidden_size=cfg.hidden_size
+            num_layers=len(load.layers),
+            hidden_size=cfg.hidden_size,
+            alloc_guard=injector.kv_guard(stage_idx) if injector else None,
         )
         self.processed_messages = 0
         self.error: BaseException | None = None
+        self.heartbeat = time.monotonic()
+        self._stop_event = threading.Event()
 
     # ------------------------------------------------------------------
     def _process(self, msg: ActivationMessage) -> ActivationMessage:
@@ -80,21 +112,77 @@ class StageWorker(threading.Thread):
             reserve=msg.reserve,
         )
 
+    def _should_exit(self) -> bool:
+        if self._stop_event.is_set():
+            return True
+        return self.control is not None and self.control.aborted()
+
     def run(self) -> None:  # pragma: no cover - exercised via engine tests
         """Message loop: process activations until shutdown or failure."""
         try:
             while True:
-                msg = self.inbound.get()
+                self.heartbeat = time.monotonic()
+                if self._should_exit():
+                    return
+                try:
+                    msg = self.inbound.get(timeout=self.poll_interval)
+                except queue.Empty:
+                    continue
                 if isinstance(msg, ShutdownMessage):
                     self.outbound.put(msg)
                     return
+                if isinstance(msg, FailureMessage):
+                    self.outbound.put(msg)  # forward toward the master
+                    continue
                 if isinstance(msg, MergeMessage):
                     self.kv.merge(msg.group_id, msg.member_ids)
                     self.outbound.put(msg)
                     continue
+                if self.injector is not None:
+                    action = self.injector.on_activation(
+                        self.stage_idx, sleep=self._stop_event.wait
+                    )
+                    if action == "drop":
+                        continue
+                    if action == "corrupt":
+                        msg = ActivationMessage(
+                            microbatch_id=msg.microbatch_id,
+                            phase=msg.phase,
+                            start=msg.start,
+                            hidden=self.injector.corrupt(
+                                self.stage_idx,
+                                msg.hidden,
+                                self.injector.corruption_scale(self.stage_idx),
+                            ),
+                            reserve=msg.reserve,
+                        )
                 out = self._process(msg)
                 self.processed_messages += 1
                 self.outbound.put(out)
         except BaseException as exc:  # surface worker crashes to the master
             self.error = exc
-            self.outbound.put(ShutdownMessage())
+            if self.control is not None:
+                self.control.report_failure(self.stage_idx, exc)
+            self.outbound.put(FailureMessage(self.stage_idx, repr(exc)))
+
+    # ------------------------------------------------------------------
+    def stop(self, timeout: float = 5.0) -> None:
+        """Stop the worker and join, escalating instead of leaking.
+
+        A polite :class:`ShutdownMessage` wakes a worker blocked on its
+        inbound queue immediately; the stop flag covers every other loop
+        position.  If the thread still refuses to exit after a second
+        grace period (it can only be wedged inside a single layer's
+        matmul), a :class:`RuntimeError` names the leaked thread instead
+        of silently abandoning it.
+        """
+        self.inbound.put(ShutdownMessage())
+        self._stop_event.set()
+        self.join(timeout=timeout)
+        if self.is_alive():
+            self.join(timeout=timeout)  # escalation grace period
+            if self.is_alive():
+                raise RuntimeError(
+                    f"stage {self.stage_idx} worker thread failed to stop "
+                    f"within {2 * timeout:.1f}s (leaked thread {self.name!r})"
+                )

@@ -10,7 +10,14 @@ from .kernels import (
 from .comm import activation_bytes, boundary_links, stage_comm_time
 from .pipeline import PipelineResult, StageReport, simulate_pipeline
 from .events import ScheduleResult, Task, simulate_task_graph
-from .pipeline_des import DESResult, simulate_pipeline_des
+from .pipeline_des import (
+    DESResult,
+    FaultModel,
+    FaultyDESResult,
+    mtbf_sweep,
+    simulate_pipeline_des,
+    simulate_pipeline_des_with_faults,
+)
 from .online import (
     OnlineRequest,
     OnlineResult,
@@ -46,6 +53,10 @@ __all__ = [
     "simulate_task_graph",
     "DESResult",
     "simulate_pipeline_des",
+    "FaultModel",
+    "FaultyDESResult",
+    "simulate_pipeline_des_with_faults",
+    "mtbf_sweep",
     "OnlineRequest",
     "OnlineResult",
     "sample_poisson_trace",

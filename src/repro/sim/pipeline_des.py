@@ -24,7 +24,14 @@ from .comm import boundary_links, stage_comm_time
 from .events import ScheduleResult, Task, simulate_task_graph
 from .kernels import embedding_exec_time, layer_exec_times_decode_sweep, layer_exec_time
 
-__all__ = ["DESResult", "simulate_pipeline_des"]
+__all__ = [
+    "DESResult",
+    "simulate_pipeline_des",
+    "FaultModel",
+    "FaultyDESResult",
+    "simulate_pipeline_des_with_faults",
+    "mtbf_sweep",
+]
 
 
 @dataclass(frozen=True)
@@ -34,6 +41,52 @@ class DESResult:
     total_latency: float
     schedule: ScheduleResult
     num_tasks: int
+
+
+@dataclass(frozen=True)
+class FaultModel:
+    """MTBF-style failure trace mirroring the runtime's fault handling.
+
+    Stage crashes arrive as a seeded Poisson process with mean
+    inter-arrival ``mtbf_seconds`` (aggregated over the whole pipeline).
+    Each crash costs ``restart_seconds`` of worker rebuild (cheap,
+    because shards are cached quantized — the paper's loading plugin)
+    plus the lost work.  ``replay_from_start=True`` models the real
+    runtime, which replays the whole batch after a failure because KV
+    state is stage-local and unrecoverable; ``False`` is the ideal
+    per-step-checkpoint lower bound, useful as the other end of the
+    bracket in MTBF sweeps.
+    """
+
+    mtbf_seconds: float
+    restart_seconds: float = 0.0
+    seed: int = 0
+    max_failures: int = 1000
+    replay_from_start: bool = True
+
+    def __post_init__(self) -> None:
+        if self.mtbf_seconds <= 0:
+            raise ValueError("mtbf_seconds must be positive")
+        if self.restart_seconds < 0:
+            raise ValueError("restart_seconds must be non-negative")
+
+
+@dataclass(frozen=True)
+class FaultyDESResult:
+    """DES makespan under a failure trace, plus recovery accounting."""
+
+    total_latency: float
+    fault_free_latency: float
+    num_failures: int
+    downtime_seconds: float
+    completed: bool
+
+    @property
+    def recovery_overhead(self) -> float:
+        """Relative latency inflation caused by failures."""
+        if self.fault_free_latency <= 0:
+            return 0.0
+        return self.total_latency / self.fault_free_latency - 1.0
 
 
 def _stage_times(plan: ExecutionPlan, cluster: Cluster):
@@ -216,3 +269,75 @@ def simulate_pipeline_des(
         schedule=schedule,
         num_tasks=len(tasks),
     )
+
+
+def simulate_pipeline_des_with_faults(
+    plan: ExecutionPlan,
+    cluster: Cluster,
+    faults: FaultModel,
+    *,
+    async_comm: bool = False,
+) -> FaultyDESResult:
+    """Batch latency under ``plan`` when stages crash per ``faults``.
+
+    The fault-free DES makespan is the batch's work requirement; the
+    failure trace then overlays the runtime's recovery semantics: a
+    crash wastes the uptime accumulated since the last consistent point
+    (batch start when ``replay_from_start``, the crash instant
+    otherwise) and adds ``restart_seconds`` of rebuild before serving
+    resumes.  Deterministic for a given seed, so planner evaluations
+    under failure traces (MTBF sweeps) are reproducible.
+    """
+    base = simulate_pipeline_des(plan, cluster, async_comm=async_comm)
+    work = base.total_latency
+    rng = np.random.default_rng(faults.seed)
+
+    wall = 0.0
+    progress = 0.0
+    failures = 0
+    completed = False
+    while failures <= faults.max_failures:
+        gap = float(rng.exponential(faults.mtbf_seconds))
+        remaining = work - progress
+        if gap >= remaining:
+            wall += remaining
+            completed = True
+            break
+        wall += gap + faults.restart_seconds
+        failures += 1
+        if faults.replay_from_start:
+            progress = 0.0  # KV state is stage-local: the batch replays
+        else:
+            progress += gap  # ideal checkpoint: only the restart is lost
+    total = wall if completed else float("inf")
+    return FaultyDESResult(
+        total_latency=total,
+        fault_free_latency=work,
+        num_failures=failures,
+        downtime_seconds=(total - work) if completed else float("inf"),
+        completed=completed,
+    )
+
+
+def mtbf_sweep(
+    plan: ExecutionPlan,
+    cluster: Cluster,
+    mtbf_values: "list[float] | tuple[float, ...]",
+    *,
+    restart_seconds: float = 0.0,
+    seed: int = 0,
+    replay_from_start: bool = True,
+    async_comm: bool = False,
+) -> list[FaultyDESResult]:
+    """Evaluate a plan across an MTBF grid (one seeded trace per point)."""
+    return [
+        simulate_pipeline_des_with_faults(
+            plan, cluster,
+            FaultModel(
+                mtbf_seconds=m, restart_seconds=restart_seconds,
+                seed=seed, replay_from_start=replay_from_start,
+            ),
+            async_comm=async_comm,
+        )
+        for m in mtbf_values
+    ]

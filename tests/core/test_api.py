@@ -80,3 +80,90 @@ def test_plan_llmpq_heuristic_mode(small_hetero_cluster, latmodel_13b):
         use_heuristic=True, group_size=4, latency_model=latmodel_13b,
     )
     assert res.feasible
+
+
+# ---------------------------------------------------------------------------
+# replan_after_failure (the runtime's last degradation rung)
+# ---------------------------------------------------------------------------
+
+
+def _four_stage_plan():
+    from repro.hardware import make_cluster
+    from repro.workload import Workload
+
+    cl = make_cluster([("T4-16G", 4)], name="quad")
+    w = Workload(prompt_len=128, gen_len=8, global_batch=8)
+    return ExecutionPlan.uniform("opt-13b", cl.devices, w, bits=8)
+
+
+def _all_bits(plan):
+    return [b for st in plan.stages for b in st.layer_bits]
+
+
+def test_replan_middle_stage_splits_layers_to_neighbours():
+    from repro.core.api import replan_after_failure
+
+    plan = _four_stage_plan()
+    new = replan_after_failure(plan, 1)
+    assert new.num_stages == 3
+    assert new.num_layers == plan.num_layers
+    assert _all_bits(new) == _all_bits(plan)  # per-layer recipe preserved
+    # the dead stage's 10 layers split between stages 0 and 2
+    assert new.stages[0].num_layers == 10 + 5
+    assert new.stages[1].num_layers == 10 + 5
+    assert new.meta["replanned_after_stage_failure"] == 1
+    assert new.meta["lost_device"] == plan.stages[1].device.name
+    # serving shape unchanged
+    assert new.prefill_microbatch == plan.prefill_microbatch
+    assert new.decode_microbatch == plan.decode_microbatch
+    assert new.workload == plan.workload
+
+
+def test_replan_first_and_last_stage():
+    from repro.core.api import replan_after_failure
+
+    plan = _four_stage_plan()
+    first = replan_after_failure(plan, 0)
+    assert first.num_stages == 3
+    assert first.stages[0].num_layers == 20  # absorbed downstream
+    assert _all_bits(first) == _all_bits(plan)
+    last = replan_after_failure(plan, 3)
+    assert last.num_stages == 3
+    assert last.stages[-1].num_layers == 20  # absorbed upstream
+    assert _all_bits(last) == _all_bits(plan)
+
+
+def test_replan_validation():
+    from repro.core.api import replan_after_failure
+    from repro.hardware import make_cluster
+    from repro.workload import Workload
+
+    plan = _four_stage_plan()
+    with pytest.raises(ValueError, match="out of range"):
+        replan_after_failure(plan, 4)
+    cl = make_cluster([("T4-16G", 1)])
+    w = Workload(prompt_len=128, gen_len=8, global_batch=8)
+    single = ExecutionPlan.uniform("opt-13b", cl.devices, w, bits=8)
+    with pytest.raises(ValueError, match="no surviving"):
+        replan_after_failure(single, 0)
+
+
+def test_replan_with_planner_falls_back_gracefully(
+    small_hetero_cluster, latmodel_13b
+):
+    """use_planner=True re-plans on the survivors, or falls back to the
+    deterministic redistribution — either way a valid degraded plan."""
+    from repro.core.api import replan_after_failure
+    from repro.workload import Workload
+
+    w = Workload(prompt_len=128, gen_len=8, global_batch=8)
+    plan = ExecutionPlan.uniform(
+        "opt-13b", small_hetero_cluster.devices, w, bits=8
+    )
+    new = replan_after_failure(
+        plan, 0, cluster=small_hetero_cluster, use_planner=True,
+        latency_model=latmodel_13b,
+    )
+    assert new.num_stages == 1
+    assert new.num_layers == plan.num_layers
+    assert new.meta["replanned_after_stage_failure"] == 0

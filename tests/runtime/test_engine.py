@@ -142,9 +142,9 @@ def test_kv_peak_matches_cost_model(reference, prompts, workload8, tiny8l):
         rt.shutdown()
 
 
-def test_recovery_after_stage_failure(reference, prompts, workload8):
-    """Crash a stage with a malformed message, recover(), and verify the
-    rebuilt pipeline serves the batch token-exactly again."""
+def test_supervised_recovery_after_stage_failure(reference, prompts, workload8):
+    """Crash a stage with a malformed message: the supervised runtime
+    restarts the stage from its cached shard and serves token-exactly."""
     from repro.runtime.messages import ActivationMessage
 
     plan = _plan([(16,) * 4, (16,) * 4], 4, 8, workload=workload8)
@@ -158,9 +158,46 @@ def test_recovery_after_stage_failure(reference, prompts, workload8):
         )
         rt.workers[0].join(timeout=5.0)
         assert rt.workers[0].error is not None
-        with pytest.raises(RuntimeError):
-            rt.generate(prompts, 4)
+        after = rt.generate(prompts, 4)  # auto-recovers and replays
+        np.testing.assert_array_equal(after, before)
+        assert rt.stats.retries >= 1
+        assert rt.stats.stage_restarts >= 1
+    finally:
+        rt.shutdown()
 
+
+def test_failure_without_recovery_raises_cleanly(reference, prompts, workload8):
+    """With recovery disabled a poisoned pipeline fails fast with a clean
+    RuntimeError (and the master never deadlocks on the dead stage)."""
+    from repro.runtime.engine import SupervisionConfig
+    from repro.runtime.messages import ActivationMessage
+
+    plan = _plan([(16,) * 4, (16,) * 4], 4, 8, workload=workload8)
+    rt = PipelineRuntime(
+        reference, plan,
+        supervision=SupervisionConfig(enable_recovery=False, queue_timeout=5.0),
+    )
+    try:
+        rt.queues[0].put(
+            ActivationMessage(4242, "decode", 3,
+                              np.zeros((1, 1, reference.cfg.hidden_size)))
+        )
+        rt.workers[0].join(timeout=5.0)
+        with pytest.raises(RuntimeError, match="failed"):
+            rt.generate(prompts, 4)
+        # the runtime is dead afterwards, not wedged
+        with pytest.raises(RuntimeError, match="shut down"):
+            rt.generate(prompts, 4)
+    finally:
+        rt.shutdown()
+
+
+def test_manual_recover_still_works(reference, prompts, workload8):
+    """The public recover() hook rebuilds a healthy pipeline on demand."""
+    plan = _plan([(16,) * 4, (16,) * 4], 4, 8, workload=workload8)
+    rt = PipelineRuntime(reference, plan)
+    try:
+        before = rt.generate(prompts, 4)
         rt.recover()
         after = rt.generate(prompts, 4)
         np.testing.assert_array_equal(after, before)

@@ -65,6 +65,58 @@ def test_peak_tracks_transient_merge_doubling(mgr):
     assert mgr.current_bytes == pytest.approx(before)
 
 
+def test_merge_out_of_order_member_ids_normalized(mgr):
+    """Merge must concatenate in ascending unit-id order regardless of
+    the order member ids arrive in, so the merged rows stay aligned
+    with the master's batch slices."""
+    a = mgr.allocate(0, batch=2, max_len=6)
+    b = mgr.allocate(1, batch=2, max_len=6)
+    a.k[:] = 1.0
+    b.k[:] = 2.0
+    a.length = b.length = 3
+    merged = mgr.merge(100, (1, 0))  # reversed control message
+    np.testing.assert_array_equal(merged.k[:, :2], 1.0)  # unit 0 first
+    np.testing.assert_array_equal(merged.k[:, 2:], 2.0)
+
+
+def test_alloc_guard_blocks_allocate():
+    calls = []
+
+    def guard(requested):
+        calls.append(requested)
+        raise MemoryError("denied")
+
+    mgr = StageKVManager(num_layers=2, hidden_size=8, alloc_guard=guard)
+    with pytest.raises(MemoryError, match="denied"):
+        mgr.allocate(0, batch=3, max_len=10)
+    assert calls == [2 * 2 * 3 * 10 * 8 * 8]  # k+v bytes, float64
+    assert mgr.current_bytes == 0  # nothing leaked into the ledger
+    with pytest.raises(KeyError):
+        mgr.get(0)
+
+
+def test_alloc_guard_blocks_merge_but_keeps_members():
+    denied = []
+
+    def guard(requested):
+        if denied:
+            raise MemoryError("over budget")
+
+    mgr = StageKVManager(num_layers=1, hidden_size=4, alloc_guard=guard)
+    mgr.allocate(0, batch=1, max_len=4).length = 2
+    mgr.allocate(1, batch=1, max_len=4).length = 2
+    denied.append(True)
+    with pytest.raises(MemoryError, match="over budget"):
+        mgr.merge(100, (0, 1))
+    # a denied merge must not have consumed its members
+    assert mgr.get(0) is not None and mgr.get(1) is not None
+    with pytest.raises(KeyError):
+        mgr.get(100)
+    denied.clear()
+    merged = mgr.merge(100, (0, 1))
+    assert merged.k.shape[1] == 2
+
+
 def test_free(mgr):
     mgr.allocate(0, batch=1, max_len=2)
     mgr.free(0)

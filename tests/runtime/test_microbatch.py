@@ -54,6 +54,42 @@ def test_inflight_tracking():
     assert m.inflight_count == 0
 
 
+def test_shrink_decode_halves_and_regroups():
+    m = MicroBatchManager(global_batch=16, prefill_microbatch=2, decode_microbatch=8)
+    assert m.num_decode_groups == 2
+    assert m.shrink_decode()
+    assert m.decode_microbatch == 4
+    assert m.num_decode_groups == 4
+    assert m.shrink_decode()
+    assert m.decode_microbatch == 2
+    assert m.num_decode_groups == 8
+    # floor: one prefill unit per group, cannot shrink further
+    assert not m.shrink_decode()
+    assert m.decode_microbatch == 2
+
+
+def test_shrink_decode_reissues_group_ids():
+    m = MicroBatchManager(global_batch=8, prefill_microbatch=2, decode_microbatch=8)
+    m.shrink_decode()
+    gids = [g[0] for g in m.decode_groups]
+    assert gids == [MicroBatchManager.GROUP_ID_BASE,
+                    MicroBatchManager.GROUP_ID_BASE + 1]
+    # every unit still covered exactly once, in batch order
+    covered = [u for _g, members, _sl in m.decode_groups for u in members]
+    assert covered == [u for u, _sl in m.prefill_units]
+
+
+def test_inflight_ids_snapshot_and_clear():
+    m = MicroBatchManager(global_batch=8, prefill_microbatch=2, decode_microbatch=4)
+    for uid in (3, 1, 2):
+        m.mark_inflight(uid)
+    assert m.inflight_ids() == (1, 2, 3)
+    m.clear_inflight()
+    assert m.inflight_ids() == ()
+    m.mark_inflight(1)  # ledger reusable after a pipeline rebuild
+    assert m.inflight_count == 1
+
+
 def test_inflight_thread_safety():
     m = MicroBatchManager(global_batch=64, prefill_microbatch=1, decode_microbatch=1)
     errors = []
@@ -74,3 +110,67 @@ def test_inflight_thread_safety():
         t.join()
     assert not errors
     assert m.inflight_count == 0
+
+
+def test_concurrent_producer_consumer_ledger():
+    """A feeder marks units in flight while a collector marks them done
+    — the ledger must drain to empty with no error and no lost update."""
+    import queue
+
+    m = MicroBatchManager(global_batch=256, prefill_microbatch=1, decode_microbatch=1)
+    handoff: "queue.Queue[int]" = queue.Queue()
+    errors = []
+    N = 256
+
+    def feeder():
+        try:
+            for uid in range(N):
+                m.mark_inflight(uid)
+                handoff.put(uid)
+        except BaseException as e:  # pragma: no cover
+            errors.append(e)
+
+    def collector():
+        try:
+            for _ in range(N):
+                m.mark_done(handoff.get(timeout=5.0))
+        except BaseException as e:  # pragma: no cover
+            errors.append(e)
+
+    ts = [threading.Thread(target=feeder), threading.Thread(target=collector)]
+    for t in ts:
+        t.start()
+    for t in ts:
+        t.join(timeout=10.0)
+    assert not errors
+    assert m.inflight_count == 0
+
+
+def test_concurrent_shrink_while_tracking():
+    """shrink_decode() racing with ledger traffic must stay consistent:
+    groups always partition the batch and the ledger never corrupts."""
+    m = MicroBatchManager(global_batch=64, prefill_microbatch=2, decode_microbatch=32)
+    errors = []
+    stop = threading.Event()
+
+    def churn():
+        try:
+            uid = 0
+            while not stop.is_set():
+                m.mark_inflight(uid)
+                m.mark_done(uid)
+                uid = (uid + 1) % 32
+        except BaseException as e:  # pragma: no cover
+            errors.append(e)
+
+    t = threading.Thread(target=churn)
+    t.start()
+    try:
+        while m.shrink_decode():
+            covered = [u for _g, members, _sl in m.decode_groups for u in members]
+            assert sorted(covered) == list(range(32))
+    finally:
+        stop.set()
+        t.join(timeout=5.0)
+    assert not errors
+    assert m.decode_microbatch == m.prefill_microbatch

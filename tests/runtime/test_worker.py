@@ -78,7 +78,9 @@ def test_worker_shutdown_propagates(tiny4l):
 
 def test_worker_error_surfaces(tiny4l):
     """A malformed message must not hang the pipeline: the worker stores
-    the error and emits a shutdown so the master can fail fast."""
+    the error and emits a FailureMessage so the master can fail fast."""
+    from repro.runtime.messages import FailureMessage
+
     model = TinyDecoderLM(tiny4l, seed=6)
     load = load_stage_weights(model, [0], [16])
     inbound, outbound = queue.Queue(), queue.Queue()
@@ -89,6 +91,59 @@ def test_worker_error_surfaces(tiny4l):
                             np.zeros((1, 1, tiny4l.hidden_size)))
     inbound.put(bad)
     out = outbound.get(timeout=5.0)
-    assert isinstance(out, ShutdownMessage)
+    assert isinstance(out, FailureMessage)
+    assert out.stage_idx == 0
+    assert "99" in out.error
     w.join(timeout=5.0)
     assert isinstance(w.error, KeyError)
+
+
+def test_worker_forwards_failure_messages(worker_env, tiny4l):
+    """Downstream stages relay a FailureMessage toward the master."""
+    from repro.runtime.messages import FailureMessage
+
+    model, w, inbound, outbound = worker_env
+    inbound.put(FailureMessage(stage_idx=3, error="KeyError('x')"))
+    out = outbound.get(timeout=5.0)
+    assert isinstance(out, FailureMessage)
+    assert out.stage_idx == 3
+
+
+def test_worker_error_reported_to_control(tiny4l):
+    """A crash raises the shared abort flag so upstream stages unwind too."""
+    from repro.runtime.engine import PipelineControl
+
+    model = TinyDecoderLM(tiny4l, seed=6)
+    load = load_stage_weights(model, [0], [16])
+    inbound, outbound = queue.Queue(), queue.Queue()
+    control = PipelineControl()
+    w = StageWorker(0, tiny4l, load, inbound, outbound, control=control)
+    w.start()
+    inbound.put(ActivationMessage(99, "decode", 4,
+                                  np.zeros((1, 1, tiny4l.hidden_size))))
+    outbound.get(timeout=5.0)
+    w.join(timeout=5.0)
+    assert control.aborted()
+    assert control.failure is not None
+    assert control.failure[0] == 0
+
+
+def test_worker_heartbeat_advances(worker_env):
+    """The idle poll loop keeps refreshing the worker's heartbeat."""
+    import time
+
+    model, w, inbound, outbound = worker_env
+    h0 = w.heartbeat
+    time.sleep(0.2)
+    assert w.heartbeat > h0
+
+
+def test_worker_stop_joins(tiny4l):
+    """stop() shuts the worker down promptly without leaking the thread."""
+    model = TinyDecoderLM(tiny4l, seed=7)
+    load = load_stage_weights(model, [0], [16])
+    inbound, outbound = queue.Queue(), queue.Queue()
+    w = StageWorker(0, tiny4l, load, inbound, outbound)
+    w.start()
+    w.stop(timeout=5.0)
+    assert not w.is_alive()

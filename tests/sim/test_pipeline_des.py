@@ -96,6 +96,120 @@ def test_async_comm_overlap_helps(small_w):
     assert overlapped <= folded * 1.001
 
 
+# ---------------------------------------------------------------------------
+# Fault-model overlay (mirrors the runtime's recovery semantics)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def faulty_plan(cluster3, small_w):
+    return ExecutionPlan.uniform(
+        "opt-30b", cluster3.devices, small_w, bits=8,
+        prefill_microbatch=4, decode_microbatch=8,
+    )
+
+
+def test_fault_model_validation():
+    from repro.sim.pipeline_des import FaultModel
+
+    with pytest.raises(ValueError):
+        FaultModel(mtbf_seconds=0.0)
+    with pytest.raises(ValueError):
+        FaultModel(mtbf_seconds=10.0, restart_seconds=-1.0)
+
+
+def test_huge_mtbf_means_no_failures(faulty_plan, cluster3):
+    from repro.sim.pipeline_des import FaultModel, simulate_pipeline_des_with_faults
+
+    res = simulate_pipeline_des_with_faults(
+        faulty_plan, cluster3, FaultModel(mtbf_seconds=1e12)
+    )
+    assert res.completed
+    assert res.num_failures == 0
+    assert res.total_latency == pytest.approx(res.fault_free_latency)
+    assert res.recovery_overhead == pytest.approx(0.0)
+
+
+def test_small_mtbf_inflates_latency(faulty_plan, cluster3):
+    from repro.sim.pipeline_des import FaultModel, simulate_pipeline_des_with_faults
+
+    base = simulate_pipeline_des(faulty_plan, cluster3).total_latency
+    res = simulate_pipeline_des_with_faults(
+        faulty_plan, cluster3,
+        FaultModel(mtbf_seconds=base / 2, restart_seconds=1.0,
+                   replay_from_start=False),
+    )
+    assert res.completed
+    assert res.num_failures > 0
+    assert res.fault_free_latency == pytest.approx(base)
+    assert res.total_latency > base
+    assert res.downtime_seconds >= res.num_failures * 1.0 - 1e-9
+    assert res.recovery_overhead > 0
+
+
+def test_fault_trace_deterministic_per_seed(faulty_plan, cluster3):
+    from repro.sim.pipeline_des import FaultModel, simulate_pipeline_des_with_faults
+
+    base = simulate_pipeline_des(faulty_plan, cluster3).total_latency
+    mk = lambda seed: simulate_pipeline_des_with_faults(
+        faulty_plan, cluster3,
+        FaultModel(mtbf_seconds=base / 3, restart_seconds=0.5, seed=seed,
+                   replay_from_start=False),
+    )
+    a, b, c = mk(1), mk(1), mk(2)
+    assert (a.total_latency, a.num_failures) == (b.total_latency, b.num_failures)
+    assert (a.total_latency, a.num_failures) != (c.total_latency, c.num_failures)
+
+
+def test_checkpoint_bound_never_worse_than_replay(faulty_plan, cluster3):
+    """Ideal per-step checkpointing (the lower bound) cannot be slower
+    than the real runtime's replay-from-start semantics."""
+    from repro.sim.pipeline_des import FaultModel, simulate_pipeline_des_with_faults
+
+    base = simulate_pipeline_des(faulty_plan, cluster3).total_latency
+    replay = simulate_pipeline_des_with_faults(
+        faulty_plan, cluster3,
+        FaultModel(mtbf_seconds=2 * base, restart_seconds=1.0, seed=3,
+                   replay_from_start=True),
+    )
+    ckpt = simulate_pipeline_des_with_faults(
+        faulty_plan, cluster3,
+        FaultModel(mtbf_seconds=2 * base, restart_seconds=1.0, seed=3,
+                   replay_from_start=False),
+    )
+    assert ckpt.total_latency <= replay.total_latency
+
+
+def test_replay_from_start_can_fail_to_complete(faulty_plan, cluster3):
+    """When the MTBF is far below the batch makespan, replay-from-start
+    never accumulates a full batch of uptime: the sweep reports that
+    honestly instead of looping forever."""
+    from repro.sim.pipeline_des import FaultModel, simulate_pipeline_des_with_faults
+
+    base = simulate_pipeline_des(faulty_plan, cluster3).total_latency
+    res = simulate_pipeline_des_with_faults(
+        faulty_plan, cluster3,
+        FaultModel(mtbf_seconds=base / 100, max_failures=50),
+    )
+    assert not res.completed
+    assert res.total_latency == float("inf")
+
+
+def test_mtbf_sweep_monotone_tail(faulty_plan, cluster3):
+    from repro.sim.pipeline_des import mtbf_sweep
+
+    base = simulate_pipeline_des(faulty_plan, cluster3).total_latency
+    grid = [base / 2, 10 * base, 1e12]
+    results = mtbf_sweep(
+        faulty_plan, cluster3, grid, restart_seconds=1.0,
+        replay_from_start=False,
+    )
+    assert len(results) == 3
+    # rarer failures -> overhead shrinks to zero at the reliable end
+    assert results[-1].recovery_overhead == pytest.approx(0.0)
+    assert results[0].recovery_overhead >= results[-1].recovery_overhead
+
+
 def test_async_comm_shared_fabric_serializes(small_w):
     """Interleaving stages across two nodes makes every boundary cross
     the same node pair: the DES must account all that traffic against a

@@ -107,6 +107,127 @@ def test_algo_with_omega_file(tmp_path):
     assert ExecutionPlan.from_json(out).num_layers == 40
 
 
+def _tiny_plan(tmp_path, name="tiny.json"):
+    from repro.core.plan import StagePlan
+    from repro.hardware import Device, get_gpu
+    from repro.workload import Workload
+
+    dev = lambda i: Device(get_gpu("T4-16G"), node_id=0, local_rank=i)
+    plan = ExecutionPlan(
+        model_name="tiny-4l",
+        stages=(StagePlan(dev(0), (16, 16)), StagePlan(dev(1), (16, 16))),
+        prefill_microbatch=2,
+        decode_microbatch=4,
+        workload=Workload(prompt_len=8, gen_len=4, global_batch=4),
+    )
+    path = tmp_path / name
+    plan.to_json(path)
+    return path
+
+
+def test_dist_missing_strategy_file_friendly_error(tmp_path, capsys):
+    with pytest.raises(SystemExit) as exc:
+        dist_main(["--strat-file-name", str(tmp_path / "nope.json")])
+    assert "not found" in str(exc.value)
+    assert "Traceback" not in capsys.readouterr().err
+
+
+def test_dist_invalid_json_friendly_error(tmp_path):
+    bad = tmp_path / "garbage.json"
+    bad.write_text("{not json")
+    with pytest.raises(SystemExit) as exc:
+        dist_main(["--strat-file-name", str(bad)])
+    assert "not valid JSON" in str(exc.value)
+
+
+def test_dist_unknown_model_friendly_error(tmp_path, strategy_file):
+    data = json.loads(strategy_file.read_text())
+    data["model_name"] = "opt-999b"
+    bad = tmp_path / "unknown_model.json"
+    bad.write_text(json.dumps(data))
+    with pytest.raises(SystemExit) as exc:
+        dist_main(["--strat-file-name", str(bad)])
+    assert "unknown" in str(exc.value)
+
+
+def test_dist_strategy_path_is_directory(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        dist_main(["--strat-file-name", str(tmp_path)])
+    assert "directory" in str(exc.value)
+
+
+def test_algo_missing_omega_file_friendly_error(tmp_path):
+    with pytest.raises(SystemExit) as exc:
+        algo_main([
+            "--model-name", "opt-13b", "--cluster", "1",
+            "--omega-file", str(tmp_path / "missing.json"),
+        ])
+    assert "omega file not found" in str(exc.value)
+
+
+def test_algo_invalid_omega_file_friendly_error(tmp_path):
+    omega = tmp_path / "omega.json"
+    omega.write_text("[1, 2")
+    with pytest.raises(SystemExit) as exc:
+        algo_main([
+            "--model-name", "opt-13b", "--cluster", "1",
+            "--omega-file", str(omega),
+        ])
+    assert "invalid omega file" in str(exc.value)
+
+
+def test_algo_mismatched_omega_file_infeasible(tmp_path):
+    """An indicator computed for another depth cannot drive this model."""
+    from repro.models import get_model
+    from repro.quant import synthetic_indicator
+
+    omega = tmp_path / "omega30.json"
+    synthetic_indicator(get_model("opt-30b")).to_json(omega)  # 48 layers
+    with pytest.raises(SystemExit) as exc:
+        algo_main([
+            "--model-name", "opt-13b", "--cluster", "1",
+            "--omega-file", str(omega),
+        ])
+    assert "infeasible" in str(exc.value)
+
+
+def test_dist_invalid_fault_spec_exits_nonzero(tmp_path, capsys):
+    path = _tiny_plan(tmp_path)
+    rc = dist_main(["--strat-file-name", str(path),
+                    "--fault-spec", "explode:stage=1"])
+    assert rc == 2
+    assert "invalid --fault-spec" in capsys.readouterr().err
+
+
+def test_dist_recovers_from_injected_crash(tmp_path, capsys):
+    """The CLI serves through an injected crash and reports recovery."""
+    path = _tiny_plan(tmp_path)
+    rc = dist_main(["--strat-file-name", str(path),
+                    "--fault-spec", "crash:stage=1,at=2"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "tok/s wall" in out
+    assert "recovery:" in out
+    assert "1 retries" in out
+
+
+def test_dist_no_recovery_fails_with_exit_3(tmp_path, capsys):
+    path = _tiny_plan(tmp_path)
+    rc = dist_main(["--strat-file-name", str(path),
+                    "--fault-spec", "crash:stage=0,at=1,repeat=1",
+                    "--no-recovery"])
+    assert rc == 3
+    assert "serving failed" in capsys.readouterr().err
+
+
+def test_dist_fault_spec_from_env(tmp_path, capsys, monkeypatch):
+    path = _tiny_plan(tmp_path)
+    monkeypatch.setenv("REPRO_FAULTS", "slow:stage=0,delay=0.001,every=2")
+    rc = dist_main(["--strat-file-name", str(path)])
+    assert rc == 0
+    assert "recovery:" in capsys.readouterr().out
+
+
 def test_dist_rejects_invalid_strategy(tmp_path, capsys):
     """Pre-flight validation: an OOM-bound strategy exits with code 2."""
     from repro.hardware import paper_cluster
