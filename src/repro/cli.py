@@ -90,6 +90,9 @@ def algo_main(argv: list[str] | None = None) -> int:
                    help="use the bitwidth-transfer heuristic (faster)")
     p.add_argument("--time-limit", type=float, default=60.0,
                    help="ILP solver time limit, seconds")
+    p.add_argument("-j", "--jobs", type=int, default=1,
+                   help="worker processes for candidate ILP solves "
+                        "(same plan at any value; >1 parallelizes)")
     p.add_argument("-o", "--output", default="strategy.json",
                    help="strategy file to write")
     args = p.parse_args(argv)
@@ -100,12 +103,16 @@ def algo_main(argv: list[str] | None = None) -> int:
     if args.omega_file:
         indicator = _load_indicator(args.omega_file, args.model_name)
     print(f"planning {args.model_name} on {cluster.describe()}", file=sys.stderr)
+    if args.jobs < 1:
+        return _fail("--jobs must be >= 1")
     result = plan_llmpq(
         args.model_name, cluster, workload,
         theta=args.theta, group_size=args.group,
         use_heuristic=args.heuristic, ilp_time_limit=args.time_limit,
-        indicator=indicator,
+        indicator=indicator, n_jobs=args.jobs,
     )
+    if result.stats is not None:
+        print(result.stats.describe(), file=sys.stderr)
     if result.plan is None:
         print("no feasible plan found", file=sys.stderr)
         return 1

@@ -1,8 +1,9 @@
 """Core planner: plans, ILP, Algorithm 1/2, baselines, public API."""
 
 from .plan import ExecutionPlan, StagePlan
-from .ilp import BitAssignmentILP, ILPSolution
+from .ilp import AssembledILP, BitAssignmentILP, ILPSolution, lp_lower_bound, solve_assembled
 from .optimizer import CandidateRecord, LLMPQOptimizer, PlannerConfig, PlannerResult
+from .search import PlannerStats, SearchEngine
 from .heuristic import adabits_plan, bitwidth_transfer, heuristic_optimize
 from .baselines import BaselineOutcome, flexgen_run, pipeedge_plan, uniform_plan
 from .api import (
@@ -24,12 +25,17 @@ from .tensor_parallel import (
 __all__ = [
     "ExecutionPlan",
     "StagePlan",
+    "AssembledILP",
     "BitAssignmentILP",
     "ILPSolution",
+    "lp_lower_bound",
+    "solve_assembled",
     "LLMPQOptimizer",
     "PlannerConfig",
     "PlannerResult",
     "CandidateRecord",
+    "PlannerStats",
+    "SearchEngine",
     "adabits_plan",
     "bitwidth_transfer",
     "heuristic_optimize",

@@ -86,9 +86,15 @@ def plan_llmpq(
     max_orderings: int = 24,
     prefill_mb_cap: int | None = None,
     decode_mb_candidates: tuple[int, ...] | None = None,
+    n_jobs: int = 1,
 ) -> PlannerResult:
     """Run the LLM-PQ assigner end to end (Algorithm 1, or Algorithm 2
-    when ``use_heuristic``)."""
+    when ``use_heuristic``).
+
+    ``n_jobs > 1`` solves independent candidate MILPs in parallel worker
+    processes; the chosen plan is unaffected (see
+    :mod:`repro.core.search`).
+    """
     optimizer = LLMPQOptimizer(
         model_name,
         cluster,
@@ -101,6 +107,7 @@ def plan_llmpq(
             max_orderings=max_orderings,
             prefill_mb_cap=prefill_mb_cap,
             decode_mb_candidates=decode_mb_candidates,
+            n_jobs=n_jobs,
         ),
         latency_model=latency_model,
         indicator=indicator,

@@ -22,13 +22,20 @@ with the paper's constraints:
 
 Solved with ``scipy.optimize.milp`` (HiGHS) — the open-source stand-in
 for the paper's GUROBI.
+
+The build/solve split matters for the parallel planner
+(:mod:`repro.core.search`): :meth:`BitAssignmentILP.assemble` produces a
+self-contained, picklable :class:`AssembledILP` in the parent process
+(reusing the shared :class:`~repro.cost.predictions.PredictionCache`),
+and the module-level :func:`solve_assembled` / :func:`lp_lower_bound`
+run in worker processes with nothing but that payload.  Constraint
+matrices are built with numpy index arrays — the legacy Python dict-loop
+builder is kept as ``assemble(legacy=True)`` purely as the equality
+oracle for tests.
 """
 
 from __future__ import annotations
 
-import contextlib
-import os
-import sys
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -45,27 +52,28 @@ from ..cost.memory import (
     temp_bytes_decode,
     temp_bytes_prefill,
 )
+from ..cost.predictions import PredictionCache
 from ..hardware.cluster import Device
 from ..models.config import ModelConfig
 from ..quant.indicator import IndicatorTable
 from ..workload.spec import Workload
 
-__all__ = ["ILPSolution", "BitAssignmentILP"]
+__all__ = [
+    "ILPSolution",
+    "AssembledILP",
+    "BitAssignmentILP",
+    "solve_assembled",
+    "lp_lower_bound",
+]
 
-
-@contextlib.contextmanager
-def _quiet_fd1():
-    """Silence HiGHS's direct-to-fd-1 debug prints during a solve."""
-    sys.stdout.flush()
-    saved = os.dup(1)
-    devnull = os.open(os.devnull, os.O_WRONLY)
-    try:
-        os.dup2(devnull, 1)
-        yield
-    finally:
-        os.dup2(saved, 1)
-        os.close(saved)
-        os.close(devnull)
+# NOTE: earlier revisions wrapped every solve in an fd-1 dup/dup2 dance
+# ("_quiet_fd1") to mute HiGHS debug prints.  scipy >= 1.9 passes
+# ``output_flag=False`` to HiGHS itself unless ``disp`` is requested, so
+# the solver is silent without touching process-global file descriptors —
+# which the redirection raced on under concurrent solves (two overlapping
+# dup2 calls could permanently point fd 1 at /dev/null).  The context
+# manager is gone; ``tests/core/test_ilp.py`` keeps a concurrent-solve
+# regression test against stdout corruption.
 
 
 @dataclass(frozen=True)
@@ -84,6 +92,125 @@ class ILPSolution:
     def feasible(self) -> bool:
         """True when the solver proved an optimal assignment."""
         return self.status == "optimal"
+
+
+def _infeasible(seconds: float) -> ILPSolution:
+    return ILPSolution(
+        group_device=(), group_bits=(), objective=np.inf,
+        latency_term=np.inf, quality_term=np.inf,
+        status="infeasible", solve_seconds=seconds,
+    )
+
+
+@dataclass(frozen=True)
+class AssembledILP:
+    """One candidate's fully built MILP, detached from its builder.
+
+    Everything a worker process needs to solve and decode the problem:
+    objective vector ``c``, constraint matrix ``A`` with row bounds
+    ``lo``/``hi`` (variables are ``[z..., T_pre_max, T_dec_max]``), and
+    the metadata to map the solution back to (device, bits) per group.
+    """
+
+    c: np.ndarray
+    A: sparse.csr_matrix
+    lo: np.ndarray
+    hi: np.ndarray
+    num_groups: int
+    num_devices: int
+    bits: tuple[int, ...]
+    theta: float
+    omega: np.ndarray
+    include_latency: bool
+    time_limit: float
+
+    @property
+    def num_z(self) -> int:
+        """Count of binary placement variables."""
+        return self.num_groups * self.num_devices * len(self.bits)
+
+
+def _milp_bounds(prob: AssembledILP) -> tuple[Bounds, np.ndarray]:
+    n_var = prob.num_z + 2
+    integrality = np.zeros(n_var)
+    integrality[: prob.num_z] = 1
+    bounds = Bounds(
+        lb=np.zeros(n_var),
+        ub=np.concatenate([np.ones(prob.num_z), [np.inf, np.inf]]),
+    )
+    return bounds, integrality
+
+
+def solve_assembled(prob: AssembledILP) -> ILPSolution:
+    """Solve one assembled MILP with HiGHS and decode the assignment.
+
+    Module-level and dependent only on the (picklable) payload so the
+    parallel planner can ship it to ``ProcessPoolExecutor`` workers.
+    """
+    import time
+
+    t0 = time.perf_counter()
+    bounds, integrality = _milp_bounds(prob)
+    res = milp(
+        prob.c,
+        constraints=[LinearConstraint(prob.A, prob.lo, prob.hi)],
+        integrality=integrality,
+        bounds=bounds,
+        options={"time_limit": prob.time_limit, "mip_rel_gap": 1e-4},
+    )
+    dt = time.perf_counter() - t0
+    if res.status != 0 or res.x is None:
+        return _infeasible(dt)
+    nG, nD, nB = prob.num_groups, prob.num_devices, len(prob.bits)
+    z = res.x[: prob.num_z].reshape(nG, nD, nB)
+    gdev, gbits = [], []
+    for i in range(nG):
+        j, k = np.unravel_index(np.argmax(z[i]), (nD, nB))
+        gdev.append(int(j))
+        gbits.append(prob.bits[int(k)])
+    quality_term = float(
+        sum(prob.omega[i, prob.bits.index(gbits[i])] for i in range(nG))
+    )
+    latency_term = (
+        float(res.fun - prob.theta * quality_term) if prob.include_latency else 0.0
+    )
+    return ILPSolution(
+        group_device=tuple(gdev),
+        group_bits=tuple(gbits),
+        objective=float(res.fun),
+        latency_term=latency_term,
+        quality_term=quality_term,
+        status="optimal",
+        solve_seconds=dt,
+    )
+
+
+def lp_lower_bound(prob: AssembledILP) -> float:
+    """Admissible lower bound: optimum of the LP relaxation.
+
+    Dropping integrality can only lower the optimum, so this bounds the
+    MILP objective from below; the MILP objective in turn lower-bounds
+    the planner's final ``simulate + theta * quality`` score (the
+    simulator adds communication, embedding work and pipeline bubbles on
+    top of the same cost-model terms, and evaluates decode at per-step
+    contexts whose mean dominates the ILP's ``avg_ctx``).  Returns
+    ``+inf`` when even the relaxation is infeasible (the candidate can be
+    discarded outright) and ``-inf`` when the LP did not finish (never
+    prune on an unproven bound).
+    """
+    bounds, _ = _milp_bounds(prob)
+    res = milp(
+        prob.c,
+        constraints=[LinearConstraint(prob.A, prob.lo, prob.hi)],
+        integrality=np.zeros(prob.num_z + 2),
+        bounds=bounds,
+        options={"time_limit": prob.time_limit},
+    )
+    if res.status == 2:  # proven infeasible
+        return np.inf
+    if res.status == 0 and res.fun is not None:
+        return float(res.fun)
+    return -np.inf
 
 
 @dataclass
@@ -113,6 +240,10 @@ class BitAssignmentILP:
         ``False`` drops the decode phase from the latency objective — a
         PipeEdge-style single-phase view used by the phase-awareness
         ablation.  Memory constraints are unaffected.
+    prediction_cache:
+        Optional shared :class:`PredictionCache`; when set, coefficient
+        tables are filled from the memo instead of per-cell
+        ``predict_layer`` calls (numerically identical).
     """
 
     cfg: ModelConfig
@@ -129,6 +260,7 @@ class BitAssignmentILP:
     phase_aware: bool = True
     kv_bits: int = 16
     time_limit: float = 60.0
+    prediction_cache: PredictionCache | None = None
 
     # ------------------------------------------------------------------
     def _group_sizes(self) -> list[int]:
@@ -139,36 +271,64 @@ class BitAssignmentILP:
             sizes.append(L % g)
         return sizes
 
-    def _coefficients(self):
-        """Latency, memory and quality coefficients per (group, dev, bit)."""
+    def _coefficients(self, *, legacy: bool = False):
+        """Latency, memory and quality coefficients per (group, dev, bit).
+
+        The default path fills the per-(device, bits) layer-time tables
+        with vectorized (and, when a cache is attached, memoized)
+        queries; ``legacy=True`` reproduces the original scalar
+        ``predict_layer`` loop for the equality tests.
+        """
         w = self.workload
         sizes = self._group_sizes()
         n_groups, n_dev, n_bits = len(sizes), len(self.devices), len(self.bits)
         avg_ctx = w.prompt_len + max(w.decode_passes, 1) // 2
 
-        t_pre = np.zeros((n_groups, n_dev, n_bits))
-        t_dec = np.zeros((n_groups, n_dev, n_bits))
-        mem = np.zeros((n_groups, n_bits))
         omega = np.zeros((n_groups, n_bits))
-
         per_layer_kv = kv_cache_bytes(
             self.cfg, 1, w.global_batch, w.max_seq_len, kv_bits=self.kv_bits
         )
-        for j, dev in enumerate(self.devices):
+
+        if legacy:
+            t_pre = np.zeros((n_groups, n_dev, n_bits))
+            t_dec = np.zeros((n_groups, n_dev, n_bits))
+            mem = np.zeros((n_groups, n_bits))
+            for j, dev in enumerate(self.devices):
+                for k, b in enumerate(self.bits):
+                    lp = self.latency_model.predict_layer(
+                        dev.spec, b, "prefill", self.prefill_microbatch,
+                        w.prompt_len, w.prompt_len,
+                    )
+                    ld = self.latency_model.predict_layer(
+                        dev.spec, b, "decode", self.decode_microbatch, 1, avg_ctx
+                    )
+                    for i, gs in enumerate(sizes):
+                        t_pre[i, j, k] = gs * lp
+                        t_dec[i, j, k] = gs * ld
             for k, b in enumerate(self.bits):
-                lp = self.latency_model.predict_layer(
-                    dev.spec, b, "prefill", self.prefill_microbatch, w.prompt_len, w.prompt_len
-                )
-                ld = self.latency_model.predict_layer(
-                    dev.spec, b, "decode", self.decode_microbatch, 1, avg_ctx
-                )
+                layer_bytes = self.cfg.layer_weight_bytes(b) + per_layer_kv
                 for i, gs in enumerate(sizes):
-                    t_pre[i, j, k] = gs * lp
-                    t_dec[i, j, k] = gs * ld
-        for k, b in enumerate(self.bits):
-            layer_bytes = self.cfg.layer_weight_bytes(b) + per_layer_kv
-            for i, gs in enumerate(sizes):
-                mem[i, k] = gs * layer_bytes
+                    mem[i, k] = gs * layer_bytes
+        else:
+            cache = self.prediction_cache or PredictionCache(self.latency_model)
+            type_names = [d.type_name for d in self.devices]
+            lp = cache.layer_time_table(
+                type_names, self.bits, "prefill",
+                self.prefill_microbatch, w.prompt_len, w.prompt_len,
+            )
+            ld = cache.layer_time_table(
+                type_names, self.bits, "decode",
+                self.decode_microbatch, 1, avg_ctx,
+            )
+            sizes_arr = np.asarray(sizes, dtype=np.float64)
+            t_pre = sizes_arr[:, None, None] * lp[None, :, :]
+            t_dec = sizes_arr[:, None, None] * ld[None, :, :]
+            layer_bytes = (
+                np.array([self.cfg.layer_weight_bytes(b) for b in self.bits])
+                + per_layer_kv
+            )
+            mem = sizes_arr[:, None] * layer_bytes[None, :]
+
         if self.indicator.num_layers != n_groups:
             raise ValueError(
                 f"indicator has {self.indicator.num_layers} rows, expected "
@@ -198,84 +358,220 @@ class BitAssignmentILP:
         return cap
 
     # ------------------------------------------------------------------
-    def solve(self) -> ILPSolution:
-        """Build the MILP and solve it with HiGHS; returns the assignment."""
-        import time
+    def _objective_vector(self, t_pre, t_dec, omega, n_var, n_pass, m_p, m_d):
+        nZ = n_var - 2
+        lat_scale = 1.0 if self.include_latency else 0.0
+        c = np.empty(n_var)
+        c[:nZ] = (
+            lat_scale * (t_pre + n_pass * t_dec) + self.theta * omega[:, None, :]
+        ).ravel()
+        c[nZ] = lat_scale * (m_p - 1)
+        c[nZ + 1] = lat_scale * n_pass * (m_d - 1)
+        return c
 
-        t0 = time.perf_counter()
-        sizes, t_pre, t_dec, mem, omega = self._coefficients()
+    def assemble(self, *, legacy: bool = False) -> AssembledILP | None:
+        """Build the full MILP; ``None`` when a device capacity is already
+        negative (no assignment can exist at this micro-batch setting).
+
+        ``legacy=True`` routes through the original scalar-coefficient
+        and dict-loop constraint builder — kept only so tests can assert
+        the vectorized assembly is exactly equal.
+        """
+        sizes, t_pre, t_dec, mem, omega = self._coefficients(legacy=legacy)
         w = self.workload
         nG, nD, nB = len(sizes), len(self.devices), len(self.bits)
         nZ = nG * nD * nB
-
-        def zidx(i: int, j: int, k: int) -> int:
-            return (i * nD + j) * nB + k
-
-        # variables: [z..., T_pre_max, T_dec_max]
         n_var = nZ + 2
-        ip, idx_td = nZ, nZ + 1
 
         m_p = -(-w.global_batch // self.prefill_microbatch)
         m_d = -(-w.global_batch // self.decode_microbatch)
         n_pass = max(w.decode_passes, 0) if self.phase_aware else 0
 
-        c = np.zeros(n_var)
-        lat_scale = 1.0 if self.include_latency else 0.0
-        # latency term: sum of stage times + (m-1) * max stage time
-        for i in range(nG):
-            for j in range(nD):
-                for k in range(nB):
-                    c[zidx(i, j, k)] = lat_scale * (
-                        t_pre[i, j, k] + n_pass * t_dec[i, j, k]
-                    ) + self.theta * omega[i, k]
-        c[ip] = lat_scale * (m_p - 1)
-        c[idx_td] = lat_scale * n_pass * (m_d - 1)
+        caps = np.array([self._device_capacity(j) for j in range(nD)])
+        if np.any(caps <= 0):
+            return None
 
-        constraints: list[LinearConstraint] = []
+        if legacy:
+            c = np.zeros(n_var)
+            for i in range(nG):
+                for j in range(nD):
+                    for k in range(nB):
+                        lat_scale = 1.0 if self.include_latency else 0.0
+                        c[(i * nD + j) * nB + k] = lat_scale * (
+                            t_pre[i, j, k] + n_pass * t_dec[i, j, k]
+                        ) + self.theta * omega[i, k]
+            lat_scale = 1.0 if self.include_latency else 0.0
+            c[nZ] = lat_scale * (m_p - 1)
+            c[nZ + 1] = lat_scale * n_pass * (m_d - 1)
+            A, lo, hi = self._constraints_legacy(t_pre, t_dec, mem, caps, nG, nD, nB)
+        else:
+            c = self._objective_vector(t_pre, t_dec, omega, n_var, n_pass, m_p, m_d)
+            A, lo, hi = self._constraints_vectorized(
+                t_pre, t_dec, mem, caps, nG, nD, nB
+            )
+        return AssembledILP(
+            c=c, A=A, lo=lo, hi=hi,
+            num_groups=nG, num_devices=nD, bits=tuple(self.bits),
+            theta=self.theta, omega=omega,
+            include_latency=self.include_latency, time_limit=self.time_limit,
+        )
+
+    # ------------------------------------------------------------------
+    def _constraints_vectorized(self, t_pre, t_dec, mem, caps, nG, nD, nB):
+        """Constraint matrix from numpy index arrays (no Python dict loops).
+
+        Row layout (identical to the legacy builder):
+        one-assignment per group | non-empty device | contiguity |
+        memory per device | per-device (T_pre, T_dec) definitions.
+        """
+        nZ = nG * nD * nB
+        n_var = nZ + 2
+        ip, idx_td = nZ, nZ + 1
+
+        # full (i, j, k) -> column lattice, reused by several blocks
+        cols_ijk = (
+            (np.arange(nG)[:, None, None] * nD + np.arange(nD)[None, :, None]) * nB
+            + np.arange(nB)[None, None, :]
+        )  # shape (nG, nD, nB)
+
+        data_parts: list[np.ndarray] = []
+        ri_parts: list[np.ndarray] = []
+        ci_parts: list[np.ndarray] = []
+        lo_parts: list[np.ndarray] = []
+        hi_parts: list[np.ndarray] = []
+        row_base = 0
+
+        def add_block(ri, ci, data, lo, hi, n_rows):
+            nonlocal row_base
+            ri_parts.append(np.asarray(ri).ravel() + row_base)
+            ci_parts.append(np.asarray(ci).ravel())
+            data_parts.append(np.asarray(data, dtype=np.float64).ravel())
+            lo_parts.append(np.asarray(lo, dtype=np.float64).ravel())
+            hi_parts.append(np.asarray(hi, dtype=np.float64).ravel())
+            row_base += n_rows
+
+        # (9) exactly one (device, bits) per group: row i covers z[i, :, :]
+        add_block(
+            ri=np.repeat(np.arange(nG), nD * nB),
+            ci=cols_ijk,
+            data=np.ones(nZ),
+            lo=np.ones(nG),
+            hi=np.ones(nG),
+            n_rows=nG,
+        )
+
+        # every device hosts at least one group: row j covers z[:, j, :]
+        add_block(
+            ri=np.repeat(np.arange(nD), nG * nB),
+            ci=np.swapaxes(cols_ijk, 0, 1),
+            data=np.ones(nZ),
+            lo=np.ones(nD),
+            hi=np.full(nD, float(nG)),
+            n_rows=nD,
+        )
+
+        # (16) contiguity: for i >= 1 and device pair j < k2,
+        #   sum_b z[i, j, b] + sum_b z[i-1, k2, b] <= 1
+        if nG > 1 and nD > 1:
+            j_arr, k2_arr = np.triu_indices(nD, k=1)
+            P = j_arr.size
+            ii = np.arange(1, nG)
+            kb = np.arange(nB)
+            cur = ((ii[:, None, None] * nD + j_arr[None, :, None]) * nB
+                   + kb[None, None, :])  # (nG-1, P, nB)
+            prev = (((ii - 1)[:, None, None] * nD + k2_arr[None, :, None]) * nB
+                    + kb[None, None, :])
+            ci = np.concatenate(
+                [cur.reshape(-1, nB), prev.reshape(-1, nB)], axis=1
+            )  # ((nG-1)*P, 2*nB)
+            n_rows = (nG - 1) * P
+            add_block(
+                ri=np.repeat(np.arange(n_rows), 2 * nB),
+                ci=ci,
+                data=np.ones(n_rows * 2 * nB),
+                lo=np.full(n_rows, -np.inf),
+                hi=np.ones(n_rows),
+                n_rows=n_rows,
+            )
+
+        # (12)-(13) memory per device: row j is sum_{i,b} mem[i,b] z[i,j,b]
+        add_block(
+            ri=np.repeat(np.arange(nD), nG * nB),
+            ci=np.swapaxes(cols_ijk, 0, 1),
+            data=np.broadcast_to(mem[:, None, :], (nG, nD, nB)).swapaxes(0, 1),
+            lo=np.full(nD, -np.inf),
+            hi=caps,
+            n_rows=nD,
+        )
+
+        # T_max definitions: interleaved (prefill, decode) rows per device
+        dev_rows = np.repeat(np.arange(nD) * 2, nG * nB)
+        cols_dev = np.swapaxes(cols_ijk, 0, 1).reshape(nD, -1)
+        t_pre_dev = t_pre.swapaxes(0, 1).reshape(nD, -1)
+        t_dec_dev = t_dec.swapaxes(0, 1).reshape(nD, -1)
+        ri_t = np.concatenate(
+            [dev_rows, dev_rows + 1, np.arange(nD) * 2, np.arange(nD) * 2 + 1]
+        )
+        ci_t = np.concatenate(
+            [cols_dev.ravel(), cols_dev.ravel(),
+             np.full(nD, ip), np.full(nD, idx_td)]
+        )
+        data_t = np.concatenate(
+            [t_pre_dev.ravel(), t_dec_dev.ravel(),
+             np.full(nD, -1.0), np.full(nD, -1.0)]
+        )
+        add_block(
+            ri=ri_t, ci=ci_t, data=data_t,
+            lo=np.full(2 * nD, -np.inf), hi=np.zeros(2 * nD), n_rows=2 * nD,
+        )
+
+        A = sparse.csr_matrix(
+            (np.concatenate(data_parts),
+             (np.concatenate(ri_parts), np.concatenate(ci_parts))),
+            shape=(row_base, n_var),
+        )
+        return A, np.concatenate(lo_parts), np.concatenate(hi_parts)
+
+    def _constraints_legacy(self, t_pre, t_dec, mem, caps, nG, nD, nB):
+        """The original dict-loop constraint builder (equality oracle)."""
+        nZ = nG * nD * nB
+        n_var = nZ + 2
+        ip, idx_td = nZ, nZ + 1
+
+        def zidx(i: int, j: int, k: int) -> int:
+            return (i * nD + j) * nB + k
+
         rows: list[tuple[dict[int, float], float, float]] = []
-
-        # (9) exactly one (device, bits) per group
         for i in range(nG):
             coefs = {zidx(i, j, k): 1.0 for j in range(nD) for k in range(nB)}
             rows.append((coefs, 1.0, 1.0))
-
-        # every device hosts at least one group (a pipeline stage must not
-        # be empty — matches the paper's runtime, one worker per GPU)
         for j in range(nD):
             coefs = {zidx(i, j, k): 1.0 for i in range(nG) for k in range(nB)}
             rows.append((coefs, 1.0, float(nG)))
-
-        # (16) contiguity: group i on j and group i-1 on k>j forbidden
         for i in range(1, nG):
             for j in range(nD - 1):
                 for k2 in range(j + 1, nD):
                     coefs: dict[int, float] = {}
                     for kb in range(nB):
                         coefs[zidx(i, j, kb)] = 1.0
-                        coefs[zidx(i - 1, k2, kb)] = coefs.get(zidx(i - 1, k2, kb), 0.0) + 1.0
+                        coefs[zidx(i - 1, k2, kb)] = (
+                            coefs.get(zidx(i - 1, k2, kb), 0.0) + 1.0
+                        )
                     rows.append((coefs, -np.inf, 1.0))
-
-        # (12)-(13) memory per device
         for j in range(nD):
             coefs = {
                 zidx(i, j, k): mem[i, k] for i in range(nG) for k in range(nB)
             }
-            cap = self._device_capacity(j)
-            if cap <= 0:
-                # device cannot host anything at this micro-batch setting
-                return ILPSolution(
-                    group_device=(), group_bits=(), objective=np.inf,
-                    latency_term=np.inf, quality_term=np.inf,
-                    status="infeasible", solve_seconds=time.perf_counter() - t0,
-                )
-            rows.append((coefs, -np.inf, cap))
-
-        # T_max definitions: sum_i,k z[i,j,k] * t[i,j,k] - T_max <= 0
+            rows.append((coefs, -np.inf, caps[j]))
         for j in range(nD):
-            coefs = {zidx(i, j, k): t_pre[i, j, k] for i in range(nG) for k in range(nB)}
+            coefs = {
+                zidx(i, j, k): t_pre[i, j, k] for i in range(nG) for k in range(nB)
+            }
             coefs[ip] = -1.0
             rows.append((coefs, -np.inf, 0.0))
-            coefs = {zidx(i, j, k): t_dec[i, j, k] for i in range(nG) for k in range(nB)}
+            coefs = {
+                zidx(i, j, k): t_dec[i, j, k] for i in range(nG) for k in range(nB)
+            }
             coefs[idx_td] = -1.0
             rows.append((coefs, -np.inf, 0.0))
 
@@ -288,47 +584,32 @@ class BitAssignmentILP:
             lo.append(lb)
             hi.append(ub)
         A = sparse.csr_matrix((data, (ri, ci)), shape=(len(rows), n_var))
-        constraints.append(LinearConstraint(A, lo, hi))
+        return A, np.asarray(lo), np.asarray(hi)
 
-        integrality = np.zeros(n_var)
-        integrality[:nZ] = 1
-        bounds = Bounds(
-            lb=np.zeros(n_var),
-            ub=np.concatenate([np.ones(nZ), [np.inf, np.inf]]),
-        )
-        with _quiet_fd1():
-            res = milp(
-                c,
-                constraints=constraints,
-                integrality=integrality,
-                bounds=bounds,
-                options={"time_limit": self.time_limit, "mip_rel_gap": 1e-4},
-            )
-        dt = time.perf_counter() - t0
-        if res.status != 0 or res.x is None:
-            return ILPSolution(
-                group_device=(), group_bits=(), objective=np.inf,
-                latency_term=np.inf, quality_term=np.inf,
-                status="infeasible", solve_seconds=dt,
-            )
-        z = res.x[:nZ].reshape(nG, nD, nB)
-        gdev, gbits = [], []
-        for i in range(nG):
-            j, k = np.unravel_index(np.argmax(z[i]), (nD, nB))
-            gdev.append(int(j))
-            gbits.append(self.bits[int(k)])
-        quality_term = float(
-            sum(omega[i, self.bits.index(gbits[i])] for i in range(nG))
-        )
-        latency_term = float(res.fun - self.theta * quality_term) if self.include_latency else 0.0
+    # ------------------------------------------------------------------
+    def solve(self, *, legacy: bool = False) -> ILPSolution:
+        """Build the MILP and solve it with HiGHS; returns the assignment.
+
+        ``legacy=True`` assembles through the original scalar/dict-loop
+        builder (for tests and the planner-speed baseline); the solved
+        problem is identical either way.
+        """
+        import time
+
+        t0 = time.perf_counter()
+        prob = self.assemble(legacy=legacy)
+        if prob is None:
+            return _infeasible(time.perf_counter() - t0)
+        sol = solve_assembled(prob)
+        # account assembly time into the reported solve time
         return ILPSolution(
-            group_device=tuple(gdev),
-            group_bits=tuple(gbits),
-            objective=float(res.fun),
-            latency_term=latency_term,
-            quality_term=quality_term,
-            status="optimal",
-            solve_seconds=dt,
+            group_device=sol.group_device,
+            group_bits=sol.group_bits,
+            objective=sol.objective,
+            latency_term=sol.latency_term,
+            quality_term=sol.quality_term,
+            status=sol.status,
+            solve_seconds=time.perf_counter() - t0,
         )
 
     # ------------------------------------------------------------------

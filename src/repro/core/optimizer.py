@@ -15,6 +15,15 @@ Enumerates the pruned joint search space —
 and solves the Sec.-4.3 ILP for each candidate, keeping the plan with the
 best ``latency + theta * quality`` objective as evaluated by the cost
 models.
+
+Candidate evaluation runs on the :mod:`repro.core.search` engine:
+byte-identical candidates are deduplicated, cost-model queries are
+memoized in a shared :class:`~repro.cost.predictions.PredictionCache`,
+candidates are solved best-first under LP-relaxation bounds with
+incumbent pruning, and independent MILPs can solve in parallel worker
+processes (``PlannerConfig.n_jobs``).  The pre-engine serial loop is
+retained as :meth:`LLMPQOptimizer.optimize_legacy` — the equality oracle
+for tests and the baseline for the planner-speed benchmark.
 """
 
 from __future__ import annotations
@@ -26,6 +35,7 @@ from typing import Sequence
 import numpy as np
 
 from ..cost.latency import LatencyModel
+from ..cost.predictions import PredictionCache
 from ..cost.profiler import build_latency_model
 from ..hardware.cluster import Cluster, Device
 from ..models.registry import get_model
@@ -34,8 +44,15 @@ from ..sim.pipeline import PipelineResult, simulate_pipeline
 from ..workload.spec import Workload
 from .ilp import BitAssignmentILP, ILPSolution
 from .plan import ExecutionPlan, StagePlan
+from .search import PlannerStats
 
-__all__ = ["PlannerConfig", "CandidateRecord", "PlannerResult", "LLMPQOptimizer"]
+__all__ = [
+    "PlannerConfig",
+    "CandidateRecord",
+    "PlannerResult",
+    "PlannerStats",
+    "LLMPQOptimizer",
+]
 
 
 @dataclass(frozen=True)
@@ -51,6 +68,11 @@ class PlannerConfig:
     decode_mb_candidates: tuple[int, ...] | None = None
     ilp_time_limit: float = 60.0
     kv_bits: int = 16
+    #: search-engine knobs: worker processes for candidate MILPs, and the
+    #: dedup / bound-and-prune switches (all result-preserving)
+    n_jobs: int = 1
+    dedup: bool = True
+    prune: bool = True
 
 
 @dataclass(frozen=True)
@@ -76,6 +98,7 @@ class PlannerResult:
     predicted: PipelineResult | None
     candidates: tuple[CandidateRecord, ...]
     total_seconds: float
+    stats: PlannerStats | None = None
 
     @property
     def feasible(self) -> bool:
@@ -139,6 +162,11 @@ class LLMPQOptimizer:
             self.cfg, bits=self.config.bits
         )
         self.indicator = base_indicator.normalized()
+        # hoisted per-run state shared by every candidate: the grouped
+        # omega table (identical for all candidates) and the cost-model
+        # prediction memo
+        self.grouped_indicator = self.indicator.grouped(self.config.group_size)
+        self.prediction_cache = PredictionCache(self.latency_model)
 
     # ------------------------------------------------------------------
     def orderings(self) -> list[tuple[Device, ...]]:
@@ -154,14 +182,38 @@ class LLMPQOptimizer:
 
     def _solve_candidate(
         self, ordering: Sequence[Device], mb_p: int, mb_d: int, *,
-        include_latency: bool = True,
+        include_latency: bool = True, legacy: bool = False,
     ) -> tuple[ILPSolution, BitAssignmentILP]:
+        """Solve one candidate's ILP.
+
+        ``legacy=True`` reproduces the pre-engine behaviour exactly —
+        scalar cost-model queries and dict-loop constraint assembly, no
+        shared cache — and exists for the equality tests and the
+        planner-speed benchmark baseline.
+        """
+        if legacy:
+            ilp = BitAssignmentILP(
+                cfg=self.cfg,
+                workload=self.workload,
+                devices=list(ordering),
+                latency_model=self.latency_model,
+                indicator=self.indicator.grouped(self.config.group_size),
+                prefill_microbatch=mb_p,
+                decode_microbatch=mb_d,
+                bits=self.config.bits,
+                group_size=self.config.group_size,
+                theta=self.config.theta,
+                include_latency=include_latency,
+                kv_bits=self.config.kv_bits,
+                time_limit=self.config.ilp_time_limit,
+            )
+            return ilp.solve(legacy=True), ilp
         ilp = BitAssignmentILP(
             cfg=self.cfg,
             workload=self.workload,
             devices=list(ordering),
             latency_model=self.latency_model,
-            indicator=self.indicator.grouped(self.config.group_size),
+            indicator=self.grouped_indicator,
             prefill_microbatch=mb_p,
             decode_microbatch=mb_d,
             bits=self.config.bits,
@@ -170,6 +222,7 @@ class LLMPQOptimizer:
             include_latency=include_latency,
             kv_bits=self.config.kv_bits,
             time_limit=self.config.ilp_time_limit,
+            prediction_cache=self.prediction_cache,
         )
         return ilp.solve(), ilp
 
@@ -205,7 +258,25 @@ class LLMPQOptimizer:
 
     # ------------------------------------------------------------------
     def optimize(self) -> PlannerResult:
-        """Run the full Algorithm-1 search."""
+        """Run the full Algorithm-1 search on the
+        :class:`~repro.core.search.SearchEngine` (dedup + memoized cost
+        queries + LP-bound pruning + optional parallel solves).
+
+        Returns the same best objective and an equivalent plan as
+        :meth:`optimize_legacy`; ``result.stats`` records the work saved.
+        """
+        from .search import SearchEngine
+
+        return SearchEngine(self).run()
+
+    def optimize_legacy(self) -> PlannerResult:
+        """The pre-engine serial search: one scalar-assembled MILP per
+        candidate, no dedup, no cache, no pruning.
+
+        Kept as the equality oracle for the engine's
+        asserted-identical-result guarantee and as the baseline of
+        ``benchmarks/test_ext_planner_speed.py``.
+        """
         t0 = time.perf_counter()
         records: list[CandidateRecord] = []
         best_plan: ExecutionPlan | None = None
@@ -216,7 +287,7 @@ class LLMPQOptimizer:
         for ordering in orderings:
             pairs = _microbatch_pairs(self.workload, len(ordering), self.config)
             for mb_p, mb_d in pairs:
-                sol, ilp = self._solve_candidate(ordering, mb_p, mb_d)
+                sol, ilp = self._solve_candidate(ordering, mb_p, mb_d, legacy=True)
                 type_seq = tuple(d.type_name for d in ordering)
                 if not sol.feasible:
                     records.append(

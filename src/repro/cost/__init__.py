@@ -12,6 +12,7 @@ from .memory import (
     weight_bytes,
 )
 from .latency import LatencyModel, LatencySample, Phase, features_for
+from .predictions import PredictionCache
 from .profiler import ProfileGrid, build_latency_model, profile_cluster, profile_device
 
 __all__ = [
@@ -28,6 +29,7 @@ __all__ = [
     "LatencySample",
     "Phase",
     "features_for",
+    "PredictionCache",
     "ProfileGrid",
     "profile_device",
     "profile_cluster",

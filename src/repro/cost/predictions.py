@@ -1,0 +1,136 @@
+"""Memoized, vectorized front-end to the latency cost model.
+
+Algorithm 1 queries :meth:`LatencyModel.predict_layer` with a very small
+set of distinct arguments — ``(gpu type, bits, phase, micro-batch,
+q, context)`` — yet the legacy planner re-evaluated them from scratch for
+every (ordering, micro-batch) candidate: ``O(candidates x devices x
+bits)`` scalar feature builds and dot products.  The keys repeat because
+candidates only vary the *order* of the same device types and share the
+micro-batch menu.
+
+:class:`PredictionCache` memoizes each distinct key once per planner run
+and fills whole ``(device, bits)`` coefficient tables with one matrix
+product per GPU type instead of per-cell Python calls.  The cached
+values are exactly the floats ``predict_layer`` returns (same feature
+vector, same dot product), which is what lets the search engine promise
+bit-identical plans to the uncached path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+import numpy as np
+
+from ..models.config import ModelConfig
+from .latency import LatencyModel, Phase, features_for
+
+__all__ = ["PredictionCache"]
+
+#: cache key: (gpu type, bits, phase, micro-batch, q tokens, context)
+_Key = tuple[str, int, str, int, int, int]
+
+
+@dataclass
+class PredictionCache:
+    """Shared per-(gpu, bits, phase, shape) layer-time memo.
+
+    One instance is shared across every candidate of a planner run (and
+    is cheap to keep around longer — entries are immutable floats).
+    ``hits``/``misses`` feed the planner's :class:`PlannerStats`.
+    """
+
+    model: LatencyModel
+    _times: dict[_Key, float] = field(default_factory=dict)
+    _features: dict[tuple[int, int, int, int], np.ndarray] = field(
+        default_factory=dict
+    )
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def cfg(self) -> ModelConfig:
+        """Model architecture the underlying cost model was fitted for."""
+        return self.model.cfg
+
+    def _feature(self, bits: int, batch: int, q: int, context: int) -> np.ndarray:
+        key = (bits, batch, q, context)
+        feat = self._features.get(key)
+        if feat is None:
+            feat = features_for(self.cfg, bits, batch, q, context)
+            self._features[key] = feat
+        return feat
+
+    # ------------------------------------------------------------------
+    def layer_time(
+        self,
+        gpu_name: str,
+        bits: int,
+        phase: Phase,
+        batch: int,
+        q: int,
+        context: int,
+    ) -> float:
+        """Memoized ``predict_layer`` for one key."""
+        key = (gpu_name, bits, phase, batch, q, context)
+        t = self._times.get(key)
+        if t is not None:
+            self.hits += 1
+            return t
+        self.misses += 1
+        beta = self.model.coef[self.model._key(gpu_name, bits, phase)]
+        t = float(self._feature(bits, batch, q, context) @ beta)
+        self._times[key] = t
+        return t
+
+    def layer_time_table(
+        self,
+        gpu_names: Sequence[str],
+        bits: Sequence[int],
+        phase: Phase,
+        batch: int,
+        q: int,
+        context: int,
+    ) -> np.ndarray:
+        """``(len(gpu_names), len(bits))`` layer-time table, one planner
+        coefficient block.
+
+        Missing cells for one GPU are filled with a single ``(nB, 3) @
+        (3,)`` matrix product — row ``k`` of that product is the same
+        3-term dot product ``predict_layer`` computes, so cached and
+        uncached paths agree bitwise.
+        """
+        out = np.empty((len(gpu_names), len(bits)))
+        for j, name in enumerate(gpu_names):
+            missing = [
+                k
+                for k, b in enumerate(bits)
+                if (name, b, phase, batch, q, context) not in self._times
+            ]
+            if missing:
+                feats = np.stack(
+                    [self._feature(bits[k], batch, q, context) for k in missing]
+                )
+                for row, k in enumerate(missing):
+                    beta = self.model.coef[self.model._key(name, bits[k], phase)]
+                    self._times[(name, bits[k], phase, batch, q, context)] = float(
+                        feats[row] @ beta
+                    )
+                self.misses += len(missing)
+                self.hits += len(bits) - len(missing)
+            else:
+                self.hits += len(bits)
+            for k, b in enumerate(bits):
+                out[j, k] = self._times[(name, b, phase, batch, q, context)]
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        """Distinct keys currently memoized."""
+        return len(self._times)
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss counters for diagnostics."""
+        return {"hits": self.hits, "misses": self.misses, "size": self.size}

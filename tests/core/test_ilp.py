@@ -114,6 +114,35 @@ def test_infeasible_workload_detected(cluster3, latmodel_cluster3, opt30b):
     assert not sol.feasible
 
 
+def test_concurrent_solves_leave_stdout_intact(
+    cluster3, latmodel_cluster3, opt30b, capfd
+):
+    """Regression for the removed ``_quiet_fd1`` fd-redirection hack.
+
+    The old context manager dup2'd fd 1 to /dev/null around every solve;
+    two overlapping solves could race the restore and permanently silence
+    stdout.  Solves now rely on HiGHS's own output suppression, so
+    concurrent solves must succeed AND leave fd 1 working (capfd captures
+    at the file-descriptor level, where the old bug lived)."""
+    from concurrent.futures import ThreadPoolExecutor
+
+    def solve_one(theta):
+        ilp = _make_ilp(cluster3, latmodel_cluster3, opt30b, theta=theta, group=4)
+        return ilp.solve()
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        sols = list(pool.map(solve_one, [1.0, 5.0, 1.0, 5.0]))
+    assert all(s.feasible for s in sols)
+    # identical problems solve identically regardless of interleaving
+    assert sols[0].group_bits == sols[2].group_bits
+    assert sols[1].group_bits == sols[3].group_bits
+    # no solver chatter leaked, and fd 1 still reaches the terminal
+    out_before = capfd.readouterr().out
+    assert out_before == ""
+    print("fd1-alive")
+    assert "fd1-alive" in capfd.readouterr().out
+
+
 def test_grouped_indicator_mismatch_raises(cluster3, latmodel_cluster3, opt30b):
     ind = synthetic_indicator(opt30b).normalized()  # ungrouped: 48 rows
     ilp = BitAssignmentILP(

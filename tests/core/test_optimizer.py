@@ -100,3 +100,60 @@ def test_microbatch_pairs_pruning(workload):
 
 def test_indicator_normalized_on_init(planner):
     assert planner.indicator.column(4).sum() == pytest.approx(1.0)
+
+
+def test_grouped_indicator_computed_once_and_reused(
+    small_hetero_cluster, latmodel_13b, small_workload, monkeypatch
+):
+    """The grouped omega table is hoisted into ``__init__`` — candidate
+    solves share one object instead of regrouping per candidate."""
+    from repro.quant.indicator import IndicatorTable
+
+    calls = {"n": 0}
+    real_grouped = IndicatorTable.grouped
+
+    def counting(self, *args, **kwargs):
+        calls["n"] += 1
+        return real_grouped(self, *args, **kwargs)
+
+    monkeypatch.setattr(IndicatorTable, "grouped", counting)
+    opt = LLMPQOptimizer(
+        "opt-13b", small_hetero_cluster, small_workload,
+        config=PlannerConfig(
+            group_size=4, prefill_mb_cap=2, decode_mb_candidates=(4,)
+        ),
+        latency_model=latmodel_13b,
+    )
+    assert calls["n"] == 1  # exactly the __init__ hoist
+    orderings = opt.orderings()
+    _, ilp_a = opt._solve_candidate(orderings[0], 2, 4)
+    _, ilp_b = opt._solve_candidate(orderings[-1], 2, 4)
+    assert calls["n"] == 1  # no regrouping per candidate
+    assert ilp_a.indicator is opt.grouped_indicator
+    assert ilp_b.indicator is opt.grouped_indicator
+
+
+def test_optimize_reuses_hoisted_grouped_indicator(
+    small_hetero_cluster, latmodel_13b, small_workload, monkeypatch
+):
+    """A full engine run performs zero additional ``grouped`` calls."""
+    from repro.quant.indicator import IndicatorTable
+
+    calls = {"n": 0}
+    real_grouped = IndicatorTable.grouped
+
+    def counting(self, *args, **kwargs):
+        calls["n"] += 1
+        return real_grouped(self, *args, **kwargs)
+
+    opt = LLMPQOptimizer(
+        "opt-13b", small_hetero_cluster, small_workload,
+        config=PlannerConfig(
+            group_size=4, prefill_mb_cap=2, decode_mb_candidates=(4,)
+        ),
+        latency_model=latmodel_13b,
+    )
+    monkeypatch.setattr(IndicatorTable, "grouped", counting)
+    result = opt.optimize()
+    assert result.feasible
+    assert calls["n"] == 0
