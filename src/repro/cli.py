@@ -167,6 +167,11 @@ def dist_main(argv: list[str] | None = None) -> int:
                    help="seed for the fault injector's randomness")
     p.add_argument("--no-recovery", action="store_true",
                    help="fail fast on stage crashes instead of recovering")
+    p.add_argument("--dequant-cache-mb", type=float, default=None,
+                   help="per-stage dequantized-weight cache budget in MiB "
+                        "(default: auto-size from the memory model's slack; "
+                        "0 disables caching and rebuilds dense weights per "
+                        "microbatch)")
     args = p.parse_args(argv)
 
     plan = _load_plan(args.strategy)
@@ -214,7 +219,8 @@ def dist_main(argv: list[str] | None = None) -> int:
         )
         try:
             with PipelineRuntime(
-                ref, plan, fault_injector=injector, supervision=supervision
+                ref, plan, fault_injector=injector, supervision=supervision,
+                dequant_cache_mb=args.dequant_cache_mb,
             ) as rt:
                 tokens = rt.generate(prompts, plan.workload.gen_len)
         except RuntimeError as e:
@@ -224,6 +230,15 @@ def dist_main(argv: list[str] | None = None) -> int:
             f"({tokens.size / rt.stats.total_seconds:.1f} tok/s wall)"
         )
         st = rt.stats
+        print(
+            f"hot path: prefill {st.prefill_tokens_per_s:.1f} tok/s, "
+            f"decode {st.decode_tokens_per_s:.1f} tok/s; dequant cache "
+            f"{st.dequant_cache_hits} hits / {st.dequant_cache_misses} misses "
+            f"({st.dequant_cache_evictions} evictions, "
+            f"{st.dequant_cache_sheds} sheds, "
+            f"{st.dequant_build_seconds:.3f}s rebuilding, "
+            f"budget {st.dequant_cache_budget_bytes / 2**20:.1f} MiB)"
+        )
         if injector is not None or st.retries or st.replans or st.degrade_events:
             print(
                 f"recovery: {st.retries} retries, {st.stage_restarts} stage "

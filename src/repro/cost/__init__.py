@@ -3,6 +3,9 @@
 from .memory import (
     FRAMEWORK_OVERHEAD_BYTES,
     StageMemory,
+    dequant_cache_budget,
+    dequant_cache_bytes,
+    dequant_cache_layer_bytes,
     embedding_bytes,
     kv_cache_bytes,
     logits_workspace_bytes,
@@ -24,6 +27,9 @@ __all__ = [
     "logits_workspace_bytes",
     "temp_bytes_prefill",
     "temp_bytes_decode",
+    "dequant_cache_layer_bytes",
+    "dequant_cache_bytes",
+    "dequant_cache_budget",
     "FRAMEWORK_OVERHEAD_BYTES",
     "LatencyModel",
     "LatencySample",

@@ -9,7 +9,12 @@ Peak memory of a pipeline stage serving a model shard =
   (for tied embeddings the table is shared but the logit projection's
   output buffer is charged to the last stage),
 * **peak temporary memory** — the worst-case operator workspace across
-  the prefill and decode phases for the resident layers.
+  the prefill and decode phases for the resident layers,
+* optionally a **dequantized-weight cache** residency: the runtime's
+  hot-path cache of dense ``W_hat`` tensors is ordinary temp memory from
+  the planner's point of view, budgeted out of the device's slack via
+  :func:`dequant_cache_budget` so serving never exceeds the memory the
+  plan was admitted under.
 
 All quantities are bytes.  The model is exact by construction up to the
 allocator rounding the simulator applies, which is how the paper's Fig. 7
@@ -31,9 +36,17 @@ __all__ = [
     "logits_workspace_bytes",
     "temp_bytes_prefill",
     "temp_bytes_decode",
+    "dequant_cache_layer_bytes",
+    "dequant_cache_bytes",
+    "dequant_cache_budget",
     "stage_memory",
     "FRAMEWORK_OVERHEAD_BYTES",
 ]
+
+#: Bytes per element of a dequantized (dense) weight in the NumPy runtime.
+#: Real serving kernels dequantize to FP16; this substrate computes in
+#: float64, and the cache budget must bound *actual* resident bytes.
+DENSE_WEIGHT_BYTES = 8.0
 
 #: CUDA context + framework baseline carved out of every device.
 FRAMEWORK_OVERHEAD_BYTES = 1.0 * 2**30
@@ -92,6 +105,59 @@ def temp_bytes_decode(cfg: ModelConfig, microbatch: int, context: int) -> float:
     return float(scores + mlp + hidden)
 
 
+def dequant_cache_layer_bytes(
+    cfg: ModelConfig, bits: int, *, elem_bytes: float = DENSE_WEIGHT_BYTES
+) -> float:
+    """Dense bytes one cached (materialized) decoder layer occupies.
+
+    Quantized layers cache the dequantized ``W_hat`` of every dense
+    operator plus the fused QKV weight/bias the lean attention path uses;
+    16-bit layers keep their float weights resident (already charged as
+    ``weight_bytes``) and cache only the fused QKV copy.
+    """
+    shape = cfg.layer_shape
+    h = cfg.hidden_size
+    fused = (3 * h * h + 3 * h) * elem_bytes
+    if bits >= 16:
+        return float(fused)
+    return float(shape.linear_params * elem_bytes + fused)
+
+
+def dequant_cache_bytes(
+    cfg: ModelConfig,
+    layer_bits: Sequence[int],
+    *,
+    elem_bytes: float = DENSE_WEIGHT_BYTES,
+) -> float:
+    """Dense bytes needed to cache *every* resident layer of a shard."""
+    return float(
+        sum(dequant_cache_layer_bytes(cfg, b, elem_bytes=elem_bytes) for b in layer_bits)
+    )
+
+
+def dequant_cache_budget(
+    base: "StageMemory",
+    capacity_bytes: float,
+    *,
+    want_bytes: float | None = None,
+) -> float:
+    """Byte budget for a stage's dequantized-weight cache.
+
+    The cache is opportunistic temp memory: it may only use the slack the
+    planner's own accounting leaves on the device (capacity minus
+    framework overhead minus the stage's modeled peak), so serving with
+    the cache never exceeds the memory the plan was admitted under.  A
+    stage near its cap therefore caches fewer layers — or none.
+    ``want_bytes`` (full-cache need, from :func:`dequant_cache_bytes` or
+    the loader's measured ledger) caps the budget at what is useful.
+    """
+    slack = capacity_bytes - FRAMEWORK_OVERHEAD_BYTES - base.total
+    budget = max(0.0, float(slack))
+    if want_bytes is not None:
+        budget = min(budget, float(want_bytes))
+    return budget
+
+
 @dataclass(frozen=True)
 class StageMemory:
     """Peak-memory breakdown of one pipeline stage, in bytes."""
@@ -100,11 +166,16 @@ class StageMemory:
     kv_cache: float
     embedding: float
     temp: float
+    #: planned dequantized-weight cache residency (0 when not modeled)
+    dequant_cache: float = 0.0
 
     @property
     def total(self) -> float:
         """Sum of all components, bytes."""
-        return self.weights + self.kv_cache + self.embedding + self.temp
+        return (
+            self.weights + self.kv_cache + self.embedding + self.temp
+            + self.dequant_cache
+        )
 
     def fits(self, capacity_bytes: float) -> bool:
         """Whether the stage fits a device after framework overhead."""
@@ -123,6 +194,7 @@ def stage_memory(
     is_first: bool,
     is_last: bool,
     kv_bits: int = 16,
+    dequant_cache_budget_bytes: float = 0.0,
 ) -> StageMemory:
     """Peak memory of a stage holding ``layer_bits`` decoder layers.
 
@@ -156,4 +228,7 @@ def stage_memory(
         temp += logits_workspace_bytes(
             cfg, max(prefill_microbatch, decode_microbatch), 1
         )
-    return StageMemory(weights=w, kv_cache=kv, embedding=emb, temp=temp)
+    return StageMemory(
+        weights=w, kv_cache=kv, embedding=emb, temp=temp,
+        dequant_cache=float(dequant_cache_budget_bytes),
+    )

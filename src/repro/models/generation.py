@@ -48,7 +48,9 @@ def generate(
         raise ValueError("num_tokens must be non-negative")
     rng = np.random.default_rng(seed)
 
-    logits, cache = model.prefill(prompts, reserve=num_tokens)
+    # only the last prompt position feeds generation — skip the
+    # (batch, s, vocab) projection the "all" mode would throw away
+    logits, cache = model.prefill(prompts, reserve=num_tokens, logits="last")
     last = logits[:, -1]
     out = np.empty((prompts.shape[0], num_tokens), dtype=np.int64)
     cur = _pick(last, greedy, rng)

@@ -26,7 +26,7 @@ import numpy as np
 
 from .config import ModelConfig
 
-__all__ = ["LayerWeights", "TinyDecoderLM", "KVCache", "init_weights"]
+__all__ = ["LayerWeights", "TinyDecoderLM", "KVCache", "init_weights", "fused_qkv"]
 
 
 @dataclass
@@ -107,6 +107,26 @@ class KVCache:
             raise ValueError("KV cache overflow: reserve s + n slots up front")
         self.k[layer, :, start : start + q] = k_new
         self.v[layer, :, start : start + q] = v_new
+
+
+def fused_qkv(lw: LayerWeights) -> tuple[np.ndarray, np.ndarray]:
+    """Concatenated ``[wq|wk|wv]`` weight and bias for one fused GEMM.
+
+    Column-block concatenation leaves every output column's dot product
+    untouched, so the fused projection is bit-identical to three separate
+    GEMMs — it just makes one BLAS call instead of three.  The fused
+    arrays are memoized on the (mutable) ``LayerWeights`` instance;
+    weight surgery always builds fresh instances, so the memo cannot go
+    stale.
+    """
+    cached = getattr(lw, "_fused_qkv", None)
+    if cached is None:
+        cached = (
+            np.concatenate((lw.wq, lw.wk, lw.wv), axis=1),
+            np.concatenate((lw.bq, lw.bk, lw.bv)),
+        )
+        lw._fused_qkv = cached
+    return cached
 
 
 def _layernorm(x: np.ndarray, g: np.ndarray, b: np.ndarray, eps: float = 1e-5) -> np.ndarray:
@@ -202,9 +222,14 @@ def attention_forward(
         recorder(cache_layer, "q_proj", x)
         recorder(cache_layer, "k_proj", x)
         recorder(cache_layer, "v_proj", x)
-    qp = x @ lw.wq + lw.bq
-    kp = x @ lw.wk + lw.bk
-    vp = x @ lw.wv + lw.bv
+    # one fused QKV GEMM on the flattened (batch*q, h) tokens: a 3-D
+    # ndarray @ 2-D matmul loops a GEMM per batch row, which is the slow
+    # shape decode hits (q == 1), so flatten once and split by columns
+    wqkv, bqkv = fused_qkv(lw)
+    qkv = x.reshape(batch * q, h) @ wqkv
+    qkv += bqkv
+    qkv = qkv.reshape(batch, q, 3 * h)
+    qp, kp, vp = qkv[..., :h], qkv[..., h : 2 * h], qkv[..., 2 * h :]
     cache.append(cache_layer, kp, vp, start)
     total = start + q
     k_all = cache.k[cache_layer, :, :total]
@@ -227,7 +252,9 @@ def attention_forward(
     mixed = (attn @ vh).transpose(0, 2, 1, 3).reshape(batch, q, h)
     if recorder is not None:
         recorder(cache_layer, "out_proj", mixed)
-    return mixed @ lw.wo + lw.bo
+    out = mixed.reshape(batch * q, h) @ lw.wo
+    out += lw.bo
+    return out.reshape(batch, q, h)
 
 
 def decoder_block(
@@ -247,11 +274,15 @@ def decoder_block(
     h1 = _layernorm(x, lw.ln2_g, lw.ln2_b)
     if recorder is not None:
         recorder(cache_layer, "fc1", h1)
-    h2 = _gelu(h1 @ lw.fc1 + lw.bfc1)
+    batch, q, h = x.shape
+    z1 = h1.reshape(batch * q, h) @ lw.fc1
+    z1 += lw.bfc1
+    h2 = _gelu(z1)
     if recorder is not None:
-        recorder(cache_layer, "fc2", h2)
-    m = h2 @ lw.fc2 + lw.bfc2
-    return x + m
+        recorder(cache_layer, "fc2", h2.reshape(batch, q, -1))
+    m = h2 @ lw.fc2
+    m += lw.bfc2
+    return x + m.reshape(batch, q, h)
 
 
 class TinyDecoderLM:
@@ -309,16 +340,29 @@ class TinyDecoderLM:
 
     def _logits(self, x: np.ndarray) -> np.ndarray:
         x = _layernorm(x, self.final_ln_g, self.final_ln_b)
-        return x @ self.embed_tokens.T
+        batch, q, h = x.shape
+        out = x.reshape(batch * q, h) @ self.embed_tokens.T
+        return out.reshape(batch, q, -1)
 
     def prefill(
-        self, tokens: np.ndarray, *, reserve: int = 0
-    ) -> tuple[np.ndarray, KVCache]:
-        """Process prompts; returns logits ``(batch, s, vocab)`` and cache.
+        self, tokens: np.ndarray, *, reserve: int = 0, logits: str = "all"
+    ) -> tuple[np.ndarray | None, KVCache]:
+        """Process prompts; returns logits and the filled KV cache.
 
         ``reserve`` extra KV slots are pre-allocated for decoding — the
         paper's runtime reserves ``s + n`` up front to avoid reallocation.
+
+        ``logits`` selects how much of the ``(batch, s, vocab)`` logit
+        tensor to materialize:
+
+        * ``"all"`` — every position (teacher forcing / perplexity);
+        * ``"last"`` — only the final position, shape ``(batch, 1,
+          vocab)``: what generation actually consumes, skipping the
+          ``(batch, s, vocab)`` projection it would throw away;
+        * ``"none"`` — no logits at all (cache warm-up), returns ``None``.
         """
+        if logits not in ("all", "last", "none"):
+            raise ValueError(f"logits must be 'all', 'last' or 'none', got {logits!r}")
         tokens = np.asarray(tokens)
         if tokens.ndim != 2:
             raise ValueError("tokens must be (batch, seq)")
@@ -330,6 +374,10 @@ class TinyDecoderLM:
         for i in range(self.cfg.num_layers):
             x = self._block(i, x, cache, 0)
         cache.length = s
+        if logits == "none":
+            return None, cache
+        if logits == "last":
+            return self._logits(x[:, -1:]), cache
         return self._logits(x), cache
 
     def capture_activation_stats(self, tokens: np.ndarray) -> dict[tuple[int, str], tuple[float, float]]:
@@ -364,7 +412,7 @@ class TinyDecoderLM:
     # ------------------------------------------------------------------
     def forward_full(self, tokens: np.ndarray) -> np.ndarray:
         """Teacher-forced full forward (for perplexity): logits for all pos."""
-        logits, _ = self.prefill(np.asarray(tokens))
+        logits, _ = self.prefill(np.asarray(tokens), logits="all")
         return logits
 
     def nll(self, tokens: np.ndarray) -> float:

@@ -24,7 +24,13 @@ from .indicator import (
     synthetic_indicator,
     variance_indicator,
 )
-from .kernels import QuantizedLinear, pack_codes, unpack_codes
+from .kernels import (
+    QuantizedLinear,
+    pack_codes,
+    pack_codes_reference,
+    unpack_codes,
+    unpack_codes_reference,
+)
 from .smoothquant import (
     W8A8Result,
     llm_int8_matmul,
@@ -64,6 +70,8 @@ __all__ = [
     "QuantizedLinear",
     "pack_codes",
     "unpack_codes",
+    "pack_codes_reference",
+    "unpack_codes_reference",
     "awq_quantize_dequantize",
     "SpqrResult",
     "spqr_quantize",

@@ -6,26 +6,40 @@ as a serving kernel would (4-bit nibbles, 3-bit fields, 8-bit bytes) and
 dequantizes on the fly at matmul time.  The packed byte counts feed the
 memory bookkeeping; the dequantize-matmul path feeds the quality
 measurements.
+
+Packing is a single vectorized pass over a flat little-endian bitstream:
+``pack_codes`` explodes each biased code into its ``bits`` low-order bits
+with :func:`np.unpackbits` and folds the stream back into bytes with
+:func:`np.packbits`; ``unpack_codes`` is the exact inverse.  The original
+per-bit-offset loop implementations are kept as ``pack_codes_reference``
+/ ``unpack_codes_reference`` equality oracles.
+
+Dequantization is the decode hot path's dominant cost when repeated, so
+``dequantized()`` can be served from a
+:class:`~repro.runtime.dequant_cache.DequantCache` attached via
+:meth:`QuantizedLinear.attach_cache` — with no cache (or a zero-byte
+budget) every call re-unpacks, which is the naive baseline behavior.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from .quantizer import QuantizedTensor, qmax_for_bits
 
-__all__ = ["pack_codes", "unpack_codes", "QuantizedLinear"]
+__all__ = [
+    "pack_codes",
+    "unpack_codes",
+    "pack_codes_reference",
+    "unpack_codes_reference",
+    "QuantizedLinear",
+]
 
 
-def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
-    """Bit-pack signed integer codes into a uint8 buffer.
-
-    Codes are biased to unsigned (``code + qmax``) then written little-
-    endian into a flat bitstream.  Works for any ``bits <= 8``; 16-bit
-    tensors are stored as int16 directly and never hit this path.
-    """
+def pack_codes_reference(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Original per-bit-offset packing loop, kept as an equality oracle."""
     if bits > 8:
         raise ValueError("pack_codes handles bits <= 8")
     qmax = qmax_for_bits(bits)
@@ -45,8 +59,8 @@ def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
     return out
 
 
-def unpack_codes(packed: np.ndarray, bits: int, size: int) -> np.ndarray:
-    """Inverse of :func:`pack_codes`; returns signed int16 codes."""
+def unpack_codes_reference(packed: np.ndarray, bits: int, size: int) -> np.ndarray:
+    """Original per-bit-offset unpacking loop, kept as an equality oracle."""
     if bits > 8:
         raise ValueError("unpack_codes handles bits <= 8")
     qmax = qmax_for_bits(bits)
@@ -61,6 +75,49 @@ def unpack_codes(packed: np.ndarray, bits: int, size: int) -> np.ndarray:
     return (vals.astype(np.int32) - qmax).astype(np.int16)
 
 
+def pack_codes(codes: np.ndarray, bits: int) -> np.ndarray:
+    """Bit-pack signed integer codes into a uint8 buffer.
+
+    Codes are biased to unsigned (``code + qmax``) then written little-
+    endian into a flat bitstream.  Works for any ``bits <= 8``; 16-bit
+    tensors are stored as int16 directly and never hit this path.
+
+    Byte-identical to :func:`pack_codes_reference` but built from a
+    single ``unpackbits``/``packbits`` bit-matrix pass instead of a
+    Python loop over bit offsets.
+    """
+    if bits > 8:
+        raise ValueError("pack_codes handles bits <= 8")
+    qmax = qmax_for_bits(bits)
+    flat = (codes.astype(np.int32).ravel() + qmax).astype(np.uint32)
+    if np.any(flat >> bits):
+        raise ValueError("codes out of range for bitwidth")
+    # each value becomes its `bits` low-order bits, little-endian, so the
+    # concatenated rows are exactly the flat bitstream the oracle writes
+    bit_rows = np.unpackbits(
+        flat.astype(np.uint8)[:, None], axis=1, bitorder="little"
+    )[:, :bits]
+    return np.packbits(bit_rows.ravel(), bitorder="little")
+
+
+def unpack_codes(packed: np.ndarray, bits: int, size: int) -> np.ndarray:
+    """Inverse of :func:`pack_codes`; returns signed int16 codes.
+
+    Single-pass: the packed bytes are exploded to the little-endian
+    bitstream, reshaped to one row of ``bits`` bits per value, and folded
+    back to bytes per row — no Python loop over bit offsets.
+    """
+    if bits > 8:
+        raise ValueError("unpack_codes handles bits <= 8")
+    qmax = qmax_for_bits(bits)
+    stream = np.unpackbits(np.ascontiguousarray(packed), bitorder="little")
+    bit_rows = stream[: size * bits].reshape(size, bits)
+    padded = np.zeros((size, 8), dtype=np.uint8)
+    padded[:, :bits] = bit_rows
+    vals = np.packbits(padded, axis=1, bitorder="little")[:, 0]
+    return (vals.astype(np.int32) - qmax).astype(np.int16)
+
+
 @dataclass
 class QuantizedLinear:
     """A dense layer held in packed quantized form.
@@ -68,6 +125,11 @@ class QuantizedLinear:
     16-bit layers skip packing and keep the float weights.  ``forward``
     computes ``x @ W_hat + b`` where ``W_hat`` is the dequantized weight —
     numerically identical to what a real weight-only kernel produces.
+
+    ``cache`` / ``cache_key`` are the cached-``W_hat`` slot: when a
+    :class:`~repro.runtime.dequant_cache.DequantCache` is attached,
+    ``dequantized()`` is served from it (subject to the cache's byte
+    budget) instead of re-unpacking the codes on every call.
     """
 
     shape: tuple[int, int]
@@ -76,6 +138,8 @@ class QuantizedLinear:
     scale: np.ndarray | None
     bias: np.ndarray | None
     fp_weight: np.ndarray | None = None
+    cache: object | None = field(default=None, repr=False, compare=False)
+    cache_key: object | None = field(default=None, repr=False, compare=False)
 
     @classmethod
     def from_float(cls, w: np.ndarray, bias: np.ndarray | None, bits: int) -> "QuantizedLinear":
@@ -108,18 +172,40 @@ class QuantizedLinear:
         meta = 0 if self.scale is None else self.scale.size * 2
         return int(self.packed.nbytes) + meta
 
+    @property
+    def dense_nbytes(self) -> int:
+        """Bytes of the dequantized ``W_hat`` (float64 in this substrate)."""
+        return int(np.prod(self.shape)) * 8
+
+    def attach_cache(self, cache: object, key: object) -> None:
+        """Serve ``dequantized()`` from ``cache`` under ``key`` from now on."""
+        self.cache = cache
+        self.cache_key = key
+
+    def _build_dense(self) -> np.ndarray:
+        """Unpack + rescale the packed codes into the dense ``W_hat``."""
+        assert self.packed is not None and self.scale is not None
+        size = int(np.prod(self.shape))
+        if self.bits <= 8:
+            codes = unpack_codes(self.packed, self.bits, size)
+        else:
+            codes = self.packed.view(np.int16)[:size]
+        return codes.reshape(self.shape).astype(np.float64) * self.scale
+
     def dequantized(self) -> np.ndarray:
         """Reconstruct the float weight from packed codes (the kernel math)."""
         if self.bits >= 16:
             assert self.fp_weight is not None
             return self.fp_weight
-        assert self.packed is not None and self.scale is not None
-        codes = unpack_codes(self.packed, self.bits, int(np.prod(self.shape)))
-        return codes.reshape(self.shape).astype(np.float64) * self.scale
+        if self.cache is not None:
+            return self.cache.get(
+                self.cache_key, lambda: (self._build_dense(), self.dense_nbytes)
+            )
+        return self._build_dense()
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         """``x @ W_hat + b`` exactly as a weight-only serving kernel computes."""
         y = x @ self.dequantized()
         if self.bias is not None:
-            y = y + self.bias
+            y += self.bias
         return y

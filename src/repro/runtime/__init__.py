@@ -1,6 +1,8 @@
 """Distributed serving runtime: master engine, stage workers, loaders,
-fault injection and supervised recovery."""
+fault injection, supervised recovery, and the hot-path dequantized-weight
+cache."""
 
+from .dequant_cache import DequantCache, DequantCacheStats
 from .engine import (
     PipelineControl,
     PipelineRuntime,
@@ -20,7 +22,13 @@ from .faults import (
     Straggler,
 )
 from .kvcache import StageKVManager
-from .loader import LoadTimeline, StageLoad, load_stage_weights, simulate_loading
+from .loader import (
+    LoadTimeline,
+    QuantizedStageLayer,
+    StageLoad,
+    load_stage_weights,
+    simulate_loading,
+)
 from .messages import ActivationMessage, FailureMessage, MergeMessage, ShutdownMessage
 from .microbatch import MicroBatchManager
 from .worker import StageWorker
@@ -41,7 +49,10 @@ __all__ = [
     "MessageCorruption",
     "KVAllocPressure",
     "StageKVManager",
+    "DequantCache",
+    "DequantCacheStats",
     "StageLoad",
+    "QuantizedStageLayer",
     "load_stage_weights",
     "LoadTimeline",
     "simulate_loading",

@@ -1,0 +1,137 @@
+"""Budget-aware cache of dequantized weights (the decode hot path).
+
+Weight-only quantization keeps *packed codes* resident — that is what the
+planner's memory model charges as weight bytes — but every matmul needs
+the dense ``W_hat``.  Rebuilding ``W_hat`` from the codes on every decode
+step is the naive-baseline tax this module removes: a per-device
+:class:`DequantCache` memoizes built entries under an LRU policy whose
+byte budget is derived from the plan's per-device memory slack (see
+:func:`repro.cost.memory.dequant_cache_budget`), so a stage near its
+memory cap caches fewer layers and a stage with head-room caches all of
+them.
+
+A budget of zero stores nothing: every ``get`` invokes the builder, which
+reproduces the recompute-every-call behavior exactly (same numerics, no
+resident dense bytes).  Under KV-allocation pressure the owning worker
+can :meth:`shed` cached bytes before the runtime's degradation ladder
+fires — dropping memoized weights is always safe because they can be
+rebuilt from the resident codes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable
+
+__all__ = ["DequantCacheStats", "DequantCache"]
+
+
+@dataclass
+class DequantCacheStats:
+    """Counters of one :class:`DequantCache` (monotonic over its life)."""
+
+    hits: int = 0            #: entries served without rebuilding
+    misses: int = 0          #: builder invocations
+    insertions: int = 0      #: built entries that fit the budget
+    evictions: int = 0       #: LRU entries dropped to respect the budget
+    sheds: int = 0           #: entries dropped on demand (KV pressure)
+    build_seconds: float = 0.0  #: wall-clock spent unpacking/dequantizing
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class DequantCache:
+    """LRU byte-budgeted memo of built (dequantized) weight entries.
+
+    Thread-safe; in the runtime each stage worker owns one instance
+    (per-device, like a real allocator pool) and the engine aggregates
+    the stats afterwards.
+
+    ``get(key, builder)`` returns the cached value or calls ``builder``,
+    which must return ``(value, nbytes)``.  Entries larger than the whole
+    budget are returned but never stored.
+    """
+
+    def __init__(self, budget_bytes: float) -> None:
+        if budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        self.budget_bytes = float(budget_bytes)
+        self.stats = DequantCacheStats()
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[object, tuple[object, int]]" = OrderedDict()
+        self._bytes = 0
+        self.peak_bytes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_in_use(self) -> int:
+        """Bytes of all resident entries."""
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: object, builder: Callable[[], tuple[object, int]]):
+        """Fetch ``key``, building (and caching if it fits) on a miss."""
+        with self._lock:
+            hit = self._entries.get(key)
+            if hit is not None:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return hit[0]
+            self.stats.misses += 1
+            t0 = time.perf_counter()
+            value, nbytes = builder()
+            self.stats.build_seconds += time.perf_counter() - t0
+            nbytes = int(nbytes)
+            if 0 < nbytes <= self.budget_bytes:
+                self._entries[key] = (value, nbytes)
+                self._bytes += nbytes
+                self.stats.insertions += 1
+                self._evict_to(self.budget_bytes, counter="evictions")
+                self.peak_bytes = max(self.peak_bytes, self._bytes)
+            return value
+
+    def _evict_to(self, limit: float, *, counter: str) -> int:
+        """Drop LRU entries until at most ``limit`` bytes remain."""
+        freed = 0
+        while self._bytes > limit and self._entries:
+            _, (_, nbytes) = self._entries.popitem(last=False)
+            self._bytes -= nbytes
+            freed += nbytes
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+        return freed
+
+    # ------------------------------------------------------------------
+    def shed(self, want_bytes: float) -> int:
+        """Free at least ``want_bytes`` if possible; returns bytes freed.
+
+        Called under KV-allocation pressure: cached dense weights are the
+        one thing on the device that is safe to drop (they rebuild from
+        the resident packed codes), so they go *before* the degradation
+        ladder shrinks decode groups or replans.
+        """
+        with self._lock:
+            target = max(0.0, self._bytes - float(want_bytes))
+            return self._evict_to(target, counter="sheds")
+
+    def shrink(self, new_budget_bytes: float) -> int:
+        """Lower (or raise) the budget and evict down to it; bytes freed."""
+        if new_budget_bytes < 0:
+            raise ValueError("budget_bytes must be >= 0")
+        with self._lock:
+            self.budget_bytes = float(new_budget_bytes)
+            return self._evict_to(self.budget_bytes, counter="evictions")
+
+    def clear(self) -> None:
+        """Drop every entry (counters are preserved)."""
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0

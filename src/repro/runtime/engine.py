@@ -44,8 +44,10 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.plan import ExecutionPlan
+from ..cost.memory import dequant_cache_budget, stage_memory
 from ..models.registry import get_model
 from ..models.transformer import TinyDecoderLM
+from .dequant_cache import DequantCache, DequantCacheStats
 from .faults import FaultInjector, KVAllocationError, PipelineStallError
 from .loader import StageLoad, load_stage_weights
 from .messages import ActivationMessage, FailureMessage, MergeMessage, ShutdownMessage
@@ -70,6 +72,15 @@ class RuntimeStats:
     prefill_microbatches: int = 0
     decode_groups: int = 0
     tokens_generated: int = 0
+    # --- hot-path counters --------------------------------------------
+    prefill_tokens: int = 0      #: prompt tokens pushed through prefill
+    decode_tokens: int = 0       #: tokens produced by decode steps
+    dequant_cache_hits: int = 0      #: layer materializations served cached
+    dequant_cache_misses: int = 0    #: layer materializations rebuilt
+    dequant_cache_evictions: int = 0  #: LRU drops to respect the byte budget
+    dequant_cache_sheds: int = 0      #: drops forced by KV pressure
+    dequant_build_seconds: float = 0.0  #: wall-clock unpacking/dequantizing
+    dequant_cache_budget_bytes: float = 0.0  #: summed per-stage budgets
     # --- fault-tolerance counters -------------------------------------
     retries: int = 0             #: batch replays after a stage failure
     stage_restarts: int = 0      #: workers rebuilt from cached shards
@@ -83,6 +94,16 @@ class RuntimeStats:
     def total_seconds(self) -> float:
         """Prefill + decode wall-clock."""
         return self.prefill_seconds + self.decode_seconds
+
+    @property
+    def prefill_tokens_per_s(self) -> float:
+        """Prompt tokens processed per second of prefill wall-clock."""
+        return self.prefill_tokens / self.prefill_seconds if self.prefill_seconds else 0.0
+
+    @property
+    def decode_tokens_per_s(self) -> float:
+        """Tokens produced per second of steady-state decode wall-clock."""
+        return self.decode_tokens / self.decode_seconds if self.decode_seconds else 0.0
 
 
 @dataclass(frozen=True)
@@ -151,6 +172,12 @@ class PipelineRuntime:
     supervision:
         Timeouts and retry/degradation bounds; the defaults recover
         transparently from transient faults.
+    dequant_cache_mb:
+        Per-stage byte budget (in MiB) for the dequantized-weight cache.
+        ``None`` (default) derives each stage's budget from the plan's
+        per-device memory slack via
+        :func:`repro.cost.memory.dequant_cache_budget`; ``0`` disables
+        caching entirely, reproducing the rebuild-every-call baseline.
     """
 
     def __init__(
@@ -160,21 +187,27 @@ class PipelineRuntime:
         *,
         fault_injector: FaultInjector | None = None,
         supervision: SupervisionConfig | None = None,
+        dequant_cache_mb: float | None = None,
     ) -> None:
         cfg = get_model(plan.model_name)
         if cfg != reference.cfg:
             raise ValueError("plan and reference model configs differ")
+        if dequant_cache_mb is not None and dequant_cache_mb < 0:
+            raise ValueError("dequant_cache_mb must be >= 0")
         self.cfg = cfg
         self.reference = reference
         self.plan = plan
         self.original_plan = plan
         self.injector = fault_injector
         self.supervision = supervision or SupervisionConfig()
+        self._dequant_cache_mb = dequant_cache_mb
 
         # prepared (quantized) shard weights are cached so that failure
         # recovery does not pay the quantization cost again — the point
         # of the paper's on-the-fly loader (Sec. 5)
         self._loads: list[StageLoad] = []
+        self.dequant_caches: list[DequantCache] = []
+        self._folded_cache_stats = DequantCacheStats()
         self._build_loads()
         self.queues: list[queue.Queue] = []
         self.workers: list[StageWorker] = []
@@ -184,16 +217,76 @@ class PipelineRuntime:
         self._decode_microbatch = plan.decode_microbatch
         self._mbm: MicroBatchManager | None = None
         self.stats = RuntimeStats()
+        self._sync_cache_stats()
 
     def _build_loads(self) -> None:
+        # fold counters of caches about to be replaced (replan re-cuts
+        # shards) into the running totals so stats stay monotonic
+        for cache in getattr(self, "dequant_caches", []):
+            self._fold_cache_stats(cache)
         self._loads = []
+        self.dequant_caches = []
         offset = 0
-        for stage in self.plan.stages:
+        for j, stage in enumerate(self.plan.stages):
             indices = list(range(offset, offset + stage.num_layers))
             offset += stage.num_layers
-            self._loads.append(
-                load_stage_weights(self.reference, indices, stage.layer_bits)
+            load = load_stage_weights(self.reference, indices, stage.layer_bits)
+            self._loads.append(load)
+            self.dequant_caches.append(
+                DequantCache(self._stage_cache_budget(j, load))
             )
+
+    def _fold_cache_stats(self, cache: DequantCache) -> None:
+        f, s = self._folded_cache_stats, cache.stats
+        f.hits += s.hits
+        f.misses += s.misses
+        f.evictions += s.evictions
+        f.sheds += s.sheds
+        f.build_seconds += s.build_seconds
+
+    def _sync_cache_stats(self) -> None:
+        """Publish dequant-cache counters (folded + live) onto ``stats``."""
+        f = self._folded_cache_stats
+        live = [c.stats for c in self.dequant_caches]
+        self.stats.dequant_cache_hits = f.hits + sum(s.hits for s in live)
+        self.stats.dequant_cache_misses = f.misses + sum(s.misses for s in live)
+        self.stats.dequant_cache_evictions = (
+            f.evictions + sum(s.evictions for s in live)
+        )
+        self.stats.dequant_cache_sheds = f.sheds + sum(s.sheds for s in live)
+        self.stats.dequant_build_seconds = (
+            f.build_seconds + sum(s.build_seconds for s in live)
+        )
+        self.stats.dequant_cache_budget_bytes = float(
+            sum(c.budget_bytes for c in self.dequant_caches)
+        )
+
+    def _stage_cache_budget(self, stage_idx: int, load: StageLoad) -> float:
+        """Byte budget of one stage's dequant cache.
+
+        With no explicit override the budget is the device's memory slack
+        under the planner's own accounting (Sec.-4.1 model), capped at
+        the bytes a full cache of this shard would use — so runtime
+        residency stays inside the memory the plan was admitted with.
+        """
+        if self._dequant_cache_mb is not None:
+            return float(self._dequant_cache_mb) * 2**20
+        stage = self.plan.stages[stage_idx]
+        wl = self.plan.workload
+        base = stage_memory(
+            self.cfg, stage.layer_bits,
+            global_batch=wl.global_batch,
+            prompt_len=wl.prompt_len,
+            gen_len=wl.gen_len,
+            prefill_microbatch=self.plan.prefill_microbatch,
+            decode_microbatch=self.plan.decode_microbatch,
+            is_first=stage_idx == 0,
+            is_last=stage_idx == self.plan.num_stages - 1,
+        )
+        return dequant_cache_budget(
+            base, stage.device.spec.memory_bytes,
+            want_bytes=load.dense_cache_bytes,
+        )
 
     def _build_pipeline(self) -> None:
         self.control = PipelineControl()
@@ -204,6 +297,7 @@ class PipelineRuntime:
                 injector=self.injector,
                 control=self.control,
                 poll_interval=self.supervision.heartbeat_interval,
+                dequant_cache=self.dequant_caches[j],
             )
             for j, load in enumerate(self._loads)
         ]
@@ -387,6 +481,7 @@ class PipelineRuntime:
             try:
                 return self._serve_batch(prompts, num_tokens, greedy, seed)
             except StageFailureError as err:
+                self._sync_cache_stats()
                 if self._mbm is not None:
                     self.stats.replayed_microbatches += len(self._mbm.inflight_ids())
                 if not sup.enable_recovery:
@@ -450,6 +545,7 @@ class PipelineRuntime:
         tokens[:, 0] = current
         self.stats.prefill_seconds += time.perf_counter() - t0
         self.stats.prefill_microbatches += mbm.num_prefill_microbatches
+        self.stats.prefill_tokens += batch * s
 
         # ---------------- regroup for decode ---------------------------
         t1 = time.perf_counter()
@@ -477,6 +573,8 @@ class PipelineRuntime:
             tokens[:, step] = current
         self.stats.decode_seconds += time.perf_counter() - t1
         self.stats.tokens_generated += batch * num_tokens
+        self.stats.decode_tokens += batch * (num_tokens - 1)
+        self._sync_cache_stats()
 
         # free decode groups for the next batch
         for w in self.workers:

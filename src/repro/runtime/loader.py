@@ -4,9 +4,14 @@ Two jobs:
 
 1. **Real weight preparation** — :func:`load_stage_weights` takes the
    full-precision reference model, slices out a stage's layers and
-   applies each layer's assigned quantization, returning layer weights
-   that are numerically identical to what a weight-only serving kernel
-   computes, plus a byte ledger from the genuinely bit-packed codes.
+   applies each layer's assigned quantization.  The stage keeps the
+   weights exactly as a serving kernel stores them: genuinely bit-packed
+   integer codes (plus scales) for quantized layers, float weights for
+   16-bit layers.  The byte ledger comes from the packed codes, and the
+   memory the stage actually holds matches it — dense ``W_hat`` tensors
+   only ever exist as cache/temp memory, materialized per layer through
+   a :class:`~repro.runtime.dequant_cache.DequantCache` (or rebuilt on
+   every call when the cache budget is zero).
 
 2. **Loading-timeline model** — :func:`simulate_loading` reproduces the
    plugin the paper describes: the integrated checkpoint is decoupled
@@ -25,19 +30,87 @@ from typing import Sequence
 import numpy as np
 
 from ..models.config import ModelConfig
-from ..models.transformer import LayerWeights, TinyDecoderLM
+from ..models.transformer import LayerWeights, TinyDecoderLM, fused_qkv
 from ..quant.kernels import QuantizedLinear
 
-__all__ = ["StageLoad", "load_stage_weights", "LoadTimeline", "simulate_loading"]
+__all__ = [
+    "QuantizedStageLayer",
+    "StageLoad",
+    "load_stage_weights",
+    "LoadTimeline",
+    "simulate_loading",
+]
+
+
+@dataclass(frozen=True)
+class QuantizedStageLayer:
+    """One resident decoder layer in serving (packed) form.
+
+    ``base`` supplies the layer norms and biases (and the float dense
+    weights for 16-bit operators — those are the resident representation
+    at FP16, shared with the reference model, not a copy).  ``linears``
+    holds the packed :class:`QuantizedLinear` per quantized operator.
+    """
+
+    layer_index: int
+    bits: int
+    base: LayerWeights
+    linears: dict[str, QuantizedLinear]
+
+    @property
+    def cache_entry_bytes(self) -> int:
+        """Dense bytes a materialized (cached) copy of this layer holds:
+        every quantized operator's ``W_hat`` plus the fused QKV arrays."""
+        dense = sum(ql.dense_nbytes for ql in self.linears.values())
+        h = self.base.wq.shape[0]
+        fused = (3 * h * h + 3 * h) * 8
+        return int(dense + fused)
+
+    def _build(self) -> tuple[LayerWeights, int]:
+        """Dequantize into runnable :class:`LayerWeights` (cache builder)."""
+        new = {name: ql.dequantized() for name, ql in self.linears.items()}
+        lw = self.base.replace_linears(new)
+        fused_qkv(lw)  # precompute so the cached entry owns the fused GEMM
+        return lw, self.cache_entry_bytes
+
+    def materialize(self, cache=None) -> LayerWeights:
+        """Runnable float weights, via ``cache`` when one is attached.
+
+        With no cache (or a zero budget inside one) the dense weights are
+        rebuilt from the packed codes on every call — the naive baseline
+        the hot-path cache exists to avoid.
+        """
+        if cache is None:
+            return self._build()[0]
+        return cache.get(("layer", self.layer_index), self._build)
 
 
 @dataclass(frozen=True)
 class StageLoad:
     """A stage's prepared weights plus its packed-byte ledger."""
 
-    layers: tuple[LayerWeights, ...]
+    qlayers: tuple[QuantizedStageLayer, ...]
     layer_bits: tuple[int, ...]
     packed_weight_bytes: int
+
+    @property
+    def num_layers(self) -> int:
+        """Resident decoder layers."""
+        return len(self.qlayers)
+
+    @property
+    def dense_cache_bytes(self) -> int:
+        """Bytes a full (every-layer) dequant cache would occupy."""
+        return sum(q.cache_entry_bytes for q in self.qlayers)
+
+    @property
+    def layers(self) -> tuple[LayerWeights, ...]:
+        """Materialized float weights (uncached, built on access).
+
+        Convenience view for tests and offline inspection; the worker hot
+        path materializes per layer through its dequant cache instead.
+        """
+        return tuple(q.materialize() for q in self.qlayers)
 
 
 def load_stage_weights(
@@ -49,22 +122,28 @@ def load_stage_weights(
 
     Every dense matrix is round-tripped through the real quantizer at its
     assigned bitwidth; the byte ledger comes from actually bit-packing
-    the codes (see :class:`~repro.quant.kernels.QuantizedLinear`).
+    the codes (see :class:`~repro.quant.kernels.QuantizedLinear`), and
+    the packed codes are what the stage keeps resident.
     """
     if len(layer_indices) != len(layer_bits):
         raise ValueError("one bitwidth per layer required")
-    out: list[LayerWeights] = []
+    out: list[QuantizedStageLayer] = []
     packed = 0
     for li, bits in zip(layer_indices, layer_bits):
         layer = model.layers[li]
-        new: dict[str, np.ndarray] = {}
+        linears: dict[str, QuantizedLinear] = {}
         for name, w in layer.linear_weights().items():
             ql = QuantizedLinear.from_float(w, None, bits)
             packed += ql.weight_nbytes
-            new[name] = ql.dequantized() if bits < 16 else w
-        out.append(layer.replace_linears(new))
+            if bits < 16:
+                linears[name] = ql
+        out.append(
+            QuantizedStageLayer(
+                layer_index=li, bits=bits, base=layer, linears=linears
+            )
+        )
     return StageLoad(
-        layers=tuple(out),
+        qlayers=tuple(out),
         layer_bits=tuple(layer_bits),
         packed_weight_bytes=packed,
     )

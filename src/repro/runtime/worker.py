@@ -15,6 +15,14 @@ plane's abort flag, so a failure anywhere in the pipeline propagates in
 *both* directions — downstream via a :class:`FailureMessage` riding the
 data path, upstream via the abort flag — and no neighbour can deadlock
 on a dead stage.
+
+Hot path: the shard's resident representation is the *packed* quantized
+codes; each decoder layer is materialized to dense weights through the
+stage's :class:`~repro.runtime.dequant_cache.DequantCache`, so
+steady-state decode never touches the packed codes while a cold (or
+zero-budget) cache rebuilds them per message.  Under KV-allocation
+pressure the worker sheds cached dense weights and retries the
+allocation once before letting the engine's degradation ladder fire.
 """
 
 from __future__ import annotations
@@ -25,7 +33,8 @@ import time
 
 from ..models.config import ModelConfig
 from ..models.transformer import decoder_block
-from .faults import FaultInjector
+from .dequant_cache import DequantCache
+from .faults import FaultInjector, KVAllocationError
 from .kvcache import StageKVManager
 from .loader import StageLoad
 from .messages import ActivationMessage, FailureMessage, MergeMessage, ShutdownMessage
@@ -57,6 +66,10 @@ class StageWorker(threading.Thread):
         pipeline unwinds together.
     poll_interval:
         Heartbeat granularity: the bound on every blocking queue wait.
+    dequant_cache:
+        Optional per-device :class:`DequantCache` the shard's layers are
+        materialized through.  ``None`` rebuilds dense weights on every
+        message (the zero-budget baseline).
     """
 
     def __init__(
@@ -70,6 +83,7 @@ class StageWorker(threading.Thread):
         injector: FaultInjector | None = None,
         control=None,
         poll_interval: float = 0.05,
+        dequant_cache: DequantCache | None = None,
     ) -> None:
         super().__init__(name=f"stage-{stage_idx}", daemon=True)
         self.stage_idx = stage_idx
@@ -80,15 +94,39 @@ class StageWorker(threading.Thread):
         self.injector = injector
         self.control = control
         self.poll_interval = poll_interval
+        self.dequant_cache = dequant_cache
         self.kv = StageKVManager(
-            num_layers=len(load.layers),
+            num_layers=load.num_layers,
             hidden_size=cfg.hidden_size,
-            alloc_guard=injector.kv_guard(stage_idx) if injector else None,
+            alloc_guard=self._make_kv_guard(),
         )
         self.processed_messages = 0
         self.error: BaseException | None = None
         self.heartbeat = time.monotonic()
         self._stop_event = threading.Event()
+
+    def _make_kv_guard(self):
+        """KV guard that sheds cached dense weights before failing.
+
+        Cached ``W_hat`` tensors are rebuildable from the resident packed
+        codes, so under allocation pressure they are freed first and the
+        allocation retried once; only if the guard still denies does the
+        :class:`KVAllocationError` escape to the degradation ladder.
+        """
+        if self.injector is None:
+            return None
+        inner = self.injector.kv_guard(self.stage_idx)
+
+        def guard(requested_bytes: float) -> None:
+            try:
+                inner(requested_bytes)
+            except KVAllocationError:
+                cache = self.dequant_cache
+                if cache is None or cache.shed(requested_bytes) <= 0:
+                    raise
+                inner(requested_bytes)
+
+        return guard
 
     # ------------------------------------------------------------------
     def _process(self, msg: ActivationMessage) -> ActivationMessage:
@@ -101,7 +139,8 @@ class StageWorker(threading.Thread):
         else:
             cache = self.kv.get(msg.microbatch_id)
         x = msg.hidden
-        for li, lw in enumerate(self.load.layers):
+        for li, qlayer in enumerate(self.load.qlayers):
+            lw = qlayer.materialize(self.dequant_cache)
             x = decoder_block(self.cfg, lw, x, cache, li, msg.start)
         cache.length = msg.start + msg.hidden.shape[1]
         return ActivationMessage(

@@ -105,3 +105,44 @@ def test_smaller_prefill_microbatch_reduces_peak(opt13b):
 
 def test_logits_workspace(opt13b):
     assert logits_workspace_bytes(opt13b, 4, 1) == 4 * opt13b.vocab_size * 2
+
+
+def test_dequant_cache_layer_bytes(opt13b):
+    from repro.cost import dequant_cache_bytes, dequant_cache_layer_bytes
+
+    h = opt13b.hidden_size
+    fused = (3 * h * h + 3 * h) * 8.0
+    # FP16 layers cache only the fused QKV copy (floats already resident)
+    assert dequant_cache_layer_bytes(opt13b, 16) == pytest.approx(fused)
+    # quantized layers additionally cache every operator's dense W_hat
+    quant = dequant_cache_layer_bytes(opt13b, 4)
+    assert quant == pytest.approx(opt13b.layer_shape.linear_params * 8.0 + fused)
+    assert dequant_cache_bytes(opt13b, [4, 16]) == pytest.approx(quant + fused)
+
+
+def test_dequant_cache_budget_is_capacity_slack(opt13b):
+    from repro.cost import dequant_cache_budget
+
+    base = stage_memory(
+        opt13b, [4] * 10,
+        global_batch=8, prompt_len=128, gen_len=32,
+        prefill_microbatch=4, decode_microbatch=4,
+        is_first=False, is_last=False,
+    )
+    capacity = base.total + FRAMEWORK_OVERHEAD_BYTES + 1000.0
+    assert dequant_cache_budget(base, capacity) == pytest.approx(1000.0)
+    # a stage at (or past) its cap gets no cache at all
+    assert dequant_cache_budget(base, base.total) == 0.0
+    # want_bytes caps the budget at what a full cache would use
+    assert dequant_cache_budget(base, capacity, want_bytes=400.0) == 400.0
+
+
+def test_stage_memory_charges_dequant_cache(opt13b):
+    kw = dict(global_batch=8, prompt_len=128, gen_len=32,
+              prefill_microbatch=4, decode_microbatch=4,
+              is_first=False, is_last=False)
+    plain = stage_memory(opt13b, [4] * 10, **kw)
+    cached = stage_memory(opt13b, [4] * 10, dequant_cache_budget_bytes=1e9, **kw)
+    assert plain.dequant_cache == 0.0
+    assert cached.dequant_cache == pytest.approx(1e9)
+    assert cached.total == pytest.approx(plain.total + 1e9)

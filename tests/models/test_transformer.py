@@ -28,6 +28,37 @@ def test_prefill_reserve_allocates_decode_slots(model, tokens):
     assert cache.max_len == 15
 
 
+def test_prefill_logits_modes_agree(model, tokens):
+    """'last' and 'none' skip work but not state: caches are bit-identical
+    to 'all', and the 'last' logits match the full projection's final
+    position (to GEMM rounding — the lean mode projects a smaller matrix,
+    so BLAS may round differently in the last ulp)."""
+    full, cache_all = model.prefill(tokens, logits="all")
+    last, cache_last = model.prefill(tokens, logits="last")
+    none, cache_none = model.prefill(tokens, logits="none")
+    assert last.shape == (3, 1, model.cfg.vocab_size)
+    np.testing.assert_allclose(last, full[:, -1:], rtol=1e-12, atol=1e-12)
+    assert none is None
+    for c in (cache_last, cache_none):
+        np.testing.assert_array_equal(c.k, cache_all.k)
+        np.testing.assert_array_equal(c.v, cache_all.v)
+        assert c.length == cache_all.length
+
+
+def test_prefill_logits_mode_validated(model, tokens):
+    with pytest.raises(ValueError, match="logits must be"):
+        model.prefill(tokens, logits="first")
+
+
+def test_nll_and_perplexity_unchanged_by_lean_prefill(model, tokens):
+    """Quality metrics route through logits='all' and must not drift."""
+    full = model.forward_full(tokens)
+    assert full.shape == (3, 10, model.cfg.vocab_size)
+    nll = model.nll(tokens)
+    assert np.isfinite(nll) and nll > 0
+    np.testing.assert_array_equal(full, model.prefill(tokens)[0])
+
+
 def test_decode_step_matches_incremental_prefill(model, tokens):
     """Prefill over s+1 tokens == prefill over s then one decode step."""
     full_logits, _ = model.prefill(tokens)

@@ -9,9 +9,11 @@ from repro.quant import (
     QuantConfig,
     QuantizedLinear,
     pack_codes,
+    pack_codes_reference,
     qmax_for_bits,
     quantize,
     unpack_codes,
+    unpack_codes_reference,
 )
 
 
@@ -28,6 +30,55 @@ def test_pack_unpack_roundtrip(bits, n, seed):
     packed = pack_codes(codes, bits)
     recovered = unpack_codes(packed, bits, n)
     np.testing.assert_array_equal(recovered, codes)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bits=st.sampled_from([3, 4, 8]),
+    n=st.integers(1, 300),
+    seed=st.integers(0, 1000),
+)
+def test_vectorized_matches_reference_bytes(bits, n, seed):
+    """The single-pass pack/unpack must be byte-for-byte the slow oracle."""
+    rng = np.random.default_rng(seed)
+    qmax = qmax_for_bits(bits)
+    codes = rng.integers(-qmax, qmax + 1, size=n).astype(np.int16)
+    packed = pack_codes(codes, bits)
+    np.testing.assert_array_equal(packed, pack_codes_reference(codes, bits))
+    np.testing.assert_array_equal(
+        unpack_codes(packed, bits, n), unpack_codes_reference(packed, bits, n)
+    )
+
+
+@pytest.mark.parametrize("bits", [3, 4, 8])
+@pytest.mark.parametrize("n", [1, 7, 8, 9, 63, 64, 65, 255])
+def test_roundtrip_odd_sizes_and_extremes(bits, n):
+    """Sizes straddling byte boundaries, with every code at an extreme."""
+    qmax = qmax_for_bits(bits)
+    for fill in (-qmax, qmax, 0):
+        codes = np.full(n, fill, dtype=np.int16)
+        packed = pack_codes(codes, bits)
+        np.testing.assert_array_equal(unpack_codes(packed, bits, n), codes)
+        np.testing.assert_array_equal(packed, pack_codes_reference(codes, bits))
+    # alternating extremes exercises carry across bit boundaries
+    codes = np.tile(np.array([-qmax, qmax], dtype=np.int16), (n + 1) // 2)[:n]
+    packed = pack_codes(codes, bits)
+    np.testing.assert_array_equal(unpack_codes(packed, bits, n), codes)
+    np.testing.assert_array_equal(packed, pack_codes_reference(codes, bits))
+
+
+def test_forward_bias_added_in_place_result():
+    """Bias path must match explicit broadcast add exactly."""
+    rng = np.random.default_rng(7)
+    w = rng.normal(0, 0.05, size=(12, 9))
+    bias = rng.normal(0, 0.01, size=9)
+    x = rng.normal(size=(4, 12))
+    ql = QuantizedLinear.from_float(w, bias, 4)
+    np.testing.assert_array_equal(ql.forward(x), x @ ql.dequantized() + bias)
+    # and the input is never mutated
+    x0 = x.copy()
+    ql.forward(x)
+    np.testing.assert_array_equal(x, x0)
 
 
 def test_packed_density():

@@ -85,6 +85,36 @@ def test_dist_runs_tiny_model_for_real(tmp_path, capsys):
     assert "tok/s wall" in capsys.readouterr().out
 
 
+def test_dist_dequant_cache_knob(tmp_path, capsys):
+    """--dequant-cache-mb is threaded through to the runtime and the
+    hot-path stats line reflects the setting."""
+    from repro.core.plan import StagePlan
+    from repro.hardware import Device, get_gpu
+    from repro.workload import Workload
+
+    dev = lambda i: Device(get_gpu("T4-16G"), node_id=0, local_rank=i)
+    plan = ExecutionPlan(
+        model_name="tiny-4l",
+        stages=(StagePlan(dev(0), (4, 4)), StagePlan(dev(1), (8, 8))),
+        prefill_microbatch=2,
+        decode_microbatch=4,
+        workload=Workload(prompt_len=8, gen_len=4, global_batch=4),
+    )
+    path = tmp_path / "tiny.json"
+    plan.to_json(path)
+
+    assert dist_main(["--strat-file-name", str(path),
+                      "--dequant-cache-mb", "0"]) == 0
+    out = capsys.readouterr().out
+    assert "hot path:" in out
+    assert "budget 0.0 MiB" in out
+
+    assert dist_main(["--strat-file-name", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "hot path:" in out
+    assert "budget 0.0 MiB" not in out
+
+
 def test_algo_with_omega_file(tmp_path):
     """The paper's --omega_file flow: precompute an indicator, feed it in."""
     from repro.models import get_model
