@@ -11,7 +11,13 @@
     ``REPRO_FAULTS`` environment variable) injects deterministic faults
     into the real runtime to exercise the recovery path.
 
-Both commands report user mistakes (missing files, malformed JSON,
+``llmpq-serve``
+    Online serving: replays a Poisson arrival trace against a strategy —
+    iteration-level continuous batching (or the wave baseline) on the
+    real runtime for ``tiny-*`` models, and on the online simulator for
+    big models.
+
+All commands report user mistakes (missing files, malformed JSON,
 unknown models, mismatched omega tables) as one-line errors with a
 non-zero exit code instead of tracebacks.
 """
@@ -31,7 +37,7 @@ from .hardware.gpu import list_gpus
 from .models.registry import get_model, list_models
 from .workload.spec import Workload
 
-__all__ = ["algo_main", "dist_main"]
+__all__ = ["algo_main", "dist_main", "serve_main"]
 
 
 def _fail(msg: str, code: int = 2) -> int:
@@ -239,6 +245,12 @@ def dist_main(argv: list[str] | None = None) -> int:
             f"{st.dequant_build_seconds:.3f}s rebuilding, "
             f"budget {st.dequant_cache_budget_bytes / 2**20:.1f} MiB)"
         )
+        if st.request_latencies:
+            print(
+                f"requests: latency p50 {st.latency_p50:.3f}s / "
+                f"p95 {st.latency_p95:.3f}s / p99 {st.latency_p99:.3f}s; "
+                f"ttft mean {st.ttft_mean:.3f}s (p95 {st.ttft_p95:.3f}s)"
+            )
         if injector is not None or st.retries or st.replans or st.degrade_events:
             print(
                 f"recovery: {st.retries} retries, {st.stage_restarts} stage "
@@ -257,6 +269,105 @@ def dist_main(argv: list[str] | None = None) -> int:
         f"throughput {outcome.throughput:.2f} tok/s, ppl {outcome.perplexity:.2f}"
     )
     return 0 if outcome.feasible else 1
+
+
+def serve_main(argv: list[str] | None = None) -> int:
+    """``llmpq-serve``: replay a Poisson trace against a strategy online."""
+    p = argparse.ArgumentParser(
+        prog="llmpq-serve", description="LLM-PQ online trace replay"
+    )
+    p.add_argument("--strat-file-name", "--strat_file_name", dest="strategy",
+                   required=True, help="strategy JSON from llmpq-algo")
+    p.add_argument("--cluster", type=int, default=None,
+                   help="paper cluster id to serve on (defaults to plan devices)")
+    p.add_argument("--rate", type=float, default=2.0,
+                   help="Poisson arrival rate, requests/s")
+    p.add_argument("--duration", type=float, default=30.0,
+                   help="trace duration, seconds")
+    p.add_argument("--policy", choices=["continuous", "wave"],
+                   default="continuous",
+                   help="iteration-level continuous batching, or the "
+                        "wave (offline-style gang) baseline")
+    p.add_argument("--engine", choices=["analytic", "des"], default="analytic",
+                   help="iteration pricing for the simulator path")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--max-inflight", type=int, default=None,
+                   help="hard concurrency cap on top of the memory model")
+    p.add_argument("--time-scale", type=float, default=1.0,
+                   help="arrival-time multiplier for real-runtime replay "
+                        "(0 = the whole trace arrives at once)")
+    p.add_argument("--max-prompt", type=int, default=None,
+                   help="clip sampled prompt lengths (default: the plan's s)")
+    p.add_argument("--max-gen", type=int, default=None,
+                   help="clip sampled generation lengths (default: the plan's n)")
+    args = p.parse_args(argv)
+
+    if args.rate <= 0 or args.duration <= 0:
+        return _fail("--rate and --duration must be positive")
+    plan = _load_plan(args.strategy)
+    cfg = get_model(plan.model_name)
+    max_prompt = args.max_prompt or plan.workload.prompt_len
+    max_gen = args.max_gen or plan.workload.gen_len
+
+    if plan.model_name.startswith("tiny-"):
+        # real execution: the continuous scheduler over the pipeline runtime
+        from .models.transformer import TinyDecoderLM
+        from .runtime.engine import PipelineRuntime
+        from .runtime.scheduler import ContinuousScheduler, requests_from_arrivals
+        from .workload.traces import sample_poisson_arrivals
+
+        arrivals = sample_poisson_arrivals(
+            args.rate, args.duration, seed=args.seed,
+            max_prompt=max_prompt, max_gen=max_gen,
+        )
+        if not arrivals:
+            return _fail("trace is empty — raise --rate or --duration")
+        requests = requests_from_arrivals(arrivals, cfg.vocab_size, seed=args.seed)
+        ref = TinyDecoderLM(cfg, seed=args.seed)
+        try:
+            with PipelineRuntime(ref, plan) as rt:
+                sched = ContinuousScheduler(
+                    rt, policy=args.policy,
+                    max_inflight=args.max_inflight,
+                    time_scale=args.time_scale,
+                )
+                report = sched.serve(requests)
+        except RuntimeError as e:
+            return _fail(f"serving failed: {e}", code=3)
+        print(
+            f"[{report.policy}] {len(report.completed)} completed, "
+            f"{len(report.rejected)} rejected in {report.makespan:.2f}s | "
+            f"{report.throughput_tokens_per_s:.1f} tok/s"
+        )
+        print(
+            f"requests: latency p50 {report.latency_p50:.3f}s / "
+            f"p95 {report.latency_p95:.3f}s / p99 {report.latency_p99:.3f}s; "
+            f"ttft mean {report.ttft_mean:.3f}s (p95 {report.ttft_p95:.3f}s)"
+        )
+        return 0 if report.completed else 1
+
+    # simulated execution for big models
+    from .sim.online import sample_poisson_trace, simulate_online
+
+    if args.cluster is not None:
+        cluster = paper_cluster(args.cluster)
+    else:
+        counts: dict[str, int] = {}
+        for st in plan.stages:
+            counts[st.device.type_name] = counts.get(st.device.type_name, 0) + 1
+        cluster = make_cluster(list(counts.items()))
+    trace = sample_poisson_trace(
+        args.rate, args.duration, seed=args.seed,
+        max_prompt=max_prompt, max_gen=max_gen,
+    )
+    if not trace:
+        return _fail("trace is empty — raise --rate or --duration")
+    res = simulate_online(
+        plan, cluster, trace,
+        max_batch=args.max_inflight, policy=args.policy, engine=args.engine,
+    )
+    print(res.summary())
+    return 0 if res.completed else 1
 
 
 if __name__ == "__main__":  # pragma: no cover

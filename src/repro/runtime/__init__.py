@@ -29,8 +29,21 @@ from .loader import (
     load_stage_weights,
     simulate_loading,
 )
-from .messages import ActivationMessage, FailureMessage, MergeMessage, ShutdownMessage
-from .microbatch import MicroBatchManager
+from .messages import (
+    ActivationMessage,
+    FailureMessage,
+    MergeMessage,
+    ReleaseMessage,
+    ShutdownMessage,
+)
+from .microbatch import ContinuousLedger, MicroBatchManager
+from .scheduler import (
+    ContinuousScheduler,
+    RequestRecord,
+    ServeReport,
+    ServeRequest,
+    requests_from_arrivals,
+)
 from .worker import StageWorker
 
 __all__ = [
@@ -58,8 +71,15 @@ __all__ = [
     "simulate_loading",
     "ActivationMessage",
     "MergeMessage",
+    "ReleaseMessage",
     "ShutdownMessage",
     "FailureMessage",
     "MicroBatchManager",
+    "ContinuousLedger",
+    "ContinuousScheduler",
+    "ServeRequest",
+    "RequestRecord",
+    "ServeReport",
+    "requests_from_arrivals",
     "StageWorker",
 ]

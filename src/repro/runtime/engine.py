@@ -39,7 +39,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -81,6 +81,11 @@ class RuntimeStats:
     dequant_cache_sheds: int = 0      #: drops forced by KV pressure
     dequant_build_seconds: float = 0.0  #: wall-clock unpacking/dequantizing
     dequant_cache_budget_bytes: float = 0.0  #: summed per-stage budgets
+    # --- per-request serving metrics ----------------------------------
+    #: completion latency (admission/arrival -> last token) per request
+    request_latencies: list[float] = field(default_factory=list)
+    #: time to first token (admission/arrival -> prefill token) per request
+    request_ttfts: list[float] = field(default_factory=list)
     # --- fault-tolerance counters -------------------------------------
     retries: int = 0             #: batch replays after a stage failure
     stage_restarts: int = 0      #: workers rebuilt from cached shards
@@ -104,6 +109,38 @@ class RuntimeStats:
     def decode_tokens_per_s(self) -> float:
         """Tokens produced per second of steady-state decode wall-clock."""
         return self.decode_tokens / self.decode_seconds if self.decode_seconds else 0.0
+
+    def _latency_pct(self, q: float) -> float:
+        if not self.request_latencies:
+            return 0.0
+        return float(np.percentile(self.request_latencies, q))
+
+    @property
+    def latency_p50(self) -> float:
+        """Median request completion latency (seconds)."""
+        return self._latency_pct(50)
+
+    @property
+    def latency_p95(self) -> float:
+        """95th-percentile request completion latency (seconds)."""
+        return self._latency_pct(95)
+
+    @property
+    def latency_p99(self) -> float:
+        """99th-percentile request completion latency (seconds)."""
+        return self._latency_pct(99)
+
+    @property
+    def ttft_mean(self) -> float:
+        """Mean time-to-first-token across requests (seconds)."""
+        return float(np.mean(self.request_ttfts)) if self.request_ttfts else 0.0
+
+    @property
+    def ttft_p95(self) -> float:
+        """95th-percentile time-to-first-token (seconds)."""
+        if not self.request_ttfts:
+            return 0.0
+        return float(np.percentile(self.request_ttfts, 95))
 
 
 @dataclass(frozen=True)
@@ -543,7 +580,8 @@ class PipelineRuntime:
             logits = self._logits_last(outs[uid].hidden)
             current[sl] = _pick(logits, greedy, rng)
         tokens[:, 0] = current
-        self.stats.prefill_seconds += time.perf_counter() - t0
+        prefill_elapsed = time.perf_counter() - t0
+        self.stats.prefill_seconds += prefill_elapsed
         self.stats.prefill_microbatches += mbm.num_prefill_microbatches
         self.stats.prefill_tokens += batch * s
 
@@ -571,9 +609,17 @@ class PipelineRuntime:
                 logits = self._logits_last(outs[gid].hidden)
                 current[sl] = _pick(logits, greedy, rng)
             tokens[:, step] = current
-        self.stats.decode_seconds += time.perf_counter() - t1
+        decode_elapsed = time.perf_counter() - t1
+        self.stats.decode_seconds += decode_elapsed
         self.stats.tokens_generated += batch * num_tokens
         self.stats.decode_tokens += batch * (num_tokens - 1)
+        # offline batches admit everyone at t=0 and finish together, so
+        # every request shares the wave's TTFT and completion latency —
+        # recorded only on the successful attempt (retries never get here)
+        self.stats.request_ttfts.extend([prefill_elapsed] * batch)
+        self.stats.request_latencies.extend(
+            [prefill_elapsed + decode_elapsed] * batch
+        )
         self._sync_cache_stats()
 
         # free decode groups for the next batch

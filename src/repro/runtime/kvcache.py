@@ -35,6 +35,8 @@ class StageKVManager:
     caches: dict[int, KVCache] = field(default_factory=dict)
     peak_bytes: float = 0.0
     alloc_guard: Callable[[float], None] | None = None
+    released_units: int = 0      #: units freed eagerly via :meth:`release`
+    released_bytes: float = 0.0  #: bytes returned by those releases
 
     def _track(self) -> None:
         self.peak_bytes = max(self.peak_bytes, self.current_bytes)
@@ -96,6 +98,25 @@ class StageKVManager:
             if m != group_id:
                 del self.caches[m]
         return merged
+
+    def release(self, unit_id: int) -> float:
+        """Eagerly free a finished unit's slots; returns the bytes freed.
+
+        Unlike :meth:`free` this is the continuous-batching retirement
+        path: it keeps an accounting of how much memory came back, so the
+        scheduler's admission control (and the tests) can confirm that
+        ``current_bytes`` actually drops the moment a request finishes
+        instead of waiting for the end-of-batch :meth:`free_all`.
+        Idempotent — releasing an unknown or already-freed unit returns
+        ``0.0``.
+        """
+        cache = self.caches.pop(unit_id, None)
+        if cache is None:
+            return 0.0
+        freed = float(cache.k.nbytes + cache.v.nbytes)
+        self.released_units += 1
+        self.released_bytes += freed
+        return freed
 
     def free(self, unit_id: int) -> None:
         """Drop one unit (idempotent)."""

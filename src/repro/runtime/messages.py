@@ -14,7 +14,13 @@ from typing import Literal
 
 import numpy as np
 
-__all__ = ["ActivationMessage", "MergeMessage", "ShutdownMessage", "FailureMessage"]
+__all__ = [
+    "ActivationMessage",
+    "MergeMessage",
+    "ReleaseMessage",
+    "ShutdownMessage",
+    "FailureMessage",
+]
 
 
 @dataclass
@@ -51,6 +57,21 @@ class MergeMessage:
 
     group_id: int
     member_ids: tuple[int, ...]
+
+
+@dataclass
+class ReleaseMessage:
+    """Free finished cache units on every stage (continuous batching).
+
+    The iteration-level scheduler retires a request the moment its last
+    token is sampled; this message rides the data path so each stage
+    drops the unit's KV slots in message order (never racing an
+    in-flight activation for the same unit) and forwards it downstream.
+    The copy arriving at the master's tail queue serves as the
+    all-stages-freed acknowledgement and is otherwise ignored.
+    """
+
+    unit_ids: tuple[int, ...]
 
 
 @dataclass

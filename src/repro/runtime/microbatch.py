@@ -4,6 +4,13 @@ Owns the split of the global batch into prefill micro-batches (cache
 units) and their regrouping into decode groups, and tracks in-flight
 units so concurrent producers/consumers (the master's feeder and
 collector) stay consistent.
+
+:class:`ContinuousLedger` is the iteration-level counterpart for online
+serving: instead of a fixed global batch cut up front, cache-unit ids are
+minted as requests are admitted, each unit carries a per-stage KV byte
+charge under the planner's memory model, and retiring a unit returns its
+charge immediately so the freed slots can be reused by the next admission
+— the bookkeeping half of continuous batching.
 """
 
 from __future__ import annotations
@@ -11,7 +18,9 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass
 
-__all__ = ["MicroBatchManager"]
+import numpy as np
+
+__all__ = ["MicroBatchManager", "ContinuousLedger"]
 
 
 @dataclass(frozen=True)
@@ -154,3 +163,72 @@ class MicroBatchManager:
         """Reset the ledger (the pipeline was rebuilt; nothing survives)."""
         with self._lock:
             self._inflight.clear()
+
+
+class ContinuousLedger:
+    """Cache-unit id allocator + per-stage KV accounting for continuous
+    batching.
+
+    The iteration-level scheduler admits a request by charging its KV
+    reservation (one ``(num_stages,)`` byte vector under the planner's
+    Sec.-4.1 memory model) against the per-stage headroom; retiring the
+    request refunds the charge at once, which is what lets the next
+    queued request take over the freed slots at the very next token
+    boundary instead of waiting for a wave to drain.
+    """
+
+    def __init__(self, num_stages: int) -> None:
+        if num_stages <= 0:
+            raise ValueError("num_stages must be positive")
+        self.num_stages = num_stages
+        self._lock = threading.Lock()
+        self._next_id = 0
+        self._charges: dict[int, np.ndarray] = {}
+        self._used = np.zeros(num_stages)
+        self.admitted_total = 0
+        self.released_total = 0
+
+    def _as_charge(self, charge) -> np.ndarray:
+        arr = np.asarray(charge, dtype=np.float64)
+        if arr.shape != (self.num_stages,):
+            raise ValueError(
+                f"charge must have shape ({self.num_stages},), got {arr.shape}"
+            )
+        return arr
+
+    def fits(self, charge, headroom) -> bool:
+        """Would admitting ``charge`` stay within ``headroom`` everywhere?"""
+        arr = self._as_charge(charge)
+        with self._lock:
+            return bool(np.all(self._used + arr <= np.asarray(headroom) + 1e-9))
+
+    def admit(self, charge) -> int:
+        """Charge the reservation and mint a fresh cache-unit id."""
+        arr = self._as_charge(charge)
+        with self._lock:
+            uid = self._next_id
+            self._next_id += 1
+            self._charges[uid] = arr
+            self._used += arr
+            self.admitted_total += 1
+            return uid
+
+    def release(self, unit_id: int) -> None:
+        """Refund a unit's charge (idempotent)."""
+        with self._lock:
+            arr = self._charges.pop(unit_id, None)
+            if arr is not None:
+                self._used -= arr
+                self.released_total += 1
+
+    @property
+    def inflight_count(self) -> int:
+        """Units currently admitted and not yet released."""
+        with self._lock:
+            return len(self._charges)
+
+    @property
+    def used_bytes(self) -> np.ndarray:
+        """Per-stage KV bytes currently charged (copy)."""
+        with self._lock:
+            return self._used.copy()

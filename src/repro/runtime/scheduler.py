@@ -1,0 +1,578 @@
+"""Iteration-level (continuous-batching) online scheduler.
+
+Runs an admission queue over the real :class:`~repro.runtime.engine
+.PipelineRuntime`: requests arrive over (virtual) time, are admitted into
+the in-flight group at token boundaries whenever the planner's per-stage
+KV accounting says they fit, run prefill while everything else keeps
+decoding (a rolling hybrid mix of phases), and retire the moment their
+last token is sampled — a :class:`~repro.runtime.messages.ReleaseMessage`
+rides the data path so every stage frees the request's KV slots
+immediately and the next queued request can take them over at the very
+next iteration.  This is the ORCA-style counterpart of the paper's
+offline two-phase schedule.
+
+Byte-identity contract: every request runs as its own batch-1 cache unit
+end to end and is sampled greedily from its own logits, so its token
+stream is bit-for-bit the single-process ``generate(model, prompt[None],
+n)`` output for that prompt, no matter what it was co-scheduled with.
+(Fusing co-batched requests into one GEMM would break this: BLAS batch-1
+matvec kernels round differently from rows of a batched matmul.)  The
+throughput win over wave scheduling comes from scheduling alone —
+eliminating gen-padding waste and inter-wave drain — which is exactly
+the effect the benchmark isolates.
+
+``policy="wave"`` emulates the offline baseline under the same
+per-request execution: admission only into an empty system, every member
+padded to the wave's maxima (KV reserved at ``s_max + n_max``, decode run
+for ``n_max`` tokens even for requests that finished early), memory
+freed only when the whole wave drains.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Iterable, Literal, Sequence
+
+import numpy as np
+
+from ..cost.memory import FRAMEWORK_OVERHEAD_BYTES, kv_cache_bytes, stage_memory
+from ..workload.traces import RequestArrival
+from .engine import PipelineRuntime, StageFailureError
+from .messages import ActivationMessage, MergeMessage, ReleaseMessage
+from .microbatch import ContinuousLedger
+
+__all__ = [
+    "ServeRequest",
+    "RequestRecord",
+    "ServeReport",
+    "ContinuousScheduler",
+    "requests_from_arrivals",
+]
+
+
+@dataclass(frozen=True)
+class ServeRequest:
+    """One online request: a prompt, a generation budget, an arrival time."""
+
+    request_id: int
+    prompt: np.ndarray          #: ``(s,)`` int64 token ids
+    gen_len: int                #: tokens to generate (>= 1)
+    arrival: float = 0.0        #: seconds since trace start
+
+    def __post_init__(self) -> None:
+        p = np.asarray(self.prompt)
+        if p.ndim != 1 or p.size == 0:
+            raise ValueError("prompt must be a non-empty 1-D token array")
+        if self.gen_len <= 0:
+            raise ValueError("gen_len must be positive")
+        if self.arrival < 0:
+            raise ValueError("arrival must be >= 0")
+
+    @property
+    def prompt_len(self) -> int:
+        """Prompt tokens."""
+        return int(np.asarray(self.prompt).size)
+
+
+@dataclass
+class RequestRecord:
+    """Per-request outcome: tokens plus the serving timeline (virtual s)."""
+
+    request_id: int
+    prompt_len: int
+    gen_len: int
+    arrival: float
+    admit_time: float = 0.0      #: when the scheduler admitted it
+    first_token_time: float = 0.0  #: when its prefill token was sampled
+    finish_time: float = 0.0     #: when its last token was sampled
+    rejected: bool = False       #: could never fit, even alone
+    tokens: np.ndarray | None = None  #: ``(gen_len,)`` generated ids
+
+    @property
+    def latency(self) -> float:
+        """Arrival -> last token (seconds)."""
+        return self.finish_time - self.arrival
+
+    @property
+    def ttft(self) -> float:
+        """Arrival -> first token (seconds)."""
+        return self.first_token_time - self.arrival
+
+    @property
+    def queue_delay(self) -> float:
+        """Arrival -> admission (seconds)."""
+        return self.admit_time - self.arrival
+
+
+@dataclass
+class ServeReport:
+    """Aggregate outcome of one trace replay."""
+
+    policy: str
+    records: list[RequestRecord] = field(default_factory=list)
+    makespan: float = 0.0        #: trace start -> last completion (virtual s)
+
+    @property
+    def completed(self) -> list[RequestRecord]:
+        """Records that finished (arrival order)."""
+        return [r for r in self.records if not r.rejected]
+
+    @property
+    def rejected(self) -> list[RequestRecord]:
+        """Records that could never be admitted."""
+        return [r for r in self.records if r.rejected]
+
+    @property
+    def generated_tokens(self) -> int:
+        """Total tokens produced across completed requests."""
+        return int(sum(r.gen_len for r in self.completed))
+
+    @property
+    def throughput_tokens_per_s(self) -> float:
+        """Generated tokens per second of makespan."""
+        return self.generated_tokens / self.makespan if self.makespan > 0 else 0.0
+
+    def _latencies(self) -> list[float]:
+        return [r.latency for r in self.completed]
+
+    def latency_percentile(self, q: float) -> float:
+        """Request-latency percentile (seconds; 0 when nothing completed)."""
+        lat = self._latencies()
+        return float(np.percentile(lat, q)) if lat else 0.0
+
+    @property
+    def latency_p50(self) -> float:
+        """Median completion latency."""
+        return self.latency_percentile(50)
+
+    @property
+    def latency_p95(self) -> float:
+        """95th-percentile completion latency."""
+        return self.latency_percentile(95)
+
+    @property
+    def latency_p99(self) -> float:
+        """99th-percentile completion latency."""
+        return self.latency_percentile(99)
+
+    @property
+    def ttft_mean(self) -> float:
+        """Mean time-to-first-token across completed requests."""
+        t = [r.ttft for r in self.completed]
+        return float(np.mean(t)) if t else 0.0
+
+    @property
+    def ttft_p95(self) -> float:
+        """95th-percentile time-to-first-token."""
+        t = [r.ttft for r in self.completed]
+        return float(np.percentile(t, 95)) if t else 0.0
+
+
+def requests_from_arrivals(
+    arrivals: Iterable[RequestArrival],
+    vocab_size: int,
+    *,
+    seed: int = 0,
+) -> list[ServeRequest]:
+    """Materialize arrival records into concrete prompts.
+
+    Token ids are drawn deterministically from ``seed``, so the same
+    trace replayed against the runtime and against the single-process
+    reference sees identical prompts — the byte-identity check depends
+    on it.
+    """
+    rng = np.random.default_rng(seed)
+    out: list[ServeRequest] = []
+    for i, a in enumerate(arrivals):
+        prompt = rng.integers(0, vocab_size, size=a.prompt_len, dtype=np.int64)
+        out.append(
+            ServeRequest(
+                request_id=i, prompt=prompt, gen_len=a.gen_len, arrival=a.arrival
+            )
+        )
+    return out
+
+
+@dataclass
+class _Active:
+    """In-flight request state (scheduler-internal)."""
+
+    unit_id: int
+    req: ServeRequest
+    record: RequestRecord
+    tokens: list[int] = field(default_factory=list)
+    #: decode passes still owed (wave mode pads this to the wave max)
+    decode_budget: int = 0
+
+
+class ContinuousScheduler:
+    """Admission queue + iteration-level execution over a live runtime.
+
+    Parameters
+    ----------
+    runtime:
+        A started :class:`PipelineRuntime`.  The scheduler drives its
+        stage queues directly (per-request batch-1 activations); the
+        engine's offline ``generate`` path is untouched and can still be
+        used on the same runtime afterwards.
+    policy:
+        ``"continuous"`` (iteration-level admission and eager
+        retirement) or ``"wave"`` (the offline baseline: gang admission
+        into an empty system, padded decode, drain before re-admitting).
+    max_inflight:
+        Optional hard cap on concurrently admitted requests on top of
+        the memory model (``None`` = memory-limited only).
+    time_scale:
+        Multiplier applied to request arrival times; ``0.0`` replays the
+        whole trace as if it arrived at once.  Arrival gaps larger than
+        the time already spent computing are *jumped* by a virtual
+        clock, so replays never sleep.
+    """
+
+    def __init__(
+        self,
+        runtime: PipelineRuntime,
+        *,
+        policy: Literal["continuous", "wave"] = "continuous",
+        max_inflight: int | None = None,
+        time_scale: float = 1.0,
+    ) -> None:
+        if policy not in ("continuous", "wave"):
+            raise ValueError(f"unknown policy {policy!r}")
+        if max_inflight is not None and max_inflight <= 0:
+            raise ValueError("max_inflight must be positive")
+        if time_scale < 0:
+            raise ValueError("time_scale must be >= 0")
+        self.rt = runtime
+        self.policy = policy
+        self.max_inflight = max_inflight
+        self.time_scale = time_scale
+        self.ledger = ContinuousLedger(runtime.plan.num_stages)
+        self._kv_bits = int(runtime.plan.meta.get("kv_bits", 16))
+        self._layers_per_stage = [s.num_layers for s in runtime.plan.stages]
+        self.headroom = self._stage_headroom()
+        self._t0: float | None = None
+        self._offset = 0.0
+
+    # ------------------------------------------------------------------
+    # Planner memory model: per-stage headroom and per-request charges
+    # ------------------------------------------------------------------
+    def _stage_headroom(self) -> np.ndarray:
+        """KV bytes each stage may hold, under the planner's accounting.
+
+        Device capacity minus framework overhead minus every non-KV
+        component of the stage's modeled peak (weights, embeddings,
+        batch-1 temp workspace, and the dequant cache's actual budget) —
+        what is left is exactly the pool the admission control hands out
+        in per-request :meth:`_request_charge` slices.
+        """
+        plan, cfg = self.rt.plan, self.rt.cfg
+        wl = plan.workload
+        out = np.zeros(plan.num_stages)
+        for j, stage in enumerate(plan.stages):
+            base = stage_memory(
+                cfg, stage.layer_bits,
+                global_batch=1,
+                prompt_len=wl.prompt_len,
+                gen_len=wl.gen_len,
+                prefill_microbatch=1,
+                decode_microbatch=1,
+                is_first=j == 0,
+                is_last=j == plan.num_stages - 1,
+                kv_bits=self._kv_bits,
+            )
+            non_kv = base.total - base.kv_cache
+            budget = float(self.rt.dequant_caches[j].budget_bytes)
+            cap = stage.device.spec.memory_bytes
+            out[j] = cap - FRAMEWORK_OVERHEAD_BYTES - non_kv - budget
+        return np.maximum(out, 0.0)
+
+    def _request_charge(self, prompt_len: int, reserve: int) -> np.ndarray:
+        """Per-stage KV bytes one request reserves for its lifetime."""
+        cfg = self.rt.cfg
+        return np.array(
+            [
+                kv_cache_bytes(
+                    cfg, layers, 1, prompt_len + reserve, kv_bits=self._kv_bits
+                )
+                for layers in self._layers_per_stage
+            ]
+        )
+
+    # ------------------------------------------------------------------
+    # Virtual clock
+    # ------------------------------------------------------------------
+    def _now(self) -> float:
+        assert self._t0 is not None
+        return (time.perf_counter() - self._t0) + self._offset
+
+    def _jump_to(self, t: float) -> float:
+        """Advance the virtual clock over an idle gap; returns new now."""
+        now = self._now()
+        if t > now:
+            self._offset += t - now
+            now = t
+        return now
+
+    def _eff_arrival(self, req: ServeRequest) -> float:
+        return req.arrival * self.time_scale
+
+    # ------------------------------------------------------------------
+    # Pipeline I/O (per-request batch-1 messages)
+    # ------------------------------------------------------------------
+    def _send_prefill(self, a: _Active, reserve: int) -> None:
+        x = self.rt.reference._embed(np.asarray(a.req.prompt)[None, :], 0)
+        self.rt.head.put(
+            ActivationMessage(
+                microbatch_id=a.unit_id, phase="prefill", start=0,
+                hidden=x, reserve=reserve,
+            )
+        )
+        self.rt.stats.prefill_tokens += a.req.prompt_len
+
+    def _send_decode(self, a: _Active) -> None:
+        start = a.req.prompt_len + len(a.tokens) - 1
+        x = self.rt.reference._embed(
+            np.array([[a.tokens[-1]]], dtype=np.int64), start
+        )
+        self.rt.head.put(
+            ActivationMessage(
+                microbatch_id=a.unit_id, phase="decode", start=start, hidden=x
+            )
+        )
+
+    def _collect(self, count: int) -> dict[int, ActivationMessage]:
+        out: dict[int, ActivationMessage] = {}
+        while len(out) < count:
+            msg = self.rt._next_message(f"activation {len(out) + 1}/{count}")
+            if isinstance(msg, (MergeMessage, ReleaseMessage)):
+                continue  # stray control acks; not activations
+            out[msg.microbatch_id] = msg
+        return out
+
+    def _release(self, unit_ids: Sequence[int]) -> None:
+        """Free finished units on every stage and wait for the ack.
+
+        Called at an iteration boundary (pipeline idle), so waiting for
+        the release to come out the tail is deterministic — after this
+        returns, every stage's ``current_bytes`` has already dropped.
+        """
+        if not unit_ids:
+            return
+        self.rt.head.put(ReleaseMessage(unit_ids=tuple(unit_ids)))
+        while True:
+            msg = self.rt._next_message("release ack")
+            if isinstance(msg, ReleaseMessage):
+                break
+        for uid in unit_ids:
+            self.ledger.release(uid)
+
+    def _sample(self, a: _Active, msg: ActivationMessage) -> int:
+        """Greedy next token from this request's own logits.
+
+        Greedy-only by design: argmax is rng-free, so a request's stream
+        cannot depend on how many co-batched neighbours consumed random
+        draws before it.
+        """
+        logits = self.rt._logits_last(msg.hidden)
+        return int(logits.argmax(axis=-1)[0])
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    def _admit_continuous(
+        self, pending: deque, active: list[_Active], now: float,
+        report: ServeReport,
+    ) -> list[_Active]:
+        """FIFO head-of-line admission at a token boundary."""
+        newly: list[_Active] = []
+        while pending:
+            rec: RequestRecord = pending[0][1]
+            req: ServeRequest = pending[0][0]
+            if self._eff_arrival(req) > now:
+                break
+            if (
+                self.max_inflight is not None
+                and len(active) + len(newly) >= self.max_inflight
+            ):
+                break
+            charge = self._request_charge(req.prompt_len, req.gen_len)
+            if not self.ledger.fits(charge, self.headroom):
+                if not active and not newly:
+                    # alone in an empty system and still does not fit:
+                    # it never will — reject gracefully instead of
+                    # wedging the queue forever
+                    pending.popleft()
+                    rec.rejected = True
+                    report.records.append(rec)
+                    continue
+                break  # head-of-line blocks until something retires
+            pending.popleft()
+            uid = self.ledger.admit(charge)
+            rec.admit_time = now
+            a = _Active(unit_id=uid, req=req, record=rec,
+                        decode_budget=req.gen_len - 1)
+            newly.append(a)
+        return newly
+
+    def _admit_wave(
+        self, pending: deque, active: list[_Active], now: float,
+        report: ServeReport,
+    ) -> list[_Active]:
+        """Gang admission into an empty system, padded to wave maxima."""
+        if active:
+            return []
+        newly: list[_Active] = []
+        members: list[ServeRequest] = []
+        while pending:
+            req, rec = pending[0]
+            if self._eff_arrival(req) > now:
+                break
+            if self.max_inflight is not None and len(members) >= self.max_inflight:
+                break
+            trial = members + [req]
+            s_max = max(r.prompt_len for r in trial)
+            n_max = max(r.gen_len for r in trial)
+            # every member re-padded to the new maxima — the offline
+            # uniform (s, n) reservation
+            total = np.zeros(len(self.headroom))
+            for r in trial:
+                total += self._request_charge(
+                    r.prompt_len, (s_max - r.prompt_len) + n_max
+                )
+            if np.any(total > self.headroom + 1e-9):
+                if not members:
+                    pending.popleft()
+                    rec.rejected = True
+                    report.records.append(rec)
+                    continue
+                break
+            pending.popleft()
+            members.append(req)
+            rec.admit_time = now
+            newly.append(_Active(unit_id=-1, req=req, record=rec))
+        if newly:
+            s_max = max(a.req.prompt_len for a in newly)
+            n_max = max(a.req.gen_len for a in newly)
+            for a in newly:
+                reserve = (s_max - a.req.prompt_len) + n_max
+                a.unit_id = self.ledger.admit(
+                    self._request_charge(a.req.prompt_len, reserve)
+                )
+                # padded: every member decodes for the wave's n_max
+                a.decode_budget = n_max - 1
+        return newly
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def serve(self, requests: Sequence[ServeRequest]) -> ServeReport:
+        """Replay a trace; returns per-request records + aggregates.
+
+        A :class:`StageFailureError` anywhere fails the replay cleanly
+        (online serving has no batch to retry — lost requests belong to
+        a higher-level retry policy), raising ``RuntimeError``.
+        """
+        report = ServeReport(policy=self.policy)
+        if not requests:
+            return report
+        ordered = sorted(requests, key=lambda r: (r.arrival, r.request_id))
+        pending: deque = deque(
+            (
+                req,
+                RequestRecord(
+                    request_id=req.request_id,
+                    prompt_len=req.prompt_len,
+                    gen_len=req.gen_len,
+                    arrival=self._eff_arrival(req),
+                ),
+            )
+            for req in ordered
+        )
+        active: list[_Active] = []
+        self._t0 = time.perf_counter()
+        self._offset = 0.0
+        try:
+            self._loop(pending, active, report)
+        except StageFailureError as err:
+            self.rt._fail_cleanly(err)  # raises RuntimeError
+        report.makespan = self._now()
+        report.records.sort(key=lambda r: r.request_id)
+        self._publish_stats(report)
+        return report
+
+    def _loop(
+        self, pending: deque, active: list[_Active], report: ServeReport
+    ) -> None:
+        admit = (
+            self._admit_continuous
+            if self.policy == "continuous"
+            else self._admit_wave
+        )
+        while pending or active:
+            now = self._now()
+            if not active and pending:
+                # idle gap: jump the virtual clock to the next arrival
+                head_arrival = self._eff_arrival(pending[0][0])
+                now = self._jump_to(head_arrival)
+            newly = admit(pending, active, now, report)
+            if not newly and not active:
+                continue  # everything at the head was rejected
+            self._iteration(active, newly, report)
+
+    def _iteration(
+        self, active: list[_Active], newly: list[_Active],
+        report: ServeReport,
+    ) -> None:
+        """One token boundary: prefill the newcomers, decode everyone else."""
+        for a in newly:
+            reserve = (
+                a.req.gen_len
+                if self.policy == "continuous"
+                else a.decode_budget + 1 + (  # (s_max - s_i) + n_max
+                    max(x.req.prompt_len for x in newly) - a.req.prompt_len
+                )
+            )
+            self._send_prefill(a, reserve)
+        for a in active:
+            self._send_decode(a)
+        outs = self._collect(len(newly) + len(active))
+        now = self._now()
+        finished: list[_Active] = []
+        for a in newly:
+            tok = self._sample(a, outs[a.unit_id])
+            a.tokens.append(tok)
+            a.record.first_token_time = now
+            if a.req.gen_len == 1:
+                a.record.finish_time = now
+            self.rt.stats.tokens_generated += 1
+        for a in active:
+            tok = self._sample(a, outs[a.unit_id])
+            a.decode_budget -= 1
+            self.rt.stats.decode_tokens += 1
+            self.rt.stats.tokens_generated += 1
+            if len(a.tokens) < a.req.gen_len:
+                a.tokens.append(tok)
+                if len(a.tokens) == a.req.gen_len:
+                    a.record.finish_time = now  # wave keeps padding past this
+        active.extend(newly)
+        for a in active:
+            if a.decode_budget <= 0:
+                finished.append(a)
+        if finished:
+            self._release([a.unit_id for a in finished])
+            for a in finished:
+                active.remove(a)
+                a.record.tokens = np.array(a.tokens, dtype=np.int64)
+                if a.record.finish_time == 0.0:  # pragma: no cover - guard
+                    a.record.finish_time = now
+                report.records.append(a.record)
+
+    def _publish_stats(self, report: ServeReport) -> None:
+        """Mirror per-request metrics onto the runtime's ``RuntimeStats``."""
+        stats = self.rt.stats
+        for r in report.completed:
+            stats.request_latencies.append(r.latency)
+            stats.request_ttfts.append(r.ttft)

@@ -37,7 +37,13 @@ from .dequant_cache import DequantCache
 from .faults import FaultInjector, KVAllocationError
 from .kvcache import StageKVManager
 from .loader import StageLoad
-from .messages import ActivationMessage, FailureMessage, MergeMessage, ShutdownMessage
+from .messages import (
+    ActivationMessage,
+    FailureMessage,
+    MergeMessage,
+    ReleaseMessage,
+    ShutdownMessage,
+)
 
 __all__ = ["StageWorker"]
 
@@ -175,6 +181,13 @@ class StageWorker(threading.Thread):
                     continue
                 if isinstance(msg, MergeMessage):
                     self.kv.merge(msg.group_id, msg.member_ids)
+                    self.outbound.put(msg)
+                    continue
+                if isinstance(msg, ReleaseMessage):
+                    # eager retirement: riding the data path means the
+                    # unit's last activation was already processed here
+                    for uid in msg.unit_ids:
+                        self.kv.release(uid)
                     self.outbound.put(msg)
                     continue
                 if self.injector is not None:

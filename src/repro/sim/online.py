@@ -5,41 +5,56 @@ the trade-off an online deployment would face: *"there is always a
 trade-off between the speed of quantized operators and the amount of
 available memory"* — lower-precision weights free KV-cache memory, which
 raises the admissible concurrent batch, which raises throughput under
-load.  This module makes that discussion executable with a wave-based
-dynamic-batching simulator:
+load.  This module makes that discussion executable with two scheduling
+policies over the same arrival trace:
 
-* requests arrive by a Poisson process with ShareGPT-like lengths;
-* the server runs *waves*: each wave admits up to ``max_batch`` queued
-  requests (bounded by the plan's free KV memory), pads them to the
-  longest member prompt, and serves them with the offline pipeline
-  simulator;
-* per-request latency = completion - arrival; throughput = generated
-  tokens / makespan.
+* ``policy="wave"`` — the offline baseline applied online: each wave
+  admits queued requests while the wave (padded to its longest member's
+  prompt and generation) still fits every stage's memory, serves it with
+  the offline pipeline simulator, and only then admits again;
+* ``policy="continuous"`` — iteration-level (ORCA-style) scheduling:
+  requests are admitted at token boundaries whenever their per-stage KV
+  reservation fits the live headroom, newly admitted requests prefill
+  while the in-flight group decodes, and a finished request's memory is
+  refunded at the very next boundary.  ``engine="des"`` prices each
+  iteration with the event-driven task graph instead of the closed form.
 
-It deliberately does not model iteration-level scheduling (ORCA) or
-paged KV (vLLM) — the point is the memory/precision trade-off, which
-survives either refinement.
+Admissibility is evaluated *per wave / per iteration* against the
+planner's Sec.-4.1 memory model — not against a single trace-wide
+maximum — so short waves admit more than the worst-case bound would
+allow.  Per-request latency = completion − arrival; throughput =
+generated tokens / makespan.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, replace
 from typing import Sequence
 
 import numpy as np
 
-from ..cost.memory import stage_memory
+from ..cost.memory import FRAMEWORK_OVERHEAD_BYTES, kv_cache_bytes, stage_memory
 from ..hardware.cluster import Cluster
 from ..models.registry import get_model
 from ..core.plan import ExecutionPlan
 from ..workload.spec import Workload
+from .comm import boundary_links, stage_comm_time
+from .kernels import (
+    embedding_exec_time,
+    layer_exec_time,
+    layer_exec_times_decode_sweep,
+)
 from .pipeline import simulate_pipeline
+from .pipeline_des import iteration_makespan_des, simulate_pipeline_des
 
 __all__ = [
     "OnlineRequest",
     "OnlineResult",
     "sample_poisson_trace",
     "max_admissible_batch",
+    "stage_kv_headroom",
+    "request_kv_bytes",
     "simulate_online",
 ]
 
@@ -64,15 +79,30 @@ class OnlineResult:
     throughput: float  #: generated tokens per second
     waves: int
     mean_wave_batch: float
+    # --- extended serving metrics (defaults keep old call sites valid) ---
+    policy: str = "wave"
+    p50_latency: float = 0.0
+    p99_latency: float = 0.0
+    mean_ttft: float = 0.0
+    p95_ttft: float = 0.0
+    rejected: int = 0          #: requests that could never be admitted
+    iterations: int = 0        #: token boundaries run (continuous policy)
+    mean_inflight: float = 0.0  #: avg concurrently-running requests
 
     def summary(self) -> str:
         """One-line human-readable result."""
-        return (
-            f"{self.completed} reqs in {self.makespan:.1f}s | "
+        head = (
+            f"[{self.policy}] {self.completed} reqs in {self.makespan:.1f}s | "
             f"mean latency {self.mean_latency:.2f}s (p95 {self.p95_latency:.2f}) | "
-            f"{self.throughput:.1f} tok/s | "
-            f"{self.waves} waves, avg batch {self.mean_wave_batch:.1f}"
+            f"ttft {self.mean_ttft:.2f}s | {self.throughput:.1f} tok/s"
         )
+        if self.policy == "continuous":
+            tail = f" | {self.iterations} iters, avg inflight {self.mean_inflight:.1f}"
+        else:
+            tail = f" | {self.waves} waves, avg batch {self.mean_wave_batch:.1f}"
+        if self.rejected:
+            tail += f" | {self.rejected} rejected"
+        return head + tail
 
 
 def sample_poisson_trace(
@@ -135,47 +165,130 @@ def max_admissible_batch(
     return best
 
 
-def simulate_online(
+def stage_kv_headroom(plan: ExecutionPlan) -> np.ndarray:
+    """Per-stage KV byte pool under the planner's memory accounting.
+
+    Device capacity minus framework overhead minus every non-KV
+    component of the stage's modeled peak (weights, embeddings, batch-1
+    temp workspace) — the pool the iteration-level admission control
+    hands out in per-request :func:`request_kv_bytes` slices.  The same
+    arithmetic the real :class:`~repro.runtime.scheduler
+    .ContinuousScheduler` uses, so simulator and runtime admit the same
+    requests.
+    """
+    cfg = get_model(plan.model_name)
+    kv_bits = int(plan.meta.get("kv_bits", 16))
+    w = plan.workload
+    out = np.zeros(plan.num_stages)
+    for j, stage in enumerate(plan.stages):
+        base = stage_memory(
+            cfg, stage.layer_bits,
+            global_batch=1,
+            prompt_len=w.prompt_len,
+            gen_len=w.gen_len,
+            prefill_microbatch=1,
+            decode_microbatch=1,
+            is_first=(j == 0),
+            is_last=(j == plan.num_stages - 1),
+            kv_bits=kv_bits,
+        )
+        non_kv = base.total - base.kv_cache
+        cap = stage.device.spec.memory_bytes
+        out[j] = cap - FRAMEWORK_OVERHEAD_BYTES - non_kv
+    return np.maximum(out, 0.0)
+
+
+def request_kv_bytes(
+    plan: ExecutionPlan, prompt_len: int, gen_len: int
+) -> np.ndarray:
+    """Per-stage KV bytes one request reserves for its whole lifetime."""
+    cfg = get_model(plan.model_name)
+    kv_bits = int(plan.meta.get("kv_bits", 16))
+    return np.array(
+        [
+            kv_cache_bytes(
+                cfg, stage.num_layers, 1, prompt_len + gen_len, kv_bits=kv_bits
+            )
+            for stage in plan.stages
+        ]
+    )
+
+
+def _infeasible(policy: str, rejected: int) -> OnlineResult:
+    """Graceful no-request-admissible outcome (nothing to serve)."""
+    return OnlineResult(
+        completed=0, makespan=float("inf"), mean_latency=float("inf"),
+        p95_latency=float("inf"), throughput=0.0, waves=0,
+        mean_wave_batch=0.0, policy=policy,
+        p50_latency=float("inf"), p99_latency=float("inf"),
+        mean_ttft=float("inf"), p95_ttft=float("inf"), rejected=rejected,
+    )
+
+
+def _wave_fits(
+    plan: ExecutionPlan, cfg, wave: "list[OnlineRequest]"
+) -> bool:
+    """Exact per-wave admissibility at the wave's own (s, n) maxima."""
+    kv_bits = int(plan.meta.get("kv_bits", 16))
+    b = len(wave)
+    s = max(r.prompt_len for r in wave)
+    n = max(r.gen_len for r in wave)
+    for j, stage in enumerate(plan.stages):
+        mem = stage_memory(
+            cfg, stage.layer_bits,
+            global_batch=b, prompt_len=s, gen_len=n,
+            prefill_microbatch=min(plan.prefill_microbatch, b),
+            decode_microbatch=min(plan.decode_microbatch, b),
+            is_first=(j == 0), is_last=(j == plan.num_stages - 1),
+            kv_bits=kv_bits,
+        )
+        if not mem.fits(stage.device.spec.memory_bytes):
+            return False
+    return True
+
+
+def _simulate_wave(
     plan: ExecutionPlan,
     cluster: Cluster,
-    trace: Sequence[OnlineRequest],
+    reqs: "list[OnlineRequest]",
     *,
-    max_batch: int | None = None,
+    max_batch: int | None,
+    engine: str,
 ) -> OnlineResult:
-    """Wave-based dynamic batching of ``trace`` on ``plan``'s pipeline.
-
-    Each wave serves the queued requests (up to the admissible batch),
-    padded to the wave's longest prompt / generation — the offline
-    engine's padding discipline applied online.
-    """
-    if not trace:
-        raise ValueError("empty trace")
-    reqs = sorted(trace, key=lambda r: r.arrival)
-    if max_batch is None:
-        s_ref = max(r.prompt_len for r in reqs)
-        n_ref = max(r.gen_len for r in reqs)
-        max_batch = max_admissible_batch(plan, prompt_len=s_ref, gen_len=n_ref)
-    if max_batch <= 0:
-        return OnlineResult(
-            completed=0, makespan=float("inf"), mean_latency=float("inf"),
-            p95_latency=float("inf"), throughput=0.0, waves=0,
-            mean_wave_batch=0.0,
-        )
+    cfg = get_model(plan.model_name)
+    if max_batch is not None and max_batch <= 0:
+        return _infeasible("wave", len(reqs))
 
     now = 0.0
     i = 0
     latencies: list[float] = []
+    ttfts: list[float] = []
     total_tokens = 0
     wave_batches: list[int] = []
+    rejected = 0
     while i < len(reqs):
         if reqs[i].arrival > now:
             now = reqs[i].arrival  # idle until next arrival
-        wave = [reqs[i]]
-        j = i + 1
-        while j < len(reqs) and reqs[j].arrival <= now and len(wave) < max_batch:
+        wave: list[OnlineRequest] = []
+        j = i
+        while j < len(reqs) and (not wave or reqs[j].arrival <= now):
+            if max_batch is not None:
+                if len(wave) >= max_batch:
+                    break
+            elif not _wave_fits(plan, cfg, wave + [reqs[j]]):
+                # per-wave admissibility (not a trace-wide bound): grow
+                # while this wave, at its own maxima, still fits
+                if not wave:
+                    rejected += 1  # unfit even alone — skip gracefully
+                    j += 1
+                    i = j
+                    continue
+                break
             wave.append(reqs[j])
             j += 1
         i = j
+        if not wave:
+            continue
         s = max(r.prompt_len for r in wave)
         n = max(r.gen_len for r in wave)
         w = Workload(prompt_len=s, gen_len=n, global_batch=len(wave))
@@ -188,18 +301,220 @@ def simulate_online(
         res = simulate_pipeline(wave_plan, cluster)
         if not res.feasible:
             raise RuntimeError("wave infeasible despite admissible batch bound")
-        now += res.total_latency
+        total = (
+            simulate_pipeline_des(wave_plan, cluster).total_latency
+            if engine == "des"
+            else res.total_latency
+        )
+        ttfts.extend(now + res.prefill_latency - r.arrival for r in wave)
+        now += total
         latencies.extend(now - r.arrival for r in wave)
-        total_tokens += w.total_generated_tokens
+        # useful tokens only: the padding to n_max is wasted compute,
+        # not serving throughput
+        total_tokens += sum(r.gen_len for r in wave)
         wave_batches.append(len(wave))
 
+    if not latencies:
+        return _infeasible("wave", rejected)
     lat = np.array(latencies)
+    tt = np.array(ttfts)
     return OnlineResult(
-        completed=len(reqs),
+        completed=len(latencies),
         makespan=now,
         mean_latency=float(lat.mean()),
         p95_latency=float(np.quantile(lat, 0.95)),
         throughput=total_tokens / now,
         waves=len(wave_batches),
         mean_wave_batch=float(np.mean(wave_batches)),
+        policy="wave",
+        p50_latency=float(np.quantile(lat, 0.50)),
+        p99_latency=float(np.quantile(lat, 0.99)),
+        mean_ttft=float(tt.mean()),
+        p95_ttft=float(np.quantile(tt, 0.95)),
+        rejected=rejected,
+        mean_inflight=float(np.mean(wave_batches)),
     )
+
+
+def _unit_prefill_times(plan, cfg, links, prompt_len: int) -> np.ndarray:
+    """Per-stage busy time of one batch-1 prefill unit at its own ``s``."""
+    n_stages = plan.num_stages
+    out = np.zeros(n_stages)
+    for j, stage in enumerate(plan.stages):
+        gpu = stage.device.spec
+        t = sum(
+            layer_exec_time(gpu, cfg, b, 1, prompt_len, prompt_len)
+            for b in stage.layer_bits
+        )
+        if j == 0:
+            t += embedding_exec_time(gpu, cfg, 1, prompt_len, with_logits=False)
+        if j == n_stages - 1:
+            t += embedding_exec_time(gpu, cfg, 1, 1, with_logits=True)
+        if j < n_stages - 1:
+            t += stage_comm_time(links[j], cfg, 1, prompt_len)
+        out[j] = t
+    return out
+
+
+def _unit_decode_times(plan, cfg, links, batch: int, context: float) -> np.ndarray:
+    """Per-stage busy time of the fused decode group at ``context``."""
+    n_stages = plan.num_stages
+    ctx = np.array([context], dtype=np.float64)
+    out = np.zeros(n_stages)
+    for j, stage in enumerate(plan.stages):
+        gpu = stage.device.spec
+        t = 0.0
+        for bits, count in stage.bit_counts.items():
+            t += count * float(
+                layer_exec_times_decode_sweep(gpu, cfg, bits, batch, ctx)[0]
+            )
+        if j == 0:
+            t += embedding_exec_time(gpu, cfg, batch, 1, with_logits=False)
+        if j == n_stages - 1:
+            t += embedding_exec_time(gpu, cfg, batch, 1, with_logits=True)
+        # the tail->head token feedback rides the last link
+        t += stage_comm_time(links[j], cfg, batch, 1)
+        out[j] = t
+    return out
+
+
+def _simulate_continuous(
+    plan: ExecutionPlan,
+    cluster: Cluster,
+    reqs: "list[OnlineRequest]",
+    *,
+    max_batch: int | None,
+    engine: str,
+) -> OnlineResult:
+    cfg = get_model(plan.model_name)
+    devices = [s.device for s in plan.stages]
+    links = boundary_links(cluster, devices)
+    headroom = stage_kv_headroom(plan)
+    used = np.zeros(plan.num_stages)
+
+    pending: deque = deque(reqs)
+    active: list[dict] = []
+    now = 0.0
+    latencies: list[float] = []
+    ttfts: list[float] = []
+    total_tokens = 0
+    rejected = 0
+    iterations = 0
+    inflight_samples: list[int] = []
+
+    while pending or active:
+        if not active and pending and pending[0].arrival > now:
+            now = pending[0].arrival  # jump the idle gap
+
+        # ---- admission at this token boundary (FIFO, head-of-line) ----
+        newly: list[dict] = []
+        while pending and pending[0].arrival <= now:
+            if max_batch is not None and len(active) + len(newly) >= max_batch:
+                break
+            r = pending[0]
+            charge = request_kv_bytes(plan, r.prompt_len, r.gen_len)
+            if np.any(used + charge > headroom + 1e-6):
+                if not active and not newly:
+                    # alone in an empty system and still unfit: never fits
+                    pending.popleft()
+                    rejected += 1
+                    continue
+                break
+            pending.popleft()
+            used += charge
+            newly.append({"req": r, "produced": 0, "charge": charge})
+        if not newly and not active:
+            continue
+
+        # ---- one iteration: fused decode + batch-1 prefills ------------
+        units: list[np.ndarray] = []
+        if active:
+            ctx = float(
+                np.mean([a["req"].prompt_len + a["produced"] for a in active])
+            )
+            units.append(_unit_decode_times(plan, cfg, links, len(active), ctx))
+        for a in newly:
+            units.append(_unit_prefill_times(plan, cfg, links, a["req"].prompt_len))
+        if engine == "des":
+            step = iteration_makespan_des(units)
+        else:
+            step = float(units[0].sum() + sum(u.max() for u in units[1:]))
+        now += step
+        iterations += 1
+        inflight_samples.append(len(active) + len(newly))
+
+        for a in active:
+            a["produced"] += 1
+        for a in newly:
+            a["produced"] = 1
+            ttfts.append(now - a["req"].arrival)
+        active.extend(newly)
+
+        still: list[dict] = []
+        for a in active:
+            if a["produced"] >= a["req"].gen_len:
+                # retire at the boundary: the refund is immediately
+                # available to the next admission
+                latencies.append(now - a["req"].arrival)
+                total_tokens += a["req"].gen_len
+                used -= a["charge"]
+            else:
+                still.append(a)
+        active = still
+
+    if not latencies:
+        return _infeasible("continuous", rejected)
+    lat = np.array(latencies)
+    tt = np.array(ttfts)
+    return OnlineResult(
+        completed=len(latencies),
+        makespan=now,
+        mean_latency=float(lat.mean()),
+        p95_latency=float(np.quantile(lat, 0.95)),
+        throughput=total_tokens / now,
+        waves=0,
+        mean_wave_batch=0.0,
+        policy="continuous",
+        p50_latency=float(np.quantile(lat, 0.50)),
+        p99_latency=float(np.quantile(lat, 0.99)),
+        mean_ttft=float(tt.mean()),
+        p95_ttft=float(np.quantile(tt, 0.95)),
+        rejected=rejected,
+        iterations=iterations,
+        mean_inflight=float(np.mean(inflight_samples)),
+    )
+
+
+def simulate_online(
+    plan: ExecutionPlan,
+    cluster: Cluster,
+    trace: Sequence[OnlineRequest],
+    *,
+    max_batch: int | None = None,
+    policy: str = "wave",
+    engine: str = "analytic",
+) -> OnlineResult:
+    """Serve ``trace`` on ``plan``'s pipeline under a scheduling policy.
+
+    ``policy="wave"`` batches queued requests into padded waves (the
+    offline discipline applied online); ``policy="continuous"`` admits
+    and retires requests at token boundaries.  ``max_batch`` is an
+    optional hard concurrency cap on top of the memory model — with the
+    wave policy it reproduces the legacy count-capped behaviour exactly.
+    ``engine="des"`` prices each wave / iteration with the event-driven
+    simulator instead of the closed form.  Accepts any records with
+    ``arrival`` / ``prompt_len`` / ``gen_len`` attributes, including
+    :class:`~repro.workload.traces.RequestArrival`.
+    """
+    if not trace:
+        raise ValueError("empty trace")
+    if policy not in ("wave", "continuous"):
+        raise ValueError(f"unknown policy {policy!r}")
+    if engine not in ("analytic", "des"):
+        raise ValueError(f"unknown engine {engine!r}")
+    reqs = sorted(trace, key=lambda r: r.arrival)
+    if policy == "continuous":
+        return _simulate_continuous(
+            plan, cluster, reqs, max_batch=max_batch, engine=engine
+        )
+    return _simulate_wave(plan, cluster, reqs, max_batch=max_batch, engine=engine)

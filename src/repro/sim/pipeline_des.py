@@ -27,6 +27,7 @@ from .kernels import embedding_exec_time, layer_exec_times_decode_sweep, layer_e
 __all__ = [
     "DESResult",
     "simulate_pipeline_des",
+    "iteration_makespan_des",
     "FaultModel",
     "FaultyDESResult",
     "simulate_pipeline_des_with_faults",
@@ -269,6 +270,32 @@ def simulate_pipeline_des(
         schedule=schedule,
         num_tasks=len(tasks),
     )
+
+
+def iteration_makespan_des(unit_stage_times: "list[np.ndarray]") -> float:
+    """Event-driven makespan of one continuous-batching iteration.
+
+    Each unit (the fused decode group, plus one prefill unit per newly
+    admitted request) flows through the stages in order; units overlap
+    across stages exactly as micro-batches do in the offline pipeline.
+    ``unit_stage_times[u][j]`` is unit ``u``'s busy time on stage ``j``
+    (comm folded into the sender).  The closed-form counterpart is
+    ``sum_j t_0j + sum_{u>0} max_j t_uj``; the DES schedule is its exact
+    lower bound, which the online simulator's ``engine="des"`` uses.
+    """
+    tasks: list[Task] = []
+    for u, stage_times in enumerate(unit_stage_times):
+        for j, d in enumerate(stage_times):
+            tasks.append(
+                Task(
+                    task_id=("U", u, j),
+                    duration=float(d),
+                    resource=("dev", j),
+                    deps=(("U", u, j - 1),) if j else (),
+                    priority=(u, j),
+                )
+            )
+    return simulate_task_graph(tasks).makespan
 
 
 def simulate_pipeline_des_with_faults(

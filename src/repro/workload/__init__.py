@@ -1,13 +1,21 @@
 """Workload specs and prompt-length traces."""
 
 from .spec import DEFAULT_WORKLOAD, SHORT_PROMPT_WORKLOAD, Workload
-from .traces import PromptTrace, sample_sharegpt_like, workloads_from_trace
+from .traces import (
+    PromptTrace,
+    RequestArrival,
+    sample_poisson_arrivals,
+    sample_sharegpt_like,
+    workloads_from_trace,
+)
 
 __all__ = [
     "Workload",
     "DEFAULT_WORKLOAD",
     "SHORT_PROMPT_WORKLOAD",
     "PromptTrace",
+    "RequestArrival",
+    "sample_poisson_arrivals",
     "sample_sharegpt_like",
     "workloads_from_trace",
 ]

@@ -15,7 +15,13 @@ import numpy as np
 
 from .spec import Workload
 
-__all__ = ["PromptTrace", "sample_sharegpt_like", "workloads_from_trace"]
+__all__ = [
+    "PromptTrace",
+    "RequestArrival",
+    "sample_sharegpt_like",
+    "sample_poisson_arrivals",
+    "workloads_from_trace",
+]
 
 
 @dataclass(frozen=True)
@@ -57,6 +63,59 @@ def sample_sharegpt_like(
     prompts = np.where(is_short, short, np.clip(body, 128, max_prompt))
     gens = np.clip(np.exp(rng.normal(4.6, 0.7, size=n)), 8, 1024).astype(np.int64)
     return PromptTrace(prompt_lens=prompts.astype(np.int64), gen_lens=gens)
+
+
+@dataclass(frozen=True)
+class RequestArrival:
+    """One online request: arrival time plus its (s, n) lengths."""
+
+    arrival: float       #: seconds since the trace start
+    prompt_len: int      #: prompt tokens
+    gen_len: int         #: tokens to generate
+
+    def __post_init__(self) -> None:
+        if self.arrival < 0:
+            raise ValueError("arrival must be >= 0")
+        if self.prompt_len <= 0 or self.gen_len <= 0:
+            raise ValueError("prompt_len and gen_len must be positive")
+
+
+def sample_poisson_arrivals(
+    rate: float,
+    duration: float,
+    *,
+    seed: int = 0,
+    max_prompt: int = 512,
+    max_gen: int = 128,
+) -> list[RequestArrival]:
+    """Poisson arrival trace with ShareGPT-shaped request lengths.
+
+    Inter-arrival gaps are exponential at ``rate`` req/s over ``duration``
+    seconds; each request's prompt and generation lengths follow the same
+    log-normal mixture as :func:`sample_sharegpt_like`, clipped to
+    ``max_prompt`` / ``max_gen``.  The list is sorted by arrival time —
+    the canonical input of both the online simulator and the real
+    :class:`~repro.runtime.scheduler.ContinuousScheduler`.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    rng = np.random.default_rng(seed)
+    out: list[RequestArrival] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / rate)
+        if t >= duration:
+            break
+        is_short = rng.random() < 0.45
+        if is_short:
+            s = int(rng.integers(4, min(128, max_prompt + 1)))
+        else:
+            s = int(np.clip(np.exp(rng.normal(5.6, 0.8)), 4, max_prompt))
+        n = int(np.clip(np.exp(rng.normal(4.6, 0.7)), 4, max_gen))
+        out.append(RequestArrival(arrival=float(t), prompt_len=s, gen_len=n))
+    return out
 
 
 def workloads_from_trace(

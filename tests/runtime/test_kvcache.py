@@ -117,6 +117,31 @@ def test_alloc_guard_blocks_merge_but_keeps_members():
     assert merged.k.shape[1] == 2
 
 
+def test_release_drops_current_bytes_immediately(mgr):
+    """Eager retirement: ``release`` must return the freed bytes and the
+    live ledger must drop at once, not at end-of-batch ``free_all``."""
+    mgr.allocate(0, batch=1, max_len=10)
+    mgr.allocate(1, batch=1, max_len=6)
+    unit0_bytes = mgr.get(0).k.nbytes + mgr.get(0).v.nbytes
+    before = mgr.current_bytes
+    freed = mgr.release(0)
+    assert freed == pytest.approx(unit0_bytes)
+    assert mgr.current_bytes == pytest.approx(before - freed)
+    assert mgr.current_bytes > 0  # the other unit survives
+    assert mgr.released_units == 1
+    assert mgr.released_bytes == pytest.approx(freed)
+    with pytest.raises(KeyError):
+        mgr.get(0)
+
+
+def test_release_idempotent(mgr):
+    mgr.allocate(0, batch=1, max_len=4)
+    assert mgr.release(0) > 0
+    assert mgr.release(0) == 0.0  # already freed
+    assert mgr.release(99) == 0.0  # never existed
+    assert mgr.released_units == 1
+
+
 def test_free(mgr):
     mgr.allocate(0, batch=1, max_len=2)
     mgr.free(0)

@@ -174,3 +174,44 @@ def test_concurrent_shrink_while_tracking():
         t.join(timeout=5.0)
     assert not errors
     assert m.decode_microbatch == m.prefill_microbatch
+
+
+# ---------------------------------------------------------------------------
+# ContinuousLedger (iteration-level admission accounting)
+# ---------------------------------------------------------------------------
+
+
+def test_ledger_admit_release_refunds_charges():
+    import numpy as np
+
+    from repro.runtime import ContinuousLedger
+
+    led = ContinuousLedger(num_stages=2)
+    headroom = np.array([100.0, 50.0])
+    a = led.admit([60.0, 30.0])
+    assert led.inflight_count == 1
+    assert not led.fits([60.0, 30.0], headroom)  # second one would overflow
+    assert led.fits([40.0, 20.0], headroom)
+    b = led.admit([40.0, 20.0])
+    assert a != b  # fresh ids, never reused
+    np.testing.assert_allclose(led.used_bytes, [100.0, 50.0])
+    led.release(a)
+    np.testing.assert_allclose(led.used_bytes, [40.0, 20.0])
+    assert led.fits([60.0, 30.0], headroom)  # the refund is available now
+    led.release(a)  # idempotent
+    assert led.released_total == 1
+    led.release(b)
+    assert led.inflight_count == 0
+    assert led.admitted_total == 2 and led.released_total == 2
+
+
+def test_ledger_validates_inputs():
+    import numpy as np
+
+    from repro.runtime import ContinuousLedger
+
+    with pytest.raises(ValueError, match="num_stages"):
+        ContinuousLedger(0)
+    led = ContinuousLedger(3)
+    with pytest.raises(ValueError, match="shape"):
+        led.admit(np.array([1.0, 2.0]))  # wrong stage count

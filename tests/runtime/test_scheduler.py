@@ -1,0 +1,257 @@
+"""Continuous-batching scheduler tests: byte-identity, eager KV release,
+admission edge cases, and wave-baseline equivalence."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ExecutionPlan, StagePlan
+from repro.hardware import Device, get_gpu
+from repro.models import TinyDecoderLM, generate
+from repro.runtime import (
+    ContinuousScheduler,
+    PipelineRuntime,
+    ServeRequest,
+)
+from repro.workload import Workload
+
+
+def _dev(i):
+    return Device(get_gpu("T4-16G"), node_id=0, local_rank=i)
+
+
+def _plan(bits_per_stage, *, workload):
+    stages = tuple(
+        StagePlan(_dev(i), tuple(bits)) for i, bits in enumerate(bits_per_stage)
+    )
+    return ExecutionPlan(
+        model_name="tiny-8l", stages=stages,
+        prefill_microbatch=2, decode_microbatch=4, workload=workload,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(tiny8l):
+    return TinyDecoderLM(tiny8l, seed=3)
+
+
+@pytest.fixture(scope="module")
+def workload12():
+    return Workload(prompt_len=12, gen_len=8, global_batch=8)
+
+
+def _mixed_requests(cfg, *, n=7, seed=11, gap=0.0):
+    """Mixed-length requests (different s and gen_len per request)."""
+    rng = np.random.default_rng(seed)
+    out = []
+    for i in range(n):
+        s = int(rng.integers(4, 13))
+        g = int(rng.integers(1, 9))
+        prompt = rng.integers(0, cfg.vocab_size, size=s, dtype=np.int64)
+        out.append(
+            ServeRequest(request_id=i, prompt=prompt, gen_len=g, arrival=i * gap)
+        )
+    return out
+
+
+def _assert_streams_match(report, model, requests):
+    """Every completed stream must equal the batch-1 single-process run."""
+    by_id = {r.request_id: r for r in requests}
+    assert report.completed, "nothing completed"
+    for rec in report.completed:
+        req = by_id[rec.request_id]
+        expected = generate(
+            model, np.asarray(req.prompt)[None, :], req.gen_len
+        ).tokens[0]
+        np.testing.assert_array_equal(rec.tokens, expected)
+
+
+def test_continuous_streams_byte_identical_to_reference(
+    reference, tiny8l, workload12
+):
+    """Co-batched requests must not perturb each other's token streams."""
+    plan = _plan([(16,) * 3, (16,) * 3, (16,) * 2], workload=workload12)
+    requests = _mixed_requests(tiny8l)
+    with PipelineRuntime(reference, plan) as rt:
+        report = ContinuousScheduler(rt, policy="continuous").serve(requests)
+    assert len(report.completed) == len(requests)
+    _assert_streams_match(report, reference, requests)
+
+
+def test_quantized_streams_match_fake_quant_reference(
+    reference, tiny8l, workload12
+):
+    """Quantized serving must equal a single-process fake-quant model."""
+    from repro.quant import quantize_dequantize
+
+    layer_bits = [8, 8, 8, 4, 4, 4, 16, 16]
+    plan = _plan([(8,) * 3, (4,) * 3, (16,) * 2], workload=workload12)
+    fq = reference.clone()
+    for i, b in enumerate(layer_bits):
+        if b < 16:
+            fq.apply_to_layer(i, lambda _n, w, b=b: quantize_dequantize(w, b))
+    requests = _mixed_requests(tiny8l, seed=23)
+    with PipelineRuntime(reference, plan) as rt:
+        report = ContinuousScheduler(rt, policy="continuous").serve(requests)
+    _assert_streams_match(report, fq, requests)
+
+
+def test_wave_and_continuous_streams_identical(reference, tiny8l, workload12):
+    """Scheduling policy must never change what tokens a request gets."""
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    requests = _mixed_requests(tiny8l, seed=5)
+    streams = {}
+    for policy in ("continuous", "wave"):
+        with PipelineRuntime(reference, plan) as rt:
+            report = ContinuousScheduler(rt, policy=policy).serve(requests)
+        assert len(report.completed) == len(requests)
+        streams[policy] = {r.request_id: r.tokens for r in report.completed}
+    for rid in streams["continuous"]:
+        np.testing.assert_array_equal(
+            streams["continuous"][rid], streams["wave"][rid]
+        )
+
+
+def test_eager_release_frees_kv_while_others_in_flight(
+    reference, tiny8l, workload12
+):
+    """A finished request's KV must drop on every stage immediately,
+    while co-batched requests are still decoding."""
+    snapshots = []
+
+    class Snoop(ContinuousScheduler):
+        def _release(self, unit_ids):
+            before = [w.kv.current_bytes for w in self.rt.workers]
+            super()._release(unit_ids)
+            after = [w.kv.current_bytes for w in self.rt.workers]
+            snapshots.append((before, after))
+
+    rng = np.random.default_rng(0)
+    mk = lambda i, g: ServeRequest(
+        request_id=i,
+        prompt=rng.integers(0, tiny8l.vocab_size, size=8, dtype=np.int64),
+        gen_len=g,
+    )
+    requests = [mk(0, 1), mk(1, 10)]  # short one retires mid-flight
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    with PipelineRuntime(reference, plan) as rt:
+        report = Snoop(rt, policy="continuous").serve(requests)
+        released = [w.kv.released_units for w in rt.workers]
+        leftover = [w.kv.current_bytes for w in rt.workers]
+    assert len(report.completed) == 2
+    # first release happened while request 1 was still holding its cache
+    before, after = snapshots[0]
+    assert all(a < b for a, b in zip(after, before))
+    assert all(a > 0 for a in after)
+    # by the end every stage has released both units and holds nothing
+    assert released == [2, 2]
+    assert leftover == [0.0, 0.0]
+
+
+def test_single_request_trace(reference, tiny8l, workload12):
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    req = _mixed_requests(tiny8l, n=1, seed=9)[0]
+    with PipelineRuntime(reference, plan) as rt:
+        report = ContinuousScheduler(rt).serve([req])
+    assert len(report.completed) == 1
+    rec = report.completed[0]
+    assert rec.tokens.shape == (req.gen_len,)
+    assert rec.finish_time >= rec.first_token_time > 0
+    assert report.throughput_tokens_per_s > 0
+
+
+def test_empty_request_list(reference, workload12):
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    with PipelineRuntime(reference, plan) as rt:
+        report = ContinuousScheduler(rt).serve([])
+    assert report.records == [] and report.makespan == 0.0
+    assert report.throughput_tokens_per_s == 0.0
+
+
+def test_idle_gap_between_arrivals_is_jumped(reference, tiny8l, workload12):
+    """A long arrival gap advances the virtual clock without sleeping."""
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    reqs = _mixed_requests(tiny8l, n=2, seed=3)
+    reqs = [
+        ServeRequest(
+            request_id=r.request_id, prompt=r.prompt, gen_len=r.gen_len,
+            arrival=float(i) * 500.0,
+        )
+        for i, r in enumerate(reqs)
+    ]
+    t0 = time.perf_counter()
+    with PipelineRuntime(reference, plan) as rt:
+        report = ContinuousScheduler(rt).serve(reqs)
+    wall = time.perf_counter() - t0
+    assert wall < 60.0  # the 500s gap was jumped, not slept
+    assert report.makespan >= 500.0  # but the virtual timeline kept it
+    assert len(report.completed) == 2
+    late = next(r for r in report.completed if r.request_id == 1)
+    assert late.latency < 100.0  # measured from its own arrival
+
+
+def test_unfit_request_rejected_gracefully(reference, tiny8l, workload12):
+    """With zero headroom nothing is admissible: every request must be
+    rejected (no hang, no crash) and the report must say so."""
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    requests = _mixed_requests(tiny8l, n=3)
+    for policy in ("continuous", "wave"):
+        with PipelineRuntime(reference, plan) as rt:
+            sched = ContinuousScheduler(rt, policy=policy)
+            sched.headroom[:] = 0.0
+            report = sched.serve(requests)
+        assert len(report.rejected) == 3
+        assert report.completed == []
+        assert report.generated_tokens == 0
+
+
+def test_runtime_stats_mirror_per_request_metrics(
+    reference, tiny8l, workload12
+):
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    requests = _mixed_requests(tiny8l, seed=17)
+    with PipelineRuntime(reference, plan) as rt:
+        report = ContinuousScheduler(rt).serve(requests)
+        stats = rt.stats
+    assert len(stats.request_latencies) == len(report.completed)
+    assert len(stats.request_ttfts) == len(report.completed)
+    assert stats.latency_p95 >= stats.latency_p50 > 0
+    assert stats.latency_p99 >= stats.latency_p95
+    assert stats.ttft_mean > 0 and stats.ttft_p95 >= 0
+    assert stats.tokens_generated == report.generated_tokens
+    assert report.latency_p95 == pytest.approx(stats.latency_p95)
+
+
+def test_max_inflight_cap_and_ledger_accounting(
+    reference, tiny8l, workload12
+):
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    requests = _mixed_requests(tiny8l, seed=29)
+    with PipelineRuntime(reference, plan) as rt:
+        sched = ContinuousScheduler(rt, max_inflight=2)
+        report = sched.serve(requests)
+    assert len(report.completed) == len(requests)
+    assert sched.ledger.admitted_total == len(requests)
+    assert sched.ledger.released_total == len(requests)
+    assert sched.ledger.inflight_count == 0
+    _assert_streams_match(report, reference, requests)
+
+
+def test_constructor_and_request_validation(reference, workload12):
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    with PipelineRuntime(reference, plan) as rt:
+        with pytest.raises(ValueError, match="policy"):
+            ContinuousScheduler(rt, policy="orca")
+        with pytest.raises(ValueError, match="max_inflight"):
+            ContinuousScheduler(rt, max_inflight=0)
+        with pytest.raises(ValueError, match="time_scale"):
+            ContinuousScheduler(rt, time_scale=-1.0)
+    with pytest.raises(ValueError, match="gen_len"):
+        ServeRequest(request_id=0, prompt=np.array([1, 2]), gen_len=0)
+    with pytest.raises(ValueError, match="prompt"):
+        ServeRequest(request_id=0, prompt=np.array([]), gen_len=2)
+    with pytest.raises(ValueError, match="arrival"):
+        ServeRequest(
+            request_id=0, prompt=np.array([1]), gen_len=1, arrival=-1.0
+        )

@@ -86,3 +86,128 @@ def test_online_quantized_plan_wins_under_load(cluster3, w):
 def test_empty_trace_rejected(cluster3, w):
     with pytest.raises(ValueError, match="empty"):
         simulate_online(_plan(cluster3, w, 4), cluster3, [])
+
+
+# ---------------------------------------------------------------------------
+# Continuous (iteration-level) policy
+# ---------------------------------------------------------------------------
+
+
+def test_continuous_beats_wave_under_load(cluster3, w):
+    """The tentpole effect: iteration-level scheduling eliminates padding
+    and inter-wave drain, so under load it wins on throughput AND p95."""
+    plan = _plan(cluster3, w, 4)
+    trace = sample_poisson_trace(3.0, 60.0, seed=7, max_prompt=256, max_gen=64)
+    wave = simulate_online(plan, cluster3, trace, policy="wave")
+    cont = simulate_online(plan, cluster3, trace, policy="continuous")
+    assert cont.completed == wave.completed == len(trace)
+    assert cont.throughput >= 1.5 * wave.throughput
+    assert cont.p95_latency < wave.p95_latency
+    assert cont.mean_ttft < wave.mean_ttft
+    assert cont.iterations > 0 and cont.mean_inflight > 1
+    assert "continuous" in cont.summary()
+
+
+def test_wave_continuous_equivalent_at_batch_one(cluster3, w):
+    """With concurrency capped at 1 the two policies run the identical
+    schedule, so every metric must agree (same kernel composition)."""
+    plan = _plan(cluster3, w, 4)
+    trace = [
+        OnlineRequest(arrival=float(k) * 10_000.0, prompt_len=256, gen_len=32)
+        for k in range(3)
+    ]
+    wave = simulate_online(plan, cluster3, trace, max_batch=1, policy="wave")
+    cont = simulate_online(plan, cluster3, trace, max_batch=1, policy="continuous")
+    assert cont.makespan == pytest.approx(wave.makespan, rel=1e-9)
+    assert cont.mean_latency == pytest.approx(wave.mean_latency, rel=1e-9)
+    assert cont.mean_ttft == pytest.approx(wave.mean_ttft, rel=1e-9)
+    assert cont.throughput == pytest.approx(wave.throughput, rel=1e-9)
+
+
+def test_continuous_des_engine_close_to_analytic(cluster3, w):
+    plan = _plan(cluster3, w, 4)
+    trace = sample_poisson_trace(1.0, 30.0, seed=2, max_prompt=256, max_gen=32)
+    ana = simulate_online(plan, cluster3, trace, policy="continuous")
+    des = simulate_online(plan, cluster3, trace, policy="continuous", engine="des")
+    assert des.completed == ana.completed
+    # the DES schedule lower-bounds each iteration's closed form, but
+    # admission dynamics may differ; makespans stay in the same regime
+    assert des.makespan == pytest.approx(ana.makespan, rel=0.5)
+
+
+def test_continuous_single_request_and_idle_gaps(cluster3, w):
+    plan = _plan(cluster3, w, 4)
+    one = simulate_online(
+        plan, cluster3,
+        [OnlineRequest(arrival=5.0, prompt_len=128, gen_len=16)],
+        policy="continuous",
+    )
+    assert one.completed == 1
+    assert one.makespan > 5.0  # waited for the arrival
+    assert one.mean_latency < one.makespan  # latency excludes the idle gap
+    gap = simulate_online(
+        plan, cluster3,
+        [
+            OnlineRequest(arrival=0.0, prompt_len=128, gen_len=16),
+            OnlineRequest(arrival=1_000.0, prompt_len=128, gen_len=16),
+        ],
+        policy="continuous",
+    )
+    assert gap.completed == 2
+    assert gap.makespan > 1_000.0
+    assert gap.mean_latency < 100.0  # neither request waited on the gap
+
+
+def test_unfit_requests_give_graceful_infeasible_result(cluster3, w):
+    """A request whose KV reservation exceeds every stage's headroom is
+    rejected; an all-rejected trace yields the infeasible sentinel."""
+    plan = _plan(cluster3, w, 16)
+    huge = [OnlineRequest(arrival=0.0, prompt_len=500_000, gen_len=100_000)]
+    for policy in ("wave", "continuous"):
+        res = simulate_online(plan, cluster3, huge, policy=policy)
+        assert res.completed == 0
+        assert res.rejected == 1
+        assert res.throughput == 0.0
+        assert not np.isfinite(res.makespan)
+
+
+def test_per_wave_admissibility_beats_trace_wide_bound(cluster3, w):
+    """Satellite fix: a burst of short requests must form waves larger
+    than the admissible batch at the trace-wide worst case."""
+    plan = _plan(cluster3, w, 4)
+    short = [
+        OnlineRequest(arrival=0.0, prompt_len=64, gen_len=8) for _ in range(64)
+    ]
+    long_tail = [OnlineRequest(arrival=500.0, prompt_len=2048, gen_len=128)]
+    trace = short + long_tail
+    worst_bound = max_admissible_batch(plan, prompt_len=2048, gen_len=128)
+    assert worst_bound < 64  # the legacy trace-wide cap would throttle
+    res = simulate_online(plan, cluster3, trace, policy="wave")  # max_batch=None
+    assert res.completed == len(trace)
+    # mean wave batch lower-bounds the max; it must already beat the cap
+    assert res.mean_wave_batch > worst_bound
+
+
+def test_simulate_online_validates_policy_and_engine(cluster3, w):
+    plan = _plan(cluster3, w, 4)
+    trace = [OnlineRequest(arrival=0.0, prompt_len=64, gen_len=8)]
+    with pytest.raises(ValueError, match="policy"):
+        simulate_online(plan, cluster3, trace, policy="orca")
+    with pytest.raises(ValueError, match="engine"):
+        simulate_online(plan, cluster3, trace, engine="magic")
+
+
+def test_headroom_helpers_consistent(cluster3, w):
+    from repro.sim.online import request_kv_bytes, stage_kv_headroom
+
+    plan4 = _plan(cluster3, w, 4)
+    plan16 = _plan(cluster3, w, 16)
+    h4 = stage_kv_headroom(plan4)
+    h16 = stage_kv_headroom(plan16)
+    assert np.all(h4 >= h16)  # lower precision leaves more KV headroom
+    assert np.any(h4 > h16)
+    charge = request_kv_bytes(plan4, 256, 32)
+    assert charge.shape == (plan4.num_stages,)
+    assert np.all(charge > 0)
+    # more admitted requests under 4-bit than 16-bit, per the Sec.-7 trade-off
+    assert int(np.min(h4 / charge)) >= int(np.min(h16 / request_kv_bytes(plan16, 256, 32)))

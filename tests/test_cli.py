@@ -271,3 +271,97 @@ def test_dist_rejects_invalid_strategy(tmp_path, capsys):
     rc = dist_main(["--strat-file-name", str(path), "--cluster", "3"])
     assert rc == 2
     assert "oom" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# llmpq-serve (online trace replay)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tiny_strategy_file(tmp_path_factory):
+    from repro.core.plan import StagePlan
+    from repro.hardware import Device, get_gpu
+    from repro.workload import Workload
+
+    dev = lambda i: Device(get_gpu("T4-16G"), node_id=0, local_rank=i)
+    plan = ExecutionPlan(
+        model_name="tiny-4l",
+        stages=(StagePlan(dev(0), (16, 16)), StagePlan(dev(1), (8, 8))),
+        prefill_microbatch=2,
+        decode_microbatch=4,
+        workload=Workload(prompt_len=12, gen_len=6, global_batch=4),
+    )
+    path = tmp_path_factory.mktemp("serve") / "tiny.json"
+    plan.to_json(path)
+    return path
+
+
+def test_serve_tiny_continuous(tiny_strategy_file, capsys):
+    from repro.cli import serve_main
+
+    rc = serve_main([
+        "--strat-file-name", str(tiny_strategy_file),
+        "--rate", "4", "--duration", "2", "--time-scale", "0",
+    ])
+    out = capsys.readouterr().out
+    assert rc == 0
+    assert "[continuous]" in out and "0 rejected" in out
+    assert "latency p50" in out and "ttft mean" in out
+
+
+def test_serve_tiny_wave_baseline(tiny_strategy_file, capsys):
+    from repro.cli import serve_main
+
+    rc = serve_main([
+        "--strat-file-name", str(tiny_strategy_file),
+        "--policy", "wave",
+        "--rate", "4", "--duration", "2", "--time-scale", "0",
+    ])
+    assert rc == 0
+    assert "[wave]" in capsys.readouterr().out
+
+
+def test_serve_simulates_big_model(strategy_file, capsys):
+    from repro.cli import serve_main
+
+    rc = serve_main([
+        "--strat-file-name", str(strategy_file),
+        "--cluster", "1",
+        "--rate", "1", "--duration", "10",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "[continuous]" in out and "reqs" in out
+
+
+def test_serve_sim_wave_and_des_engines(strategy_file, capsys):
+    from repro.cli import serve_main
+
+    for extra in (["--policy", "wave"], ["--engine", "des"]):
+        rc = serve_main([
+            "--strat-file-name", str(strategy_file),
+            "--cluster", "1",
+            "--rate", "1", "--duration", "8", *extra,
+        ])
+        assert rc == 0
+    out = capsys.readouterr().out
+    assert "[wave]" in out and "[continuous]" in out
+
+
+def test_serve_rejects_bad_rate(tiny_strategy_file, capsys):
+    from repro.cli import serve_main
+
+    assert serve_main([
+        "--strat-file-name", str(tiny_strategy_file), "--rate", "0",
+    ]) == 2
+    assert "must be positive" in capsys.readouterr().err
+
+
+def test_serve_missing_strategy_friendly_error(tmp_path, capsys):
+    from repro.cli import serve_main
+
+    with pytest.raises(SystemExit) as exc:
+        serve_main(["--strat-file-name", str(tmp_path / "nope.json")])
+    assert "not found" in str(exc.value)
+    assert "Traceback" not in capsys.readouterr().err

@@ -42,3 +42,50 @@ def test_mismatched_arrays_rejected():
 
     with pytest.raises(ValueError):
         PromptTrace(prompt_lens=np.zeros(3), gen_lens=np.zeros(4))
+
+
+# ---------------------------------------------------------------------------
+# Timed Poisson arrivals (online serving)
+# ---------------------------------------------------------------------------
+
+
+def test_poisson_arrivals_shape_and_bounds():
+    from repro.workload import RequestArrival, sample_poisson_arrivals
+
+    arr = sample_poisson_arrivals(rate=2.0, duration=100.0, seed=1)
+    assert 120 < len(arr) < 280  # ~200 expected
+    times = np.array([r.arrival for r in arr])
+    assert np.all(np.diff(times) > 0)
+    assert all(isinstance(r, RequestArrival) for r in arr)
+    assert all(4 <= r.prompt_len <= 512 for r in arr)
+    assert all(4 <= r.gen_len <= 128 for r in arr)
+
+
+def test_poisson_arrivals_deterministic_and_mixed_lengths():
+    from repro.workload import sample_poisson_arrivals
+
+    a = sample_poisson_arrivals(3.0, 50.0, seed=7)
+    b = sample_poisson_arrivals(3.0, 50.0, seed=7)
+    assert [(r.arrival, r.prompt_len, r.gen_len) for r in a] == [
+        (r.arrival, r.prompt_len, r.gen_len) for r in b
+    ]
+    lens = np.array([r.prompt_len for r in a])
+    # the mix must contain both short (<128) and long prompts
+    assert (lens < 128).any() and (lens >= 128).any()
+
+
+def test_poisson_arrivals_caps_and_validation():
+    from repro.workload import RequestArrival, sample_poisson_arrivals
+
+    arr = sample_poisson_arrivals(5.0, 40.0, seed=3, max_prompt=64, max_gen=16)
+    assert all(r.prompt_len <= 64 and r.gen_len <= 16 for r in arr)
+    with pytest.raises(ValueError):
+        sample_poisson_arrivals(rate=0.0, duration=10.0)
+    with pytest.raises(ValueError):
+        sample_poisson_arrivals(rate=1.0, duration=0.0)
+    with pytest.raises(ValueError):
+        RequestArrival(arrival=-1.0, prompt_len=8, gen_len=4)
+    with pytest.raises(ValueError):
+        RequestArrival(arrival=0.0, prompt_len=0, gen_len=4)
+    with pytest.raises(ValueError):
+        RequestArrival(arrival=0.0, prompt_len=8, gen_len=0)
