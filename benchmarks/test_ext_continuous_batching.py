@@ -31,8 +31,8 @@ from repro.core.plan import ExecutionPlan, StagePlan
 from repro.hardware import Device, get_gpu, paper_cluster
 from repro.models import TinyDecoderLM, generate, get_model
 from repro.runtime import ContinuousScheduler, PipelineRuntime, ServeRequest
-from repro.sim.online import sample_poisson_trace, simulate_online
-from repro.workload import Workload
+from repro.sim.online import simulate_online
+from repro.workload import Workload, sample_poisson_arrivals
 
 
 # ---------------------------------------------------------------------------
@@ -44,7 +44,7 @@ def _sim_compare(rate, duration, seed):
     cluster = paper_cluster(3)
     w = Workload(prompt_len=512, gen_len=100, global_batch=16)
     plan = ExecutionPlan.uniform("opt-30b", cluster.devices, w, bits=4)
-    trace = sample_poisson_trace(
+    trace = sample_poisson_arrivals(
         rate, duration, seed=seed, max_prompt=256, max_gen=64
     )
     wave = simulate_online(plan, cluster, trace, policy="wave")

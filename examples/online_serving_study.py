@@ -13,8 +13,8 @@ Run:  python examples/online_serving_study.py
 from repro.bench.tables import format_table
 from repro.core.plan import ExecutionPlan
 from repro.hardware import paper_cluster
-from repro.sim.online import max_admissible_batch, sample_poisson_trace, simulate_online
-from repro.workload import Workload
+from repro.sim.online import max_admissible_batch, simulate_online
+from repro.workload import Workload, sample_poisson_arrivals
 
 
 def main() -> None:
@@ -23,7 +23,7 @@ def main() -> None:
 
     rows = []
     for rate in (0.5, 2.0, 6.0):
-        trace = sample_poisson_trace(rate, 60.0, seed=0, max_prompt=256, max_gen=32)
+        trace = sample_poisson_arrivals(rate, 60.0, seed=0, max_prompt=256, max_gen=32)
         for bits in (16, 8, 4):
             plan = ExecutionPlan.uniform("opt-30b", cluster.devices, w, bits=bits)
             cap = max_admissible_batch(plan, prompt_len=256, gen_len=32)

@@ -13,33 +13,39 @@ Quickstart
 >>> report = evaluate_plan(result.plan, paper_cluster(3))
 """
 
-from .core import (
-    ExecutionPlan,
-    LLMPQOptimizer,
-    PlannerConfig,
-    PlannerResult,
-    ServingReport,
-    StagePlan,
-    compare_schemes,
-    evaluate_plan,
-    plan_llmpq,
-)
-from .workload import DEFAULT_WORKLOAD, SHORT_PROMPT_WORKLOAD, Workload
+from __future__ import annotations
 
 __version__ = "1.0.0"
 
-__all__ = [
-    "ExecutionPlan",
-    "StagePlan",
-    "LLMPQOptimizer",
-    "PlannerConfig",
-    "PlannerResult",
-    "ServingReport",
-    "plan_llmpq",
-    "evaluate_plan",
-    "compare_schemes",
-    "Workload",
-    "DEFAULT_WORKLOAD",
-    "SHORT_PROMPT_WORKLOAD",
-    "__version__",
-]
+# PEP 562 lazy re-exports: ``import repro.workload`` (trace generation) or
+# ``import repro.cost`` (pricing) must not drag in the planner stack or the
+# simulators.  Attributes resolve to their home submodule on first access.
+_EXPORTS = {
+    "ExecutionPlan": ".core",
+    "StagePlan": ".core",
+    "LLMPQOptimizer": ".core",
+    "PlannerConfig": ".core",
+    "PlannerResult": ".core",
+    "ServingReport": ".core",
+    "plan_llmpq": ".core",
+    "evaluate_plan": ".core",
+    "compare_schemes": ".core",
+    "Workload": ".workload",
+    "DEFAULT_WORKLOAD": ".workload",
+    "SHORT_PROMPT_WORKLOAD": ".workload",
+}
+
+__all__ = [*_EXPORTS, "__version__"]
+
+
+def __getattr__(name: str):
+    home = _EXPORTS.get(name)
+    if home is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from importlib import import_module
+
+    return getattr(import_module(home, __name__), name)
+
+
+def __dir__() -> list[str]:
+    return sorted(__all__)

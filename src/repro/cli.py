@@ -99,6 +99,11 @@ def algo_main(argv: list[str] | None = None) -> int:
     p.add_argument("-j", "--jobs", type=int, default=1,
                    help="worker processes for candidate ILP solves "
                         "(same plan at any value; >1 parallelizes)")
+    p.add_argument("--cost-source", choices=["kernels", "model"],
+                   default="kernels",
+                   help="stage-time source for the predicted report: "
+                        "ground-truth roofline kernels, or the planner's "
+                        "fitted latency model (shows planner-view numbers)")
     p.add_argument("-o", "--output", default="strategy.json",
                    help="strategy file to write")
     args = p.parse_args(argv)
@@ -123,7 +128,10 @@ def algo_main(argv: list[str] | None = None) -> int:
         print("no feasible plan found", file=sys.stderr)
         return 1
     result.plan.to_json(args.output)
-    report = evaluate_plan(result.plan, cluster, solve_seconds=result.total_seconds)
+    report = evaluate_plan(
+        result.plan, cluster, solve_seconds=result.total_seconds,
+        cost_source=args.cost_source,
+    )
     print(result.plan.describe())
     print(
         f"predicted: latency {report.latency:.2f}s, "
@@ -290,6 +298,11 @@ def serve_main(argv: list[str] | None = None) -> int:
                         "wave (offline-style gang) baseline")
     p.add_argument("--engine", choices=["analytic", "des"], default="analytic",
                    help="iteration pricing for the simulator path")
+    p.add_argument("--cost-source", choices=["kernels", "model"],
+                   default="kernels",
+                   help="stage-time source for the simulator path: "
+                        "ground-truth roofline kernels, or a latency model "
+                        "fitted on the fly (ignored for tiny-* real runtime)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-inflight", type=int, default=None,
                    help="hard concurrency cap on top of the memory model")
@@ -347,7 +360,8 @@ def serve_main(argv: list[str] | None = None) -> int:
         return 0 if report.completed else 1
 
     # simulated execution for big models
-    from .sim.online import sample_poisson_trace, simulate_online
+    from .sim.online import simulate_online
+    from .workload.traces import sample_poisson_arrivals
 
     if args.cluster is not None:
         cluster = paper_cluster(args.cluster)
@@ -356,15 +370,23 @@ def serve_main(argv: list[str] | None = None) -> int:
         for st in plan.stages:
             counts[st.device.type_name] = counts.get(st.device.type_name, 0) + 1
         cluster = make_cluster(list(counts.items()))
-    trace = sample_poisson_trace(
+    trace = sample_poisson_arrivals(
         args.rate, args.duration, seed=args.seed,
         max_prompt=max_prompt, max_gen=max_gen,
     )
     if not trace:
         return _fail("trace is empty — raise --rate or --duration")
+    latency_model = None
+    if args.cost_source == "model":
+        from .cost.profiler import build_latency_model
+
+        latency_model = build_latency_model(
+            sorted({d.type_name for d in cluster.devices}), cfg
+        )
     res = simulate_online(
         plan, cluster, trace,
         max_batch=args.max_inflight, policy=args.policy, engine=args.engine,
+        source=args.cost_source, latency_model=latency_model,
     )
     print(res.summary())
     return 0 if res.completed else 1

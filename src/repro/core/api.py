@@ -123,9 +123,30 @@ def evaluate_plan(
     *,
     scheme: str = "LLM-PQ",
     solve_seconds: float = 0.0,
+    cost_source: str = "kernels",
+    latency_model: LatencyModel | None = None,
 ) -> ServingReport:
-    """Ground-truth simulation + quality surrogate for a plan."""
-    res = simulate_pipeline(plan, cluster)
+    """Ground-truth simulation + quality surrogate for a plan.
+
+    ``cost_source`` selects where the simulator's stage times come from:
+    ``"kernels"`` (ground-truth roofline kernels, the default) or
+    ``"model"`` (the planner's fitted latency model — the same numbers the
+    ILP optimized, handy for checking planner/simulator drift).  A fitted
+    model is profiled on demand when ``"model"`` is requested without one.
+    """
+    if cost_source not in ("kernels", "model"):
+        raise ValueError(f"unknown cost_source {cost_source!r}")
+    if cost_source == "model" and latency_model is None:
+        from ..cost.profiler import build_latency_model
+
+        latency_model = build_latency_model(
+            sorted({d.type_name for d in cluster.devices}),
+            get_model(plan.model_name),
+        )
+    res = simulate_pipeline(
+        plan, cluster,
+        latency_model=latency_model if cost_source == "model" else None,
+    )
     ppl = (
         plan_perplexity(plan.model_name, plan.layer_bits)
         if plan.model_name in QUALITY_ANCHORS

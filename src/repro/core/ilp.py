@@ -53,6 +53,7 @@ from ..cost.memory import (
     temp_bytes_prefill,
 )
 from ..cost.predictions import PredictionCache
+from ..cost.stagecosts import planner_time_tables
 from ..hardware.cluster import Device
 from ..models.config import ModelConfig
 from ..quant.indicator import IndicatorTable
@@ -312,13 +313,13 @@ class BitAssignmentILP:
         else:
             cache = self.prediction_cache or PredictionCache(self.latency_model)
             type_names = [d.type_name for d in self.devices]
-            lp = cache.layer_time_table(
-                type_names, self.bits, "prefill",
-                self.prefill_microbatch, w.prompt_len, w.prompt_len,
-            )
-            ld = cache.layer_time_table(
-                type_names, self.bits, "decode",
-                self.decode_microbatch, 1, avg_ctx,
+            # the same (device, bits) layer-time blocks a source="model"
+            # StageCostModel serves to the simulators
+            lp, ld = planner_time_tables(
+                cache, type_names, self.bits,
+                prefill_microbatch=self.prefill_microbatch,
+                decode_microbatch=self.decode_microbatch,
+                prompt_len=w.prompt_len, avg_context=avg_ctx,
             )
             sizes_arr = np.asarray(sizes, dtype=np.float64)
             t_pre = sizes_arr[:, None, None] * lp[None, :, :]

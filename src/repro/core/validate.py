@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..cost.memory import stage_memory
+from ..cost.stagecosts import StageCostModel
 from ..hardware.cluster import Cluster
 from ..hardware.gpu import SUPPORTED_BITS
 from ..models.registry import MODEL_REGISTRY, get_model
@@ -121,18 +121,9 @@ def validate_plan(plan: ExecutionPlan, cluster: Cluster | None = None) -> Valida
                         f"plan wants {n}x {t}, cluster has {have}",
                     )
                 )
-        kv_bits = int(plan.meta.get("kv_bits", 16))
-        w = plan.workload
-        for j, stage in enumerate(plan.stages):
-            mem = stage_memory(
-                cfg, stage.layer_bits,
-                global_batch=w.global_batch, prompt_len=w.prompt_len,
-                gen_len=w.gen_len,
-                prefill_microbatch=plan.prefill_microbatch,
-                decode_microbatch=plan.decode_microbatch,
-                is_first=(j == 0), is_last=(j == plan.num_stages - 1),
-                kv_bits=kv_bits,
-            )
+        # same Sec.-4.1 memory views the planner and simulators price with
+        views = StageCostModel(plan, cfg=cfg).stage_memory_views()
+        for j, (stage, mem) in enumerate(zip(plan.stages, views)):
             if not mem.fits(stage.device.spec.memory_bytes):
                 issues.append(
                     ValidationIssue(

@@ -17,6 +17,7 @@ from .memory import (
 from .latency import LatencyModel, LatencySample, Phase, features_for
 from .predictions import PredictionCache
 from .profiler import ProfileGrid, build_latency_model, profile_cluster, profile_device
+from .stagecosts import StageCostModel, planner_time_tables
 
 __all__ = [
     "StageMemory",
@@ -36,6 +37,8 @@ __all__ = [
     "Phase",
     "features_for",
     "PredictionCache",
+    "StageCostModel",
+    "planner_time_tables",
     "ProfileGrid",
     "profile_device",
     "profile_cluster",

@@ -23,7 +23,7 @@ from scipy.optimize import nnls
 
 from ..hardware.gpu import GPUSpec
 from ..models.config import ModelConfig
-from ..ops import layer_memory_traffic
+from ..ops import ACT_BYTES, layer_memory_traffic
 
 __all__ = ["Phase", "LatencySample", "LatencyModel", "features_for"]
 
@@ -130,6 +130,33 @@ class LatencyModel:
             )
         )
 
+    def _decode_feature_matrix(self, bits: int, batch: int, contexts: np.ndarray) -> np.ndarray:
+        """``(K, 3)`` decode feature rows, stacked analytically.
+
+        Builds the same rows :func:`features_for` would produce at
+        ``q=1`` for each (truncated) context — term for term, in the same
+        association order, so every entry is bitwise equal to the
+        per-context Python loop it replaces.
+        """
+        cfg = self.cfg
+        ctx = np.trunc(np.asarray(contexts, dtype=np.float64))  # int(c) semantics
+        h, f = cfg.hidden_size, cfg.ffn_dim
+        q = 1
+        # layer_flops: proj + attn + mlp, attn is the only context term
+        proj = 8.0 * q * h * h
+        attn = 4.0 * q * ctx * h
+        mlp = 4.0 * q * h * f
+        flops = batch * (proj + attn + mlp)
+        # layer_memory_traffic at kv_bits=16: scores and kv_read scale with c
+        kv_bits = 16
+        w_bytes = cfg.layer_weight_bytes(bits)
+        act = batch * q * (6 * h + 2 * f) * ACT_BYTES
+        scores = batch * cfg.num_heads * q * ctx * ACT_BYTES * 2
+        kv_write = batch * q * 2 * h * (kv_bits / 8.0)
+        kv_read = batch * ctx * 2 * h * (kv_bits / 8.0)
+        mem = w_bytes + act + scores + kv_write + kv_read
+        return np.stack([flops, mem, np.ones_like(ctx)], axis=1)
+
     def decode_step_times(
         self,
         gpu: GPUSpec | str,
@@ -139,10 +166,7 @@ class LatencyModel:
     ) -> np.ndarray:
         """Vectorized decode predictions across context lengths."""
         beta = self.coef[self._key(gpu, bits, "decode")]
-        feats = np.stack(
-            [features_for(self.cfg, bits, batch, 1, int(c)) for c in np.asarray(contexts)]
-        )
-        return feats @ beta
+        return self._decode_feature_matrix(bits, batch, contexts) @ beta
 
     def max_relative_residual(self) -> float:
         """Worst in-sample mean relative error across fitted groups."""

@@ -16,7 +16,6 @@ import numpy as np
 
 from ..hardware.gpu import GPUSpec, get_gpu
 from ..models.config import ModelConfig
-from ..sim.kernels import layer_exec_time
 from .latency import LatencyModel, LatencySample
 
 __all__ = ["ProfileGrid", "profile_device", "profile_cluster", "build_latency_model"]
@@ -43,6 +42,9 @@ def profile_device(
     seed: int = 0,
 ) -> list[LatencySample]:
     """Measure one decoder layer of ``cfg`` across the profile grid."""
+    # deferred so importing repro.cost does not pull in the simulators
+    from ..sim.kernels import layer_exec_time
+
     gpu = get_gpu(gpu) if isinstance(gpu, str) else gpu
     grid = grid or ProfileGrid()
     rng = np.random.default_rng(seed)

@@ -1,0 +1,597 @@
+"""Single source of truth for per-stage serving costs.
+
+The paper's argument (Sec. 4.1 + Fig. 7) only holds if the planner, the
+simulators, and the runtime's admission control all price a plan with the
+*same* cost model.  Before this module, the per-stage prefill/decode busy
+times, boundary comm, and KV/memory charges were re-derived independently
+in four places; :class:`StageCostModel` replaces all of them.
+
+Given an :class:`~repro.core.plan.ExecutionPlan` (plus a
+:class:`~repro.hardware.cluster.Cluster` when comm times are needed) it
+produces every cost view the consumers need:
+
+* ``stage_prefill_times()`` / ``stage_decode_times(contexts)`` — the
+  offline pipeline's per-stage busy-time tables (embedding/logit work on
+  the head/tail stages and boundary comm folded in), vectorized over the
+  full ``s+1 .. s+n`` context sweep;
+* ``unit_prefill_times`` / ``unit_decode_times`` — the continuous
+  (iteration-level) scheduler's batch-1 prefill unit and fused decode
+  group, with a precomputed per-(stage, bits) constant table that turns
+  per-iteration pricing into a cheap lookup;
+* ``stage_memory_views`` / ``batch_fits`` / ``max_admissible_batch`` /
+  ``kv_headroom`` / ``request_kv_bytes`` — the planner's Sec.-4.1 memory
+  accounting, shared verbatim by the online simulator and the real
+  :class:`~repro.runtime.scheduler.ContinuousScheduler`.
+
+The time source is selectable: ``source="kernels"`` prices with the
+ground-truth roofline kernels (the simulated hardware), ``source="model"``
+with a fitted :class:`~repro.cost.latency.LatencyModel` — the planner's
+view of the world — memoized through the existing
+:class:`~repro.cost.predictions.PredictionCache` so planner and evaluator
+literally share floats.  Every formula here is kept bit-identical to the
+pre-refactor per-consumer copies; ``tests/sim/test_costview_equality.py``
+pins that down against committed goldens.
+
+Simulator modules are imported lazily inside methods, so cost- or
+workload-only users never pay the ``repro.sim`` import.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Sequence
+
+import numpy as np
+
+from ..models.registry import get_model
+from ..ops import ACT_BYTES
+from .latency import LatencyModel, Phase
+from .memory import (
+    FRAMEWORK_OVERHEAD_BYTES,
+    StageMemory,
+    kv_cache_bytes,
+    stage_memory,
+)
+from .predictions import PredictionCache
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports, no cycles
+    from ..core.plan import ExecutionPlan
+    from ..hardware.cluster import Cluster
+    from ..models.config import ModelConfig
+
+__all__ = ["StageCostModel", "planner_time_tables"]
+
+
+class StageCostModel:
+    """Vectorized, memoized per-stage cost tables for one plan.
+
+    Parameters
+    ----------
+    plan:
+        The execution plan being priced.
+    cluster:
+        Required for any view that includes boundary comm times
+        (``stage_*_times``, ``unit_*_times``); memory-only consumers may
+        omit it.
+    source:
+        ``"kernels"`` (default) prices layer times with the ground-truth
+        roofline kernels; ``"model"`` with the fitted latency model.
+        Defaults to ``"model"`` when ``latency_model``/``prediction_cache``
+        is given.
+    latency_model / prediction_cache:
+        The fitted cost model and its shared memo for ``source="model"``.
+        Passing only a cache implies its model; passing only a model
+        wraps it in a fresh cache.
+    cfg:
+        Architecture override for plans whose ``model_name`` is not in
+        the registry (the runtime's tiny test models).
+    cache:
+        ``False`` disables every memo — each query recomputes from
+        scratch, reproducing the pre-refactor per-call cost.  Used as the
+        baseline in ``benchmarks/test_ext_costview.py``.
+    """
+
+    def __init__(
+        self,
+        plan: "ExecutionPlan",
+        cluster: "Cluster | None" = None,
+        *,
+        source: str | None = None,
+        latency_model: LatencyModel | None = None,
+        prediction_cache: PredictionCache | None = None,
+        cfg: "ModelConfig | None" = None,
+        cache: bool = True,
+    ) -> None:
+        if prediction_cache is not None and latency_model is None:
+            latency_model = prediction_cache.model
+        if source is None:
+            source = "model" if latency_model is not None else "kernels"
+        if source not in ("kernels", "model"):
+            raise ValueError(f"unknown cost source {source!r}")
+        if source == "model":
+            if latency_model is None:
+                raise ValueError(
+                    "source='model' needs a latency_model or prediction_cache"
+                )
+            if prediction_cache is None:
+                prediction_cache = PredictionCache(latency_model)
+        self.plan = plan
+        self.cluster = cluster
+        self.cfg = cfg if cfg is not None else get_model(plan.model_name)
+        self.source = source
+        self.model = latency_model
+        self.prediction_cache = prediction_cache
+        self.cache_enabled = bool(cache)
+        self.kv_bits = int(plan.meta.get("kv_bits", 16))
+        self._gpus = [s.device.spec for s in plan.stages]
+        self._links = None
+        # shape-keyed memos (shared with per-wave derivatives, see derive())
+        self._emb_memo: dict = {}
+        self._comm_memo: dict = {}
+        self._unit_prefill_memo: dict = {}
+        self._charge_memo: dict = {}
+        self._mem_memo: dict = {}
+        self._pairs = None
+        # plan-workload-specific memos (never shared)
+        self._fits_memo: dict = {}
+        self._views = None
+        self._headroom_base = None
+
+    # ------------------------------------------------------------------
+    # infrastructure
+    # ------------------------------------------------------------------
+    def _require_links(self):
+        if self._links is None:
+            if self.cluster is None:
+                raise ValueError(
+                    "comm times need a Cluster; construct the StageCostModel "
+                    "with cluster=..."
+                )
+            from ..sim.comm import boundary_links
+
+            self._links = boundary_links(
+                self.cluster, [s.device for s in self.plan.stages]
+            )
+        return self._links
+
+    def comm_time(self, j: int, microbatch: int, q: int) -> float:
+        """Boundary ``j``'s activation-transfer time for one micro-batch."""
+        key = (j, microbatch, q)
+        t = self._comm_memo.get(key)
+        if t is None:
+            from ..sim.comm import stage_comm_time
+
+            t = stage_comm_time(self._require_links()[j], self.cfg, microbatch, q)
+            if self.cache_enabled:
+                self._comm_memo[key] = t
+        return t
+
+    def _emb_time(self, j: int, batch: int, q: int, with_logits: bool) -> float:
+        gpu = self._gpus[j]
+        key = (gpu.name, batch, q, with_logits)
+        t = self._emb_memo.get(key)
+        if t is None:
+            from ..sim.kernels import embedding_exec_time
+
+            t = embedding_exec_time(gpu, self.cfg, batch, q, with_logits=with_logits)
+            if self.cache_enabled:
+                self._emb_memo[key] = t
+        return t
+
+    def layer_time(
+        self, j: int, bits: int, phase: Phase, batch: int, q: int, context: int
+    ) -> float:
+        """Seconds for one layer of stage ``j`` under the active source."""
+        gpu = self._gpus[j]
+        if self.source == "model":
+            return self.prediction_cache.layer_time(
+                gpu.name, bits, phase, batch, q, context
+            )
+        from ..sim.kernels import layer_exec_time
+
+        return layer_exec_time(gpu, self.cfg, bits, batch, q, context)
+
+    def _stage_layers_prefill(self, j: int, batch: int, s: int) -> float:
+        stage = self.plan.stages[j]
+        if self.source == "model":
+            gpu = self._gpus[j]
+            return float(
+                sum(
+                    self.prediction_cache.layer_time(gpu.name, b, "prefill", batch, s, s)
+                    for b in stage.layer_bits
+                )
+            )
+        from ..sim.kernels import layer_exec_time
+
+        gpu = self._gpus[j]
+        return sum(
+            layer_exec_time(gpu, self.cfg, b, batch, s, s) for b in stage.layer_bits
+        )
+
+    def _decode_sweep(
+        self, j: int, bits: int, batch: int, contexts: np.ndarray
+    ) -> np.ndarray:
+        gpu = self._gpus[j]
+        if self.source == "model":
+            return self.model.decode_step_times(gpu, bits, batch, contexts)
+        from ..sim.kernels import layer_exec_times_decode_sweep
+
+        return layer_exec_times_decode_sweep(gpu, self.cfg, bits, batch, contexts)
+
+    # ------------------------------------------------------------------
+    # offline pipeline tables (analytic simulator + DES)
+    # ------------------------------------------------------------------
+    def stage_prefill_times(self, *, include_comm: bool = True) -> np.ndarray:
+        """Per-micro-batch prefill busy time per stage, comm folded into
+        the sender for every boundary but the last (the closed form's
+        convention)."""
+        plan = self.plan
+        mb, s = plan.prefill_microbatch, plan.workload.prompt_len
+        n = plan.num_stages
+        out = np.empty(n)
+        for j in range(n):
+            t = self._stage_layers_prefill(j, mb, s)
+            if j == 0:
+                t += self._emb_time(j, mb, s, False)
+            if j == n - 1:
+                # only the last position's logits are needed out of prefill
+                t += self._emb_time(j, mb, 1, True)
+            if include_comm and j < n - 1:
+                t += self.comm_time(j, mb, s)
+            out[j] = t
+        return out
+
+    def stage_decode_times(
+        self, contexts: np.ndarray, *, include_comm: bool = True
+    ) -> np.ndarray:
+        """``(num_stages, len(contexts))`` decode busy-time table.
+
+        Row ``j`` prices every context in the sweep on stage ``j`` at the
+        plan's decode micro-batch; the tail->head token feedback rides the
+        last link, so comm is charged on every boundary.
+        """
+        contexts = np.asarray(contexts, dtype=np.float64)
+        plan = self.plan
+        mb = plan.decode_microbatch
+        n = plan.num_stages
+        out = np.empty((n, contexts.size))
+        for j in range(n):
+            total = np.zeros_like(contexts, dtype=np.float64)
+            for bits, count in plan.stages[j].bit_counts.items():
+                total += count * self._decode_sweep(j, bits, mb, contexts)
+            extra = 0.0
+            if j == 0:
+                extra += self._emb_time(j, mb, 1, False)
+            if j == n - 1:
+                extra += self._emb_time(j, mb, 1, True)
+            row = total + extra
+            if include_comm:
+                row = row + self.comm_time(j, mb, 1)
+            out[j] = row
+        return out
+
+    def prefill_comm_times(self) -> np.ndarray:
+        """Per-boundary prefill transfer times (0 on the last boundary) —
+        what the DES peels off the busy time under ``async_comm``."""
+        plan = self.plan
+        n = plan.num_stages
+        out = np.zeros(n)
+        for j in range(n - 1):
+            out[j] = self.comm_time(j, plan.prefill_microbatch, plan.workload.prompt_len)
+        return out
+
+    def decode_comm_times(self) -> np.ndarray:
+        """Per-boundary decode transfer times (every link, incl. feedback)."""
+        plan = self.plan
+        n = plan.num_stages
+        out = np.zeros(n)
+        for j in range(n):
+            out[j] = self.comm_time(j, plan.decode_microbatch, 1)
+        return out
+
+    # ------------------------------------------------------------------
+    # continuous-batching units (iteration-level scheduling)
+    # ------------------------------------------------------------------
+    def unit_prefill_times(self, prompt_len: int) -> np.ndarray:
+        """Per-stage busy time of one batch-1 prefill unit at its own
+        ``s``.  Memoized per prompt length; treat the result as
+        read-only."""
+        out = self._unit_prefill_memo.get(prompt_len)
+        if out is not None:
+            return out
+        n = self.plan.num_stages
+        out = np.zeros(n)
+        for j in range(n):
+            t = self._stage_layers_prefill(j, 1, prompt_len)
+            if j == 0:
+                t += self._emb_time(j, 1, prompt_len, False)
+            if j == n - 1:
+                t += self._emb_time(j, 1, 1, True)
+            if j < n - 1:
+                t += self.comm_time(j, 1, prompt_len)
+            out[j] = t
+        if self.cache_enabled:
+            self._unit_prefill_memo[prompt_len] = out
+        return out
+
+    def _decode_pairs(self):
+        """Flattened per-(stage, bits) roofline constants for the fast
+        decode-unit path — everything in the kernel formula that does not
+        depend on (batch, context)."""
+        if self._pairs is None:
+            from ..sim.kernels import KERNELS_PER_LAYER
+
+            stage_of: list[int] = []
+            counts: list[int] = []
+            eff_flops: list[float] = []
+            w_term: list[float] = []
+            eff_bw: list[float] = []
+            launch: list[float] = []
+            for j, stage in enumerate(self.plan.stages):
+                gpu = self._gpus[j]
+                for bits, count in stage.bit_counts.items():
+                    stage_of.append(j)
+                    counts.append(count)
+                    eff_flops.append(gpu.effective_flops(bits))
+                    w_term.append(
+                        self.cfg.layer_weight_bytes(bits)
+                        / gpu.effective_weight_bandwidth(bits)
+                    )
+                    eff_bw.append(gpu.effective_bandwidth)
+                    launch.append(KERNELS_PER_LAYER * gpu.kernel_launch_overhead)
+            self._pairs = (
+                stage_of,
+                counts,
+                np.array(eff_flops),
+                np.array(w_term),
+                np.array(eff_bw),
+                np.array(launch),
+            )
+        return self._pairs
+
+    def unit_decode_times(self, batch: int, context: float) -> np.ndarray:
+        """Per-stage busy time of the fused decode group at ``context``.
+
+        With the kernels source and caching on, this is the shared-table
+        fast path: one vectorized roofline evaluation over all
+        (stage, bits) pairs using the precomputed constants — bit-identical
+        to the scalar per-layer path, which remains the reference for
+        ``source="model"`` and ``cache=False``.
+        """
+        n = self.plan.num_stages
+        if self.source == "model" or not self.cache_enabled:
+            ctx = np.array([context], dtype=np.float64)
+            out = np.zeros(n)
+            for j, stage in enumerate(self.plan.stages):
+                t = 0.0
+                for bits, count in stage.bit_counts.items():
+                    t += count * float(self._decode_sweep(j, bits, batch, ctx)[0])
+                if j == 0:
+                    t += self._emb_time(j, batch, 1, False)
+                if j == n - 1:
+                    t += self._emb_time(j, batch, 1, True)
+                # the tail->head token feedback rides the last link
+                t += self.comm_time(j, batch, 1)
+                out[j] = t
+            return out
+        stage_of, counts, eff_flops, w_term, eff_bw, launch = self._decode_pairs()
+        cfg = self.cfg
+        h = cfg.hidden_size
+        context = float(context)
+        # kernel timing always prices the KV stream at 16-bit (the plan's
+        # kv_bits only changes the memory accounting)
+        kv_bits = 16
+        flops = cfg.layer_flops(batch, 1, 0) + 4.0 * batch * h * context
+        compute_t = flops / eff_flops
+        fixed = batch * 1 * (6 * h + 2 * cfg.ffn_dim) * ACT_BYTES + batch * 2 * h * (
+            kv_bits / 8.0
+        )
+        per_ctx = batch * cfg.num_heads * context * ACT_BYTES * 2 + batch * context * 2 * h * (
+            kv_bits / 8.0
+        )
+        mem_t = w_term + (fixed + per_ctx) / eff_bw
+        vals = np.maximum(compute_t, mem_t) + launch
+        out = np.zeros(n)
+        for i, j in enumerate(stage_of):
+            out[j] += counts[i] * float(vals[i])
+        out[0] += self._emb_time(0, batch, 1, False)
+        out[n - 1] += self._emb_time(n - 1, batch, 1, True)
+        for j in range(n):
+            out[j] += self.comm_time(j, batch, 1)
+        return out
+
+    # ------------------------------------------------------------------
+    # memory views (planner Sec.-4.1 accounting)
+    # ------------------------------------------------------------------
+    def stage_memory_at(
+        self,
+        j: int,
+        *,
+        global_batch: int,
+        prompt_len: int,
+        gen_len: int,
+        prefill_microbatch: int,
+        decode_microbatch: int,
+    ) -> StageMemory:
+        """Stage ``j``'s modeled peak memory at an arbitrary shape."""
+        key = (j, global_batch, prompt_len, gen_len, prefill_microbatch, decode_microbatch)
+        m = self._mem_memo.get(key)
+        if m is None:
+            m = stage_memory(
+                self.cfg,
+                self.plan.stages[j].layer_bits,
+                global_batch=global_batch,
+                prompt_len=prompt_len,
+                gen_len=gen_len,
+                prefill_microbatch=prefill_microbatch,
+                decode_microbatch=decode_microbatch,
+                is_first=(j == 0),
+                is_last=(j == self.plan.num_stages - 1),
+                kv_bits=self.kv_bits,
+            )
+            if self.cache_enabled:
+                self._mem_memo[key] = m
+        return m
+
+    def stage_memory_views(self) -> tuple[StageMemory, ...]:
+        """Every stage's peak memory at the plan's own workload/shape."""
+        if self._views is not None:
+            return self._views
+        p = self.plan
+        w = p.workload
+        views = tuple(
+            self.stage_memory_at(
+                j,
+                global_batch=w.global_batch,
+                prompt_len=w.prompt_len,
+                gen_len=w.gen_len,
+                prefill_microbatch=p.prefill_microbatch,
+                decode_microbatch=p.decode_microbatch,
+            )
+            for j in range(p.num_stages)
+        )
+        if self.cache_enabled:
+            self._views = views
+        return views
+
+    def batch_fits(self, global_batch: int, prompt_len: int, gen_len: int) -> bool:
+        """Whether a ``global_batch`` at (s, n) fits every stage, with
+        micro-batches clamped to the batch (the wave-admission check)."""
+        key = (global_batch, prompt_len, gen_len)
+        ok = self._fits_memo.get(key)
+        if ok is None:
+            p = self.plan
+            ok = True
+            for j, stage in enumerate(p.stages):
+                mem = self.stage_memory_at(
+                    j,
+                    global_batch=global_batch,
+                    prompt_len=prompt_len,
+                    gen_len=gen_len,
+                    prefill_microbatch=min(p.prefill_microbatch, global_batch),
+                    decode_microbatch=min(p.decode_microbatch, global_batch),
+                )
+                if not mem.fits(stage.device.spec.memory_bytes):
+                    ok = False
+                    break
+            if self.cache_enabled:
+                self._fits_memo[key] = ok
+        return ok
+
+    def max_admissible_batch(
+        self, *, prompt_len: int, gen_len: int, cap: int = 256
+    ) -> int:
+        """Largest concurrent batch the plan's memory headroom admits."""
+        best = 0
+        for b in range(1, cap + 1):
+            if not self.batch_fits(b, prompt_len, gen_len):
+                break
+            best = b
+        return best
+
+    def kv_headroom(
+        self, dequant_cache_budgets: "Sequence[float] | None" = None
+    ) -> np.ndarray:
+        """Per-stage KV byte pool under the planner's accounting.
+
+        Device capacity minus framework overhead minus every non-KV
+        component of the stage's batch-1 modeled peak — and, when the
+        runtime carries dequant-weight caches, minus their actual byte
+        budgets.  The pool the iteration-level admission control hands
+        out in :meth:`request_kv_bytes` slices.
+        """
+        base = self._headroom_base
+        if base is None:
+            w = self.plan.workload
+            base = np.zeros(self.plan.num_stages)
+            for j, stage in enumerate(self.plan.stages):
+                m = self.stage_memory_at(
+                    j,
+                    global_batch=1,
+                    prompt_len=w.prompt_len,
+                    gen_len=w.gen_len,
+                    prefill_microbatch=1,
+                    decode_microbatch=1,
+                )
+                non_kv = m.total - m.kv_cache
+                cap = stage.device.spec.memory_bytes
+                base[j] = cap - FRAMEWORK_OVERHEAD_BYTES - non_kv
+            if self.cache_enabled:
+                self._headroom_base = base
+        out = base
+        if dequant_cache_budgets is not None:
+            out = out - np.array([float(b) for b in dequant_cache_budgets])
+        return np.maximum(out, 0.0)
+
+    def request_kv_bytes(self, prompt_len: int, gen_len: int) -> np.ndarray:
+        """Per-stage KV bytes one request reserves for its lifetime
+        (``prompt_len + gen_len`` token slots)."""
+        tokens = prompt_len + gen_len
+        arr = self._charge_memo.get(tokens)
+        if arr is None:
+            arr = np.array(
+                [
+                    kv_cache_bytes(
+                        self.cfg, stage.num_layers, 1, tokens, kv_bits=self.kv_bits
+                    )
+                    for stage in self.plan.stages
+                ]
+            )
+            if self.cache_enabled:
+                self._charge_memo[tokens] = arr
+        return arr.copy()
+
+    # ------------------------------------------------------------------
+    def derive(self, plan: "ExecutionPlan") -> "StageCostModel":
+        """Cost model for a re-shaped variant of the same plan.
+
+        The online wave policy re-batches the plan per wave (same stages
+        and bitwidths, different workload/micro-batches); the derivative
+        shares every shape-keyed memo with its parent, so repeated wave
+        shapes price as lookups.
+        """
+        if plan.stages != self.plan.stages:
+            raise ValueError("derive() requires a plan with identical stages")
+        clone = StageCostModel(
+            plan,
+            self.cluster,
+            source=self.source,
+            latency_model=self.model,
+            prediction_cache=self.prediction_cache,
+            cfg=self.cfg,
+            cache=self.cache_enabled,
+        )
+        clone._links = self._links
+        clone._emb_memo = self._emb_memo
+        clone._comm_memo = self._comm_memo
+        clone._unit_prefill_memo = self._unit_prefill_memo
+        clone._charge_memo = self._charge_memo
+        clone._mem_memo = self._mem_memo
+        clone._pairs = self._pairs
+        return clone
+
+
+def planner_time_tables(
+    prediction_cache: PredictionCache,
+    type_names: Sequence[str],
+    bits: Sequence[int],
+    *,
+    prefill_microbatch: int,
+    decode_microbatch: int,
+    prompt_len: int,
+    avg_context: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """The ILP's per-(device type, bits) layer-time coefficient blocks.
+
+    Prefill is priced at ``q = context = s``; decode at one token against
+    the workload's average context.  Both tables come out of the shared
+    :class:`PredictionCache`, so the assembled objective uses exactly the
+    floats a ``source="model"`` :class:`StageCostModel` serves to the
+    simulators — the cross-path equality the CI cost-drift guard pins.
+    """
+    lp = prediction_cache.layer_time_table(
+        type_names, bits, "prefill", prefill_microbatch, prompt_len, prompt_len
+    )
+    ld = prediction_cache.layer_time_table(
+        type_names, bits, "decode", decode_microbatch, 1, avg_context
+    )
+    return lp, ld

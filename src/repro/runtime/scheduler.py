@@ -37,7 +37,7 @@ from typing import Iterable, Literal, Sequence
 
 import numpy as np
 
-from ..cost.memory import FRAMEWORK_OVERHEAD_BYTES, kv_cache_bytes, stage_memory
+from ..cost.stagecosts import StageCostModel
 from ..workload.traces import RequestArrival
 from .engine import PipelineRuntime, StageFailureError
 from .messages import ActivationMessage, MergeMessage, ReleaseMessage
@@ -250,56 +250,16 @@ class ContinuousScheduler:
         self.max_inflight = max_inflight
         self.time_scale = time_scale
         self.ledger = ContinuousLedger(runtime.plan.num_stages)
-        self._kv_bits = int(runtime.plan.meta.get("kv_bits", 16))
-        self._layers_per_stage = [s.num_layers for s in runtime.plan.stages]
-        self.headroom = self._stage_headroom()
+        # Planner memory model, shared with the planner and simulators:
+        # per-stage headroom nets out the dequant caches' actual byte
+        # budgets, and per-request charges come straight from the cost
+        # model's KV accounting.
+        self.cost = StageCostModel(runtime.plan, cfg=runtime.cfg)
+        self.headroom = self.cost.kv_headroom(
+            [c.budget_bytes for c in runtime.dequant_caches]
+        )
         self._t0: float | None = None
         self._offset = 0.0
-
-    # ------------------------------------------------------------------
-    # Planner memory model: per-stage headroom and per-request charges
-    # ------------------------------------------------------------------
-    def _stage_headroom(self) -> np.ndarray:
-        """KV bytes each stage may hold, under the planner's accounting.
-
-        Device capacity minus framework overhead minus every non-KV
-        component of the stage's modeled peak (weights, embeddings,
-        batch-1 temp workspace, and the dequant cache's actual budget) —
-        what is left is exactly the pool the admission control hands out
-        in per-request :meth:`_request_charge` slices.
-        """
-        plan, cfg = self.rt.plan, self.rt.cfg
-        wl = plan.workload
-        out = np.zeros(plan.num_stages)
-        for j, stage in enumerate(plan.stages):
-            base = stage_memory(
-                cfg, stage.layer_bits,
-                global_batch=1,
-                prompt_len=wl.prompt_len,
-                gen_len=wl.gen_len,
-                prefill_microbatch=1,
-                decode_microbatch=1,
-                is_first=j == 0,
-                is_last=j == plan.num_stages - 1,
-                kv_bits=self._kv_bits,
-            )
-            non_kv = base.total - base.kv_cache
-            budget = float(self.rt.dequant_caches[j].budget_bytes)
-            cap = stage.device.spec.memory_bytes
-            out[j] = cap - FRAMEWORK_OVERHEAD_BYTES - non_kv - budget
-        return np.maximum(out, 0.0)
-
-    def _request_charge(self, prompt_len: int, reserve: int) -> np.ndarray:
-        """Per-stage KV bytes one request reserves for its lifetime."""
-        cfg = self.rt.cfg
-        return np.array(
-            [
-                kv_cache_bytes(
-                    cfg, layers, 1, prompt_len + reserve, kv_bits=self._kv_bits
-                )
-                for layers in self._layers_per_stage
-            ]
-        )
 
     # ------------------------------------------------------------------
     # Virtual clock
@@ -398,7 +358,7 @@ class ContinuousScheduler:
                 and len(active) + len(newly) >= self.max_inflight
             ):
                 break
-            charge = self._request_charge(req.prompt_len, req.gen_len)
+            charge = self.cost.request_kv_bytes(req.prompt_len, req.gen_len)
             if not self.ledger.fits(charge, self.headroom):
                 if not active and not newly:
                     # alone in an empty system and still does not fit:
@@ -439,7 +399,7 @@ class ContinuousScheduler:
             # uniform (s, n) reservation
             total = np.zeros(len(self.headroom))
             for r in trial:
-                total += self._request_charge(
+                total += self.cost.request_kv_bytes(
                     r.prompt_len, (s_max - r.prompt_len) + n_max
                 )
             if np.any(total > self.headroom + 1e-9):
@@ -459,7 +419,7 @@ class ContinuousScheduler:
             for a in newly:
                 reserve = (s_max - a.req.prompt_len) + n_max
                 a.unit_id = self.ledger.admit(
-                    self._request_charge(a.req.prompt_len, reserve)
+                    self.cost.request_kv_bytes(a.req.prompt_len, reserve)
                 )
                 # padded: every member decodes for the wave's n_max
                 a.decode_budget = n_max - 1

@@ -19,6 +19,14 @@ policies over the same arrival trace:
   refunded at the very next boundary.  ``engine="des"`` prices each
   iteration with the event-driven task graph instead of the closed form.
 
+Every time and memory figure comes from one
+:class:`~repro.cost.stagecosts.StageCostModel` — the same view the
+offline simulators, the planner, and the real scheduler use — so the
+admission decisions here agree with the runtime's by construction, and
+per-iteration pricing hits the cost model's shared tables instead of
+re-deriving kernel times from scratch.  Simulator modules are imported
+lazily, so trace-only users of this module never pay the sim import.
+
 Admissibility is evaluated *per wave / per iteration* against the
 planner's Sec.-4.1 memory model — not against a single trace-wide
 maximum — so short waves admit more than the worst-case bound would
@@ -28,25 +36,20 @@ generated tokens / makespan.
 
 from __future__ import annotations
 
+import warnings
 from collections import deque
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
-from ..cost.memory import FRAMEWORK_OVERHEAD_BYTES, kv_cache_bytes, stage_memory
-from ..hardware.cluster import Cluster
-from ..models.registry import get_model
-from ..core.plan import ExecutionPlan
+from ..cost.stagecosts import StageCostModel
 from ..workload.spec import Workload
-from .comm import boundary_links, stage_comm_time
-from .kernels import (
-    embedding_exec_time,
-    layer_exec_time,
-    layer_exec_times_decode_sweep,
-)
-from .pipeline import simulate_pipeline
-from .pipeline_des import iteration_makespan_des, simulate_pipeline_des
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..core.plan import ExecutionPlan
+    from ..cost.latency import LatencyModel
+    from ..hardware.cluster import Cluster
 
 __all__ = [
     "OnlineRequest",
@@ -113,24 +116,32 @@ def sample_poisson_trace(
     max_prompt: int = 512,
     max_gen: int = 128,
 ) -> list[OnlineRequest]:
-    """Poisson arrivals with log-normal prompt/generation lengths."""
-    if rate <= 0 or duration <= 0:
-        raise ValueError("rate and duration must be positive")
-    rng = np.random.default_rng(seed)
-    out: list[OnlineRequest] = []
-    t = 0.0
-    while True:
-        t += rng.exponential(1.0 / rate)
-        if t > duration:
-            break
-        s = int(np.clip(np.exp(rng.normal(4.8, 0.8)), 8, max_prompt))
-        n = int(np.clip(np.exp(rng.normal(3.4, 0.6)), 4, max_gen))
-        out.append(OnlineRequest(arrival=t, prompt_len=s, gen_len=n))
-    return out
+    """Deprecated duplicate of
+    :func:`repro.workload.traces.sample_poisson_arrivals`.
+
+    Kept as a shim so old call sites keep working; new code should sample
+    from the workload layer (the canonical ShareGPT-shaped sampler) and
+    pass the :class:`~repro.workload.traces.RequestArrival` records
+    straight to :func:`simulate_online`, which accepts them as-is.
+    """
+    warnings.warn(
+        "sample_poisson_trace is deprecated; use "
+        "repro.workload.traces.sample_poisson_arrivals",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..workload.traces import sample_poisson_arrivals
+
+    return [
+        OnlineRequest(arrival=r.arrival, prompt_len=r.prompt_len, gen_len=r.gen_len)
+        for r in sample_poisson_arrivals(
+            rate, duration, seed=seed, max_prompt=max_prompt, max_gen=max_gen
+        )
+    ]
 
 
 def max_admissible_batch(
-    plan: ExecutionPlan,
+    plan: "ExecutionPlan",
     *,
     prompt_len: int,
     gen_len: int,
@@ -142,30 +153,12 @@ def max_admissible_batch(
     by the plan's bitwidths, so the remaining memory bounds the KV cache
     and hence the batch.  Lower-precision plans admit more requests.
     """
-    cfg = get_model(plan.model_name)
-    kv_bits = int(plan.meta.get("kv_bits", 16))
-    best = 0
-    for b in range(1, cap + 1):
-        ok = True
-        for j, stage in enumerate(plan.stages):
-            mem = stage_memory(
-                cfg, stage.layer_bits,
-                global_batch=b, prompt_len=prompt_len, gen_len=gen_len,
-                prefill_microbatch=min(plan.prefill_microbatch, b),
-                decode_microbatch=min(plan.decode_microbatch, b),
-                is_first=(j == 0), is_last=(j == plan.num_stages - 1),
-                kv_bits=kv_bits,
-            )
-            if not mem.fits(stage.device.spec.memory_bytes):
-                ok = False
-                break
-        if not ok:
-            break
-        best = b
-    return best
+    return StageCostModel(plan).max_admissible_batch(
+        prompt_len=prompt_len, gen_len=gen_len, cap=cap
+    )
 
 
-def stage_kv_headroom(plan: ExecutionPlan) -> np.ndarray:
+def stage_kv_headroom(plan: "ExecutionPlan") -> np.ndarray:
     """Per-stage KV byte pool under the planner's memory accounting.
 
     Device capacity minus framework overhead minus every non-KV
@@ -176,42 +169,14 @@ def stage_kv_headroom(plan: ExecutionPlan) -> np.ndarray:
     .ContinuousScheduler` uses, so simulator and runtime admit the same
     requests.
     """
-    cfg = get_model(plan.model_name)
-    kv_bits = int(plan.meta.get("kv_bits", 16))
-    w = plan.workload
-    out = np.zeros(plan.num_stages)
-    for j, stage in enumerate(plan.stages):
-        base = stage_memory(
-            cfg, stage.layer_bits,
-            global_batch=1,
-            prompt_len=w.prompt_len,
-            gen_len=w.gen_len,
-            prefill_microbatch=1,
-            decode_microbatch=1,
-            is_first=(j == 0),
-            is_last=(j == plan.num_stages - 1),
-            kv_bits=kv_bits,
-        )
-        non_kv = base.total - base.kv_cache
-        cap = stage.device.spec.memory_bytes
-        out[j] = cap - FRAMEWORK_OVERHEAD_BYTES - non_kv
-    return np.maximum(out, 0.0)
+    return StageCostModel(plan).kv_headroom()
 
 
 def request_kv_bytes(
-    plan: ExecutionPlan, prompt_len: int, gen_len: int
+    plan: "ExecutionPlan", prompt_len: int, gen_len: int
 ) -> np.ndarray:
     """Per-stage KV bytes one request reserves for its whole lifetime."""
-    cfg = get_model(plan.model_name)
-    kv_bits = int(plan.meta.get("kv_bits", 16))
-    return np.array(
-        [
-            kv_cache_bytes(
-                cfg, stage.num_layers, 1, prompt_len + gen_len, kv_bits=kv_bits
-            )
-            for stage in plan.stages
-        ]
-    )
+    return StageCostModel(plan).request_kv_bytes(prompt_len, gen_len)
 
 
 def _infeasible(policy: str, rejected: int) -> OnlineResult:
@@ -225,37 +190,18 @@ def _infeasible(policy: str, rejected: int) -> OnlineResult:
     )
 
 
-def _wave_fits(
-    plan: ExecutionPlan, cfg, wave: "list[OnlineRequest]"
-) -> bool:
-    """Exact per-wave admissibility at the wave's own (s, n) maxima."""
-    kv_bits = int(plan.meta.get("kv_bits", 16))
-    b = len(wave)
-    s = max(r.prompt_len for r in wave)
-    n = max(r.gen_len for r in wave)
-    for j, stage in enumerate(plan.stages):
-        mem = stage_memory(
-            cfg, stage.layer_bits,
-            global_batch=b, prompt_len=s, gen_len=n,
-            prefill_microbatch=min(plan.prefill_microbatch, b),
-            decode_microbatch=min(plan.decode_microbatch, b),
-            is_first=(j == 0), is_last=(j == plan.num_stages - 1),
-            kv_bits=kv_bits,
-        )
-        if not mem.fits(stage.device.spec.memory_bytes):
-            return False
-    return True
-
-
 def _simulate_wave(
-    plan: ExecutionPlan,
-    cluster: Cluster,
+    plan: "ExecutionPlan",
+    cluster: "Cluster",
     reqs: "list[OnlineRequest]",
     *,
     max_batch: int | None,
     engine: str,
+    scm: StageCostModel,
 ) -> OnlineResult:
-    cfg = get_model(plan.model_name)
+    from .pipeline import simulate_pipeline
+    from .pipeline_des import simulate_pipeline_des
+
     if max_batch is not None and max_batch <= 0:
         return _infeasible("wave", len(reqs))
 
@@ -275,15 +221,22 @@ def _simulate_wave(
             if max_batch is not None:
                 if len(wave) >= max_batch:
                     break
-            elif not _wave_fits(plan, cfg, wave + [reqs[j]]):
-                # per-wave admissibility (not a trace-wide bound): grow
-                # while this wave, at its own maxima, still fits
-                if not wave:
-                    rejected += 1  # unfit even alone — skip gracefully
-                    j += 1
-                    i = j
-                    continue
-                break
+            else:
+                trial = wave + [reqs[j]]
+                fits = scm.batch_fits(
+                    len(trial),
+                    max(r.prompt_len for r in trial),
+                    max(r.gen_len for r in trial),
+                )
+                if not fits:
+                    # per-wave admissibility (not a trace-wide bound): grow
+                    # while this wave, at its own maxima, still fits
+                    if not wave:
+                        rejected += 1  # unfit even alone — skip gracefully
+                        j += 1
+                        i = j
+                        continue
+                    break
             wave.append(reqs[j])
             j += 1
         i = j
@@ -298,11 +251,14 @@ def _simulate_wave(
             prefill_microbatch=min(plan.prefill_microbatch, len(wave)),
             decode_microbatch=min(plan.decode_microbatch, len(wave)),
         )
-        res = simulate_pipeline(wave_plan, cluster)
+        wave_scm = scm.derive(wave_plan)
+        res = simulate_pipeline(wave_plan, cluster, cost_model=wave_scm)
         if not res.feasible:
             raise RuntimeError("wave infeasible despite admissible batch bound")
         total = (
-            simulate_pipeline_des(wave_plan, cluster).total_latency
+            simulate_pipeline_des(
+                wave_plan, cluster, cost_model=wave_scm
+            ).total_latency
             if engine == "des"
             else res.total_latency
         )
@@ -336,60 +292,18 @@ def _simulate_wave(
     )
 
 
-def _unit_prefill_times(plan, cfg, links, prompt_len: int) -> np.ndarray:
-    """Per-stage busy time of one batch-1 prefill unit at its own ``s``."""
-    n_stages = plan.num_stages
-    out = np.zeros(n_stages)
-    for j, stage in enumerate(plan.stages):
-        gpu = stage.device.spec
-        t = sum(
-            layer_exec_time(gpu, cfg, b, 1, prompt_len, prompt_len)
-            for b in stage.layer_bits
-        )
-        if j == 0:
-            t += embedding_exec_time(gpu, cfg, 1, prompt_len, with_logits=False)
-        if j == n_stages - 1:
-            t += embedding_exec_time(gpu, cfg, 1, 1, with_logits=True)
-        if j < n_stages - 1:
-            t += stage_comm_time(links[j], cfg, 1, prompt_len)
-        out[j] = t
-    return out
-
-
-def _unit_decode_times(plan, cfg, links, batch: int, context: float) -> np.ndarray:
-    """Per-stage busy time of the fused decode group at ``context``."""
-    n_stages = plan.num_stages
-    ctx = np.array([context], dtype=np.float64)
-    out = np.zeros(n_stages)
-    for j, stage in enumerate(plan.stages):
-        gpu = stage.device.spec
-        t = 0.0
-        for bits, count in stage.bit_counts.items():
-            t += count * float(
-                layer_exec_times_decode_sweep(gpu, cfg, bits, batch, ctx)[0]
-            )
-        if j == 0:
-            t += embedding_exec_time(gpu, cfg, batch, 1, with_logits=False)
-        if j == n_stages - 1:
-            t += embedding_exec_time(gpu, cfg, batch, 1, with_logits=True)
-        # the tail->head token feedback rides the last link
-        t += stage_comm_time(links[j], cfg, batch, 1)
-        out[j] = t
-    return out
-
-
 def _simulate_continuous(
-    plan: ExecutionPlan,
-    cluster: Cluster,
+    plan: "ExecutionPlan",
+    cluster: "Cluster",
     reqs: "list[OnlineRequest]",
     *,
     max_batch: int | None,
     engine: str,
+    scm: StageCostModel,
 ) -> OnlineResult:
-    cfg = get_model(plan.model_name)
-    devices = [s.device for s in plan.stages]
-    links = boundary_links(cluster, devices)
-    headroom = stage_kv_headroom(plan)
+    if engine == "des":
+        from .pipeline_des import iteration_makespan_des
+    headroom = scm.kv_headroom()
     used = np.zeros(plan.num_stages)
 
     pending: deque = deque(reqs)
@@ -412,7 +326,7 @@ def _simulate_continuous(
             if max_batch is not None and len(active) + len(newly) >= max_batch:
                 break
             r = pending[0]
-            charge = request_kv_bytes(plan, r.prompt_len, r.gen_len)
+            charge = scm.request_kv_bytes(r.prompt_len, r.gen_len)
             if np.any(used + charge > headroom + 1e-6):
                 if not active and not newly:
                     # alone in an empty system and still unfit: never fits
@@ -432,9 +346,9 @@ def _simulate_continuous(
             ctx = float(
                 np.mean([a["req"].prompt_len + a["produced"] for a in active])
             )
-            units.append(_unit_decode_times(plan, cfg, links, len(active), ctx))
+            units.append(scm.unit_decode_times(len(active), ctx))
         for a in newly:
-            units.append(_unit_prefill_times(plan, cfg, links, a["req"].prompt_len))
+            units.append(scm.unit_prefill_times(a["req"].prompt_len))
         if engine == "des":
             step = iteration_makespan_des(units)
         else:
@@ -486,13 +400,16 @@ def _simulate_continuous(
 
 
 def simulate_online(
-    plan: ExecutionPlan,
-    cluster: Cluster,
+    plan: "ExecutionPlan",
+    cluster: "Cluster",
     trace: Sequence[OnlineRequest],
     *,
     max_batch: int | None = None,
     policy: str = "wave",
     engine: str = "analytic",
+    source: str = "kernels",
+    latency_model: "LatencyModel | None" = None,
+    cost_model: StageCostModel | None = None,
 ) -> OnlineResult:
     """Serve ``trace`` on ``plan``'s pipeline under a scheduling policy.
 
@@ -502,7 +419,10 @@ def simulate_online(
     optional hard concurrency cap on top of the memory model — with the
     wave policy it reproduces the legacy count-capped behaviour exactly.
     ``engine="des"`` prices each wave / iteration with the event-driven
-    simulator instead of the closed form.  Accepts any records with
+    simulator instead of the closed form.  ``source="model"`` (with a
+    fitted ``latency_model``) prices with the planner's cost model
+    instead of the ground-truth kernels; ``cost_model`` shares an
+    existing :class:`StageCostModel`'s tables.  Accepts any records with
     ``arrival`` / ``prompt_len`` / ``gen_len`` attributes, including
     :class:`~repro.workload.traces.RequestArrival`.
     """
@@ -512,9 +432,16 @@ def simulate_online(
         raise ValueError(f"unknown policy {policy!r}")
     if engine not in ("analytic", "des"):
         raise ValueError(f"unknown engine {engine!r}")
+    if cost_model is None:
+        cost_model = StageCostModel(
+            plan, cluster, source=source, latency_model=latency_model
+        )
     reqs = sorted(trace, key=lambda r: r.arrival)
     if policy == "continuous":
         return _simulate_continuous(
-            plan, cluster, reqs, max_batch=max_batch, engine=engine
+            plan, cluster, reqs, max_batch=max_batch, engine=engine,
+            scm=cost_model,
         )
-    return _simulate_wave(plan, cluster, reqs, max_batch=max_batch, engine=engine)
+    return _simulate_wave(
+        plan, cluster, reqs, max_batch=max_batch, engine=engine, scm=cost_model
+    )

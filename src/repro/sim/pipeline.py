@@ -35,20 +35,17 @@ two is exactly the paper's Fig. 7 experiment.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..cost.latency import LatencyModel
-from ..cost.memory import StageMemory, stage_memory
-from ..hardware.cluster import Cluster
-from ..models.registry import get_model
-from ..core.plan import ExecutionPlan
-from .comm import boundary_links, stage_comm_time
-from .kernels import (
-    embedding_exec_time,
-    layer_exec_time,
-    layer_exec_times_decode_sweep,
-)
+from ..cost.memory import StageMemory
+from ..cost.stagecosts import StageCostModel
+
+if TYPE_CHECKING:  # type-only: keeps repro.sim importable without repro.core
+    from ..core.plan import ExecutionPlan
+    from ..cost.latency import LatencyModel
+    from ..hardware.cluster import Cluster
 
 __all__ = ["StageReport", "PipelineResult", "simulate_pipeline"]
 
@@ -120,88 +117,33 @@ class PipelineResult:
         )
 
 
-def _stage_prefill_time(
-    plan: ExecutionPlan,
-    stage_idx: int,
-    latency_model: LatencyModel | None,
-) -> float:
-    cfg = get_model(plan.model_name)
-    w = plan.workload
-    stage = plan.stages[stage_idx]
-    gpu = stage.device.spec
-    mb, s = plan.prefill_microbatch, w.prompt_len
-
-    if latency_model is not None:
-        t = latency_model.predict_layers(gpu, stage.layer_bits, "prefill", mb, s, s)
-    else:
-        t = sum(
-            layer_exec_time(gpu, cfg, b, mb, s, s) for b in stage.layer_bits
-        )
-    if stage_idx == 0:
-        t += embedding_exec_time(gpu, cfg, mb, s, with_logits=False)
-    if stage_idx == plan.num_stages - 1:
-        # only the last position's logits are needed out of prefill
-        t += embedding_exec_time(gpu, cfg, mb, 1, with_logits=True)
-    return t
-
-
-def _stage_decode_times(
-    plan: ExecutionPlan,
-    stage_idx: int,
-    contexts: np.ndarray,
-    latency_model: LatencyModel | None,
-) -> np.ndarray:
-    cfg = get_model(plan.model_name)
-    stage = plan.stages[stage_idx]
-    gpu = stage.device.spec
-    mb = plan.decode_microbatch
-
-    total = np.zeros_like(contexts, dtype=np.float64)
-    for bits, count in stage.bit_counts.items():
-        if latency_model is not None:
-            times = latency_model.decode_step_times(gpu, bits, mb, contexts)
-        else:
-            times = layer_exec_times_decode_sweep(gpu, cfg, bits, mb, contexts)
-        total += count * times
-    extra = 0.0
-    if stage_idx == 0:
-        extra += embedding_exec_time(gpu, cfg, mb, 1, with_logits=False)
-    if stage_idx == plan.num_stages - 1:
-        extra += embedding_exec_time(gpu, cfg, mb, 1, with_logits=True)
-    return total + extra
-
-
 def simulate_pipeline(
     plan: ExecutionPlan,
     cluster: Cluster,
     *,
     latency_model: LatencyModel | None = None,
     check_memory: bool = True,
+    cost_model: StageCostModel | None = None,
 ) -> PipelineResult:
-    """Simulate ``plan`` end to end on ``cluster``."""
-    cfg = get_model(plan.model_name)
+    """Simulate ``plan`` end to end on ``cluster``.
+
+    All per-stage times and memory views come from one
+    :class:`StageCostModel`; pass ``cost_model`` to share its memos with
+    other consumers (it must have been built for this plan and cluster),
+    or ``latency_model`` to price with the planner's fitted cost model
+    instead of the ground-truth kernels.
+    """
+    if cost_model is None:
+        cost_model = StageCostModel(plan, cluster, latency_model=latency_model)
     w = plan.workload
-    devices = [s.device for s in plan.stages]
-    links = boundary_links(cluster, devices)
     n_stages = plan.num_stages
 
     # ---------------- memory / OOM ----------------
-    kv_bits = int(plan.meta.get("kv_bits", 16))
     reports: list[StageReport] = []
     oom: list[int] = []
-    for j, stage in enumerate(plan.stages):
-        mem = stage_memory(
-            cfg,
-            stage.layer_bits,
-            global_batch=w.global_batch,
-            prompt_len=w.prompt_len,
-            gen_len=w.gen_len,
-            prefill_microbatch=plan.prefill_microbatch,
-            decode_microbatch=plan.decode_microbatch,
-            is_first=(j == 0),
-            is_last=(j == n_stages - 1),
-            kv_bits=kv_bits,
-        )
+    for j, (stage, mem) in enumerate(
+        zip(plan.stages, cost_model.stage_memory_views())
+    ):
         cap = stage.device.spec.memory_bytes
         if check_memory and not mem.fits(cap):
             oom.append(j)
@@ -219,12 +161,7 @@ def simulate_pipeline(
 
     # ---------------- prefill ----------------
     m_p = -(-w.global_batch // plan.prefill_microbatch)  # ceil div
-    pre_busy = np.empty(n_stages)
-    for j in range(n_stages):
-        t = _stage_prefill_time(plan, j, latency_model)
-        if j < n_stages - 1:
-            t += stage_comm_time(links[j], cfg, plan.prefill_microbatch, w.prompt_len)
-        pre_busy[j] = t
+    pre_busy = cost_model.stage_prefill_times()
     prefill_latency = float(pre_busy.sum() + (m_p - 1) * pre_busy.max())
 
     # ---------------- decode ----------------
@@ -234,13 +171,7 @@ def simulate_pipeline(
     if w.decode_passes > 0:
         m_d = -(-w.global_batch // plan.decode_microbatch)
         contexts = w.prompt_len + np.arange(1, w.decode_passes + 1, dtype=np.float64)
-        per_stage = np.empty((n_stages, contexts.size))
-        for j in range(n_stages):
-            t = _stage_decode_times(plan, j, contexts, latency_model)
-            # decode activations are (mb, 1, h); the tail->head token
-            # feedback rides the last link
-            t = t + stage_comm_time(links[j], cfg, plan.decode_microbatch, 1)
-            per_stage[j] = t
+        per_stage = cost_model.stage_decode_times(contexts)
         cycle = per_stage.sum(axis=0) + (m_d - 1) * per_stage.max(axis=0)
         decode_latency = float(cycle.sum())
         dec_first = per_stage[:, 0]

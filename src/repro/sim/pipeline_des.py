@@ -14,15 +14,17 @@ The validation tests assert ``DES <= analytic <= DES * small factor``.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
-from ..core.plan import ExecutionPlan
-from ..hardware.cluster import Cluster
-from ..models.registry import get_model
-from .comm import boundary_links, stage_comm_time
+from ..cost.stagecosts import StageCostModel
 from .events import ScheduleResult, Task, simulate_task_graph
-from .kernels import embedding_exec_time, layer_exec_times_decode_sweep, layer_exec_time
+
+if TYPE_CHECKING:  # type-only: keeps repro.sim importable without repro.core
+    from ..core.plan import ExecutionPlan
+    from ..cost.latency import LatencyModel
+    from ..hardware.cluster import Cluster
 
 __all__ = [
     "DESResult",
@@ -90,51 +92,6 @@ class FaultyDESResult:
         return self.total_latency / self.fault_free_latency - 1.0
 
 
-def _stage_times(plan: ExecutionPlan, cluster: Cluster):
-    cfg = get_model(plan.model_name)
-    w = plan.workload
-    devices = [s.device for s in plan.stages]
-    links = boundary_links(cluster, devices)
-    n_stages = plan.num_stages
-
-    pre = np.zeros(n_stages)
-    for j, stage in enumerate(plan.stages):
-        t = sum(
-            layer_exec_time(stage.device.spec, cfg, b, plan.prefill_microbatch,
-                            w.prompt_len, w.prompt_len)
-            for b in stage.layer_bits
-        )
-        if j == 0:
-            t += embedding_exec_time(stage.device.spec, cfg,
-                                     plan.prefill_microbatch, w.prompt_len,
-                                     with_logits=False)
-        if j == n_stages - 1:
-            t += embedding_exec_time(stage.device.spec, cfg,
-                                     plan.prefill_microbatch, 1, with_logits=True)
-        if j < n_stages - 1:
-            t += stage_comm_time(links[j], cfg, plan.prefill_microbatch, w.prompt_len)
-        pre[j] = t
-
-    contexts = w.prompt_len + np.arange(1, max(w.decode_passes, 1) + 1, dtype=np.float64)
-    dec = np.zeros((n_stages, contexts.size))
-    for j, stage in enumerate(plan.stages):
-        total = np.zeros_like(contexts)
-        for bits, count in stage.bit_counts.items():
-            total += count * layer_exec_times_decode_sweep(
-                stage.device.spec, cfg, bits, plan.decode_microbatch, contexts
-            )
-        extra = 0.0
-        if j == 0:
-            extra += embedding_exec_time(stage.device.spec, cfg,
-                                         plan.decode_microbatch, 1, with_logits=False)
-        if j == n_stages - 1:
-            extra += embedding_exec_time(stage.device.spec, cfg,
-                                         plan.decode_microbatch, 1, with_logits=True)
-        total = total + extra + stage_comm_time(links[j], cfg, plan.decode_microbatch, 1)
-        dec[j] = total
-    return pre, dec
-
-
 def _link_resource_keys(plan: ExecutionPlan, cluster: Cluster) -> list:
     """Shared-fabric resource key per stage boundary.
 
@@ -161,6 +118,8 @@ def simulate_pipeline_des(
     cluster: Cluster,
     *,
     async_comm: bool = False,
+    latency_model: LatencyModel | None = None,
+    cost_model: StageCostModel | None = None,
 ) -> DESResult:
     """Exact event-driven latency of one offline batch under ``plan``.
 
@@ -171,25 +130,28 @@ def simulate_pipeline_des(
     two boundaries crossing the same node pair or the same intra-node
     fabric serialize (contention — slower).  The default folds comm into
     the sender's busy time, matching the closed-form model.
+
+    Stage times come from the same :class:`StageCostModel` the analytic
+    simulator uses; ``latency_model`` switches it to the planner's fitted
+    cost model, ``cost_model`` shares an existing instance's memos.
     """
-    cfg = get_model(plan.model_name)
     w = plan.workload
     n_stages = plan.num_stages
     m_p = -(-w.global_batch // plan.prefill_microbatch)
     m_d = -(-w.global_batch // plan.decode_microbatch)
-    pre, dec = _stage_times(plan, cluster)
+    if cost_model is None:
+        cost_model = StageCostModel(plan, cluster, latency_model=latency_model)
+    pre = cost_model.stage_prefill_times()
+    contexts = w.prompt_len + np.arange(
+        1, max(w.decode_passes, 1) + 1, dtype=np.float64
+    )
+    dec = cost_model.stage_decode_times(contexts)
 
     comm_pre = np.zeros(n_stages)
     comm_dec = np.zeros(n_stages)
     if async_comm:
-        devices = [s.device for s in plan.stages]
-        links = boundary_links(cluster, devices)
-        for j in range(n_stages):
-            if j < n_stages - 1:
-                comm_pre[j] = stage_comm_time(
-                    links[j], cfg, plan.prefill_microbatch, w.prompt_len
-                )
-            comm_dec[j] = stage_comm_time(links[j], cfg, plan.decode_microbatch, 1)
+        comm_pre = cost_model.prefill_comm_times()
+        comm_dec = cost_model.decode_comm_times()
         # comm leaves the stage busy-time (it rides the link resource now)
         pre = pre - comm_pre
         dec = dec - comm_dec[:, None]
@@ -304,6 +266,7 @@ def simulate_pipeline_des_with_faults(
     faults: FaultModel,
     *,
     async_comm: bool = False,
+    cost_model: StageCostModel | None = None,
 ) -> FaultyDESResult:
     """Batch latency under ``plan`` when stages crash per ``faults``.
 
@@ -315,7 +278,9 @@ def simulate_pipeline_des_with_faults(
     resumes.  Deterministic for a given seed, so planner evaluations
     under failure traces (MTBF sweeps) are reproducible.
     """
-    base = simulate_pipeline_des(plan, cluster, async_comm=async_comm)
+    base = simulate_pipeline_des(
+        plan, cluster, async_comm=async_comm, cost_model=cost_model
+    )
     work = base.total_latency
     rng = np.random.default_rng(faults.seed)
 

@@ -42,6 +42,23 @@ def test_decode_step_times_vectorized(latmodel_cluster3):
     assert vec[2] > vec[0]
 
 
+def test_decode_step_times_matches_per_context_loop_exactly(latmodel_cluster3):
+    """The analytic feature stack must be bitwise-equal to looping
+    features_for over contexts — same rows, same matmul, zero drift."""
+    m = latmodel_cluster3
+    for gpu in ("T4-16G", "V100-32G"):
+        for bits in (3, 4, 8, 16):
+            for batch in (1, 3, 16):
+                # non-integer contexts exercise the int-truncation semantics
+                ctxs = np.array([77.0, 128.0, 129.7, 512.0, 1024.0])
+                beta = m.coef[(gpu, bits, "decode")]
+                loop = np.stack(
+                    [features_for(m.cfg, bits, batch, 1, int(c)) for c in ctxs]
+                ) @ beta
+                vec = m.decode_step_times(gpu, bits, batch, ctxs)
+                assert np.array_equal(vec, loop)
+
+
 def test_unknown_gpu_raises(latmodel_cluster3):
     with pytest.raises(KeyError, match="profiled GPUs"):
         latmodel_cluster3.predict_layer("A100-40G", 8, "prefill", 4, 512, 512)

@@ -7,10 +7,10 @@ from repro.core.plan import ExecutionPlan
 from repro.sim.online import (
     OnlineRequest,
     max_admissible_batch,
-    sample_poisson_trace,
     simulate_online,
 )
 from repro.workload import Workload
+from repro.workload.traces import sample_poisson_arrivals
 
 
 @pytest.fixture(scope="module")
@@ -23,19 +23,32 @@ def _plan(cluster3, w, bits):
 
 
 def test_trace_generation_poisson():
-    trace = sample_poisson_trace(rate=2.0, duration=100.0, seed=1)
+    trace = sample_poisson_arrivals(rate=2.0, duration=100.0, seed=1)
     arrivals = np.array([r.arrival for r in trace])
     assert 120 < len(trace) < 280  # ~200 expected
     assert np.all(np.diff(arrivals) > 0)
-    assert all(r.prompt_len >= 8 and r.gen_len >= 4 for r in trace)
+    assert all(r.prompt_len >= 4 and r.gen_len >= 4 for r in trace)
     with pytest.raises(ValueError):
-        sample_poisson_trace(rate=0, duration=1)
+        sample_poisson_arrivals(rate=0, duration=1)
 
 
 def test_trace_deterministic_by_seed():
-    a = sample_poisson_trace(2.0, 50.0, seed=3)
-    b = sample_poisson_trace(2.0, 50.0, seed=3)
+    a = sample_poisson_arrivals(2.0, 50.0, seed=3)
+    b = sample_poisson_arrivals(2.0, 50.0, seed=3)
     assert [r.arrival for r in a] == [r.arrival for r in b]
+
+
+def test_deprecated_trace_shim_delegates():
+    """The old sim-side sampler is a warning shim over the workload one."""
+    from repro.sim.online import sample_poisson_trace
+
+    with pytest.warns(DeprecationWarning, match="sample_poisson_arrivals"):
+        old = sample_poisson_trace(2.0, 50.0, seed=3)
+    new = sample_poisson_arrivals(2.0, 50.0, seed=3)
+    assert [(r.arrival, r.prompt_len, r.gen_len) for r in old] == [
+        (r.arrival, r.prompt_len, r.gen_len) for r in new
+    ]
+    assert all(isinstance(r, OnlineRequest) for r in old)
 
 
 def test_lower_precision_admits_bigger_batches(cluster3, w):
@@ -62,8 +75,8 @@ def test_online_simulation_metrics(cluster3, w):
 
 def test_online_higher_load_increases_latency(cluster3, w):
     plan = _plan(cluster3, w, 4)
-    light = sample_poisson_trace(0.2, 60.0, seed=5, max_prompt=256, max_gen=32)
-    heavy = sample_poisson_trace(3.0, 60.0, seed=5, max_prompt=256, max_gen=32)
+    light = sample_poisson_arrivals(0.2, 60.0, seed=5, max_prompt=256, max_gen=32)
+    heavy = sample_poisson_arrivals(3.0, 60.0, seed=5, max_prompt=256, max_gen=32)
     r_light = simulate_online(plan, cluster3, light, max_batch=16)
     r_heavy = simulate_online(plan, cluster3, heavy, max_batch=16)
     assert r_heavy.mean_latency > r_light.mean_latency
@@ -73,7 +86,7 @@ def test_online_higher_load_increases_latency(cluster3, w):
 def test_online_quantized_plan_wins_under_load(cluster3, w):
     """8-bit weights are slower to admit fewer requests: under load the
     4-bit plan's bigger waves deliver better throughput."""
-    trace = sample_poisson_trace(4.0, 40.0, seed=7, max_prompt=256, max_gen=32)
+    trace = sample_poisson_arrivals(4.0, 40.0, seed=7, max_prompt=256, max_gen=32)
     plan8 = _plan(cluster3, w, 8)
     plan4 = _plan(cluster3, w, 4)
     b8 = max_admissible_batch(plan8, prompt_len=256, gen_len=32)
@@ -97,7 +110,7 @@ def test_continuous_beats_wave_under_load(cluster3, w):
     """The tentpole effect: iteration-level scheduling eliminates padding
     and inter-wave drain, so under load it wins on throughput AND p95."""
     plan = _plan(cluster3, w, 4)
-    trace = sample_poisson_trace(3.0, 60.0, seed=7, max_prompt=256, max_gen=64)
+    trace = sample_poisson_arrivals(3.0, 60.0, seed=7, max_prompt=256, max_gen=64)
     wave = simulate_online(plan, cluster3, trace, policy="wave")
     cont = simulate_online(plan, cluster3, trace, policy="continuous")
     assert cont.completed == wave.completed == len(trace)
@@ -126,7 +139,7 @@ def test_wave_continuous_equivalent_at_batch_one(cluster3, w):
 
 def test_continuous_des_engine_close_to_analytic(cluster3, w):
     plan = _plan(cluster3, w, 4)
-    trace = sample_poisson_trace(1.0, 30.0, seed=2, max_prompt=256, max_gen=32)
+    trace = sample_poisson_arrivals(1.0, 30.0, seed=2, max_prompt=256, max_gen=32)
     ana = simulate_online(plan, cluster3, trace, policy="continuous")
     des = simulate_online(plan, cluster3, trace, policy="continuous", engine="des")
     assert des.completed == ana.completed

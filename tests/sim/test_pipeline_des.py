@@ -239,3 +239,30 @@ def test_async_comm_shared_fabric_serializes(small_w):
     # the decode-phase transfers on all 4 boundaries
     assert busy > 3 * 4 * per_pre
     assert res.total_latency >= busy
+
+
+def test_iteration_makespan_identical_units_closed_form():
+    """With every unit carrying the same stage-time vector the pipeline
+    behaves like GPipe prefill: makespan = sum_j u_j + (m-1) * max_j u_j."""
+    import numpy as np
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    from repro.sim.pipeline_des import iteration_makespan_des
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        stage_times=st.lists(
+            st.floats(min_value=1e-6, max_value=10.0,
+                      allow_nan=False, allow_infinity=False),
+            min_size=1, max_size=5,
+        ),
+        m=st.integers(min_value=1, max_value=6),
+    )
+    def check(stage_times, m):
+        u = np.array(stage_times)
+        got = iteration_makespan_des([u] * m)
+        want = float(u.sum() + (m - 1) * u.max())
+        assert got == pytest.approx(want, rel=1e-9)
+
+    check()

@@ -365,3 +365,35 @@ def test_serve_missing_strategy_friendly_error(tmp_path, capsys):
         serve_main(["--strat-file-name", str(tmp_path / "nope.json")])
     assert "not found" in str(exc.value)
     assert "Traceback" not in capsys.readouterr().err
+
+
+def test_serve_sim_cost_source_model(strategy_file, capsys):
+    """--cost-source model prices the online simulator with an on-the-fly
+    fitted latency model instead of the roofline kernels."""
+    from repro.cli import serve_main
+
+    rc = serve_main([
+        "--strat-file-name", str(strategy_file),
+        "--cluster", "1",
+        "--rate", "1", "--duration", "5",
+        "--cost-source", "model",
+    ])
+    assert rc == 0
+    assert "reqs" in capsys.readouterr().out
+
+
+def test_algo_cost_source_model(tmp_path, capsys):
+    out = tmp_path / "s.json"
+    rc = algo_main([
+        "--model-name", "opt-13b",
+        "--device-names", "T4-16G", "V100-32G",
+        "--device-numbers", "1", "1",
+        "--group", "4",
+        "--global-bz", "8",
+        "--s", "128",
+        "--n", "10",
+        "--cost-source", "model",
+        "-o", str(out),
+    ])
+    assert rc == 0
+    assert "predicted" in capsys.readouterr().out
