@@ -12,10 +12,13 @@
     into the real runtime to exercise the recovery path.
 
 ``llmpq-serve``
-    Online serving: replays a Poisson arrival trace against a strategy —
-    iteration-level continuous batching (or the wave baseline) on the
-    real runtime for ``tiny-*`` models, and on the online simulator for
-    big models.
+    Online serving: replays an arrival trace (Poisson, bursty, diurnal,
+    or Pareto heavy-tailed) against a strategy — iteration-level
+    continuous batching (or the wave baseline) on the real runtime for
+    ``tiny-*`` models, and on the online simulator for big models.
+    ``--replan-on-drift`` watches the stream for workload drift and
+    live-migrates the pipeline to a refitted plan without dropping
+    traffic.
 
 All commands report user mistakes (missing files, malformed JSON,
 unknown models, mismatched omega tables) as one-line errors with a
@@ -279,8 +282,29 @@ def dist_main(argv: list[str] | None = None) -> int:
     return 0 if outcome.feasible else 1
 
 
+def _sample_trace(args: argparse.Namespace, max_prompt: int, max_gen: int):
+    """Draw the requested arrival process from ``workload.traces``."""
+    from .workload.traces import (
+        sample_bursty_arrivals,
+        sample_diurnal_arrivals,
+        sample_pareto_arrivals,
+        sample_poisson_arrivals,
+    )
+
+    sampler = {
+        "poisson": sample_poisson_arrivals,
+        "bursty": sample_bursty_arrivals,
+        "diurnal": sample_diurnal_arrivals,
+        "pareto": sample_pareto_arrivals,
+    }[args.trace]
+    return sampler(
+        args.rate, args.duration, seed=args.seed,
+        max_prompt=max_prompt, max_gen=max_gen,
+    )
+
+
 def serve_main(argv: list[str] | None = None) -> int:
-    """``llmpq-serve``: replay a Poisson trace against a strategy online."""
+    """``llmpq-serve``: replay an arrival trace against a strategy online."""
     p = argparse.ArgumentParser(
         prog="llmpq-serve", description="LLM-PQ online trace replay"
     )
@@ -292,6 +316,11 @@ def serve_main(argv: list[str] | None = None) -> int:
                    help="Poisson arrival rate, requests/s")
     p.add_argument("--duration", type=float, default=30.0,
                    help="trace duration, seconds")
+    p.add_argument("--trace", choices=["poisson", "bursty", "diurnal", "pareto"],
+                   default="poisson",
+                   help="arrival process: homogeneous Poisson, periodic "
+                        "bursts, a sinusoidal diurnal cycle, or Pareto "
+                        "heavy-tailed lengths")
     p.add_argument("--policy", choices=["continuous", "wave"],
                    default="continuous",
                    help="iteration-level continuous batching, or the "
@@ -313,10 +342,39 @@ def serve_main(argv: list[str] | None = None) -> int:
                    help="clip sampled prompt lengths (default: the plan's s)")
     p.add_argument("--max-gen", type=int, default=None,
                    help="clip sampled generation lengths (default: the plan's n)")
+    p.add_argument("--replan-on-drift", action="store_true",
+                   help="watch the trace for workload drift and migrate the "
+                        "running pipeline to a refitted plan at a token "
+                        "boundary, without dropping traffic (continuous "
+                        "policy only)")
+    p.add_argument("--drift-window", type=float, default=10.0,
+                   help="drift-detector observation window, virtual seconds")
+    p.add_argument("--drift-threshold", type=float, default=0.5,
+                   help="relative deviation from the baseline that counts "
+                        "as drift")
+    p.add_argument("--drift-hysteresis", type=int, default=2,
+                   help="consecutive drifted windows before a re-solve fires")
+    p.add_argument("--drift-cooldown", type=float, default=30.0,
+                   help="minimum seconds between drift triggers")
     args = p.parse_args(argv)
 
     if args.rate <= 0 or args.duration <= 0:
         return _fail("--rate and --duration must be positive")
+    if args.replan_on_drift and args.policy != "continuous":
+        return _fail("--replan-on-drift requires --policy continuous")
+    drift = None
+    if args.replan_on_drift:
+        from .runtime.replan import DriftConfig
+
+        try:
+            drift = DriftConfig(
+                window=args.drift_window,
+                threshold=args.drift_threshold,
+                hysteresis=args.drift_hysteresis,
+                cooldown=args.drift_cooldown,
+            )
+        except ValueError as e:
+            return _fail(f"invalid drift settings: {e}")
     plan = _load_plan(args.strategy)
     cfg = get_model(plan.model_name)
     max_prompt = args.max_prompt or plan.workload.prompt_len
@@ -327,22 +385,24 @@ def serve_main(argv: list[str] | None = None) -> int:
         from .models.transformer import TinyDecoderLM
         from .runtime.engine import PipelineRuntime
         from .runtime.scheduler import ContinuousScheduler, requests_from_arrivals
-        from .workload.traces import sample_poisson_arrivals
 
-        arrivals = sample_poisson_arrivals(
-            args.rate, args.duration, seed=args.seed,
-            max_prompt=max_prompt, max_gen=max_gen,
-        )
+        arrivals = _sample_trace(args, max_prompt, max_gen)
         if not arrivals:
             return _fail("trace is empty — raise --rate or --duration")
         requests = requests_from_arrivals(arrivals, cfg.vocab_size, seed=args.seed)
         ref = TinyDecoderLM(cfg, seed=args.seed)
+        replanner = None
+        if drift is not None:
+            from .runtime.replan import workload_refit_replanner
+
+            replanner = workload_refit_replanner
         try:
             with PipelineRuntime(ref, plan) as rt:
                 sched = ContinuousScheduler(
                     rt, policy=args.policy,
                     max_inflight=args.max_inflight,
                     time_scale=args.time_scale,
+                    drift=drift, replanner=replanner,
                 )
                 report = sched.serve(requests)
         except RuntimeError as e:
@@ -357,11 +417,18 @@ def serve_main(argv: list[str] | None = None) -> int:
             f"p95 {report.latency_p95:.3f}s / p99 {report.latency_p99:.3f}s; "
             f"ttft mean {report.ttft_mean:.3f}s (p95 {report.ttft_p95:.3f}s)"
         )
+        if args.replan_on_drift or report.migrations or report.crash_recoveries:
+            print(
+                f"reconfig: {report.drift_triggers} drift triggers, "
+                f"{report.migrations} migrations ({report.replans} replans), "
+                f"{report.crash_recoveries} crash recoveries; quiesce "
+                f"{report.quiesce_seconds:.3f}s, {report.replayed_tokens} "
+                f"tokens replayed ({report.replay_divergences} divergences)"
+            )
         return 0 if report.completed else 1
 
     # simulated execution for big models
     from .sim.online import simulate_online
-    from .workload.traces import sample_poisson_arrivals
 
     if args.cluster is not None:
         cluster = paper_cluster(args.cluster)
@@ -370,10 +437,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         for st in plan.stages:
             counts[st.device.type_name] = counts.get(st.device.type_name, 0) + 1
         cluster = make_cluster(list(counts.items()))
-    trace = sample_poisson_arrivals(
-        args.rate, args.duration, seed=args.seed,
-        max_prompt=max_prompt, max_gen=max_gen,
-    )
+    trace = _sample_trace(args, max_prompt, max_gen)
     if not trace:
         return _fail("trace is empty — raise --rate or --duration")
     latency_model = None
@@ -383,10 +447,16 @@ def serve_main(argv: list[str] | None = None) -> int:
         latency_model = build_latency_model(
             sorted({d.type_name for d in cluster.devices}), cfg
         )
+    replanner = None
+    if drift is not None:
+        from .runtime.replan import make_search_replanner
+
+        replanner = make_search_replanner(cluster, latency_model=latency_model)
     res = simulate_online(
         plan, cluster, trace,
         max_batch=args.max_inflight, policy=args.policy, engine=args.engine,
         source=args.cost_source, latency_model=latency_model,
+        drift=drift, replanner=replanner,
     )
     print(res.summary())
     return 0 if res.completed else 1

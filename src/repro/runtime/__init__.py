@@ -37,6 +37,15 @@ from .messages import (
     ShutdownMessage,
 )
 from .microbatch import ContinuousLedger, MicroBatchManager
+from .replan import (
+    DriftConfig,
+    DriftDetector,
+    DriftEstimate,
+    MigrationController,
+    MigrationRecord,
+    make_search_replanner,
+    workload_refit_replanner,
+)
 from .scheduler import (
     ContinuousScheduler,
     RequestRecord,
@@ -76,6 +85,13 @@ __all__ = [
     "FailureMessage",
     "MicroBatchManager",
     "ContinuousLedger",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftEstimate",
+    "MigrationController",
+    "MigrationRecord",
+    "workload_refit_replanner",
+    "make_search_replanner",
     "ContinuousScheduler",
     "ServeRequest",
     "RequestRecord",

@@ -94,6 +94,10 @@ class RuntimeStats:
     replans: int = 0             #: plans rebuilt after permanent device loss
     replayed_microbatches: int = 0  #: in-flight units lost to failures
     recovery_seconds: float = 0.0   #: wall-clock spent rebuilding workers
+    # --- live-replanning counters --------------------------------------
+    migrations: int = 0          #: live plan switches (drift/crash/manual)
+    drift_triggers: int = 0      #: drift-detector firings observed
+    quiesce_seconds: float = 0.0  #: admission paused for migrations (virtual)
 
     @property
     def total_seconds(self) -> float:
@@ -372,6 +376,34 @@ class PipelineRuntime:
         self._restart_stages()
         self._alive = True
 
+    def switch_plan(self, new_plan: ExecutionPlan) -> bool:
+        """Adopt ``new_plan`` on the running pipeline; True if rebuilt.
+
+        The universal reconfiguration primitive behind crash replans,
+        drift migrations, and manual replans.  When the new plan keeps
+        the same layer split and per-layer bitwidths (e.g. a workload
+        refit or a device re-labelling), the switch is metadata-only:
+        workers, shards, dequant caches, and KV state all survive.
+        Otherwise shards are re-cut from the full-precision reference
+        and the workers rebuilt — KV state is lost and the caller (the
+        :class:`~repro.runtime.replan.MigrationController`) must replay
+        in-flight requests to restore it.
+        """
+        if new_plan.model_name != self.plan.model_name:
+            raise ValueError("switch_plan cannot change the model")
+        same_shards = tuple(
+            (s.num_layers, s.layer_bits) for s in new_plan.stages
+        ) == tuple((s.num_layers, s.layer_bits) for s in self.plan.stages)
+        self.plan = new_plan
+        self._decode_microbatch = new_plan.decode_microbatch
+        if same_shards:
+            return False
+        t0 = time.perf_counter()
+        self._build_loads()  # new stage boundaries: shards must be re-cut
+        self.stats.recovery_seconds += time.perf_counter() - t0
+        self._restart_stages()
+        return True
+
     def _replan_without_stage(self, failed_stage: int) -> None:
         """Degrade the plan: drop the dead stage's device, redistribute
         its layers to the surviving neighbours, rebuild shards + workers."""
@@ -380,12 +412,9 @@ class PipelineRuntime:
         new_plan = replan_after_failure(self.plan, failed_stage)
         if self.injector is not None:
             self.injector.retire_stage(failed_stage)
-        self.plan = new_plan
-        self._decode_microbatch = min(self._decode_microbatch, new_plan.decode_microbatch)
-        t0 = time.perf_counter()
-        self._build_loads()  # new stage boundaries: shards must be re-cut
-        self.stats.recovery_seconds += time.perf_counter() - t0
-        self._restart_stages()
+        keep = min(self._decode_microbatch, new_plan.decode_microbatch)
+        self.switch_plan(new_plan)
+        self._decode_microbatch = keep
         self.stats.replans += 1
 
     def _shrink_decode_group(self) -> bool:

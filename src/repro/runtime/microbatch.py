@@ -213,6 +213,24 @@ class ContinuousLedger:
             self.admitted_total += 1
             return uid
 
+    def adopt(self, unit_id: int, charge) -> None:
+        """Register an *existing* unit id with a (re-priced) charge.
+
+        Live migration re-homes in-flight cache units under a new plan's
+        cost model: each unit keeps its id (worker KV units are keyed by
+        it) while its per-stage charge is recomputed for the new stage
+        boundaries.  Fresh ids minted later never collide with adopted
+        ones.
+        """
+        arr = self._as_charge(charge)
+        with self._lock:
+            if unit_id in self._charges:
+                raise ValueError(f"unit {unit_id} already admitted")
+            self._next_id = max(self._next_id, unit_id + 1)
+            self._charges[unit_id] = arr
+            self._used += arr
+            self.admitted_total += 1
+
     def release(self, unit_id: int) -> None:
         """Refund a unit's charge (idempotent)."""
         with self._lock:

@@ -1,0 +1,502 @@
+"""Live replanning: drift detection + zero-downtime online migration.
+
+LLM-PQ's plan is chosen offline for one workload, but production traffic
+drifts — arrival rate, prompt-length mix, and the healthy device set all
+change — and a stale plan silently burns the latency/quality headroom the
+ILP fought for.  This module turns the repo's three existing subsystems
+(crash replanning, the warm planner stack, the continuous scheduler) into
+one reconfiguration story:
+
+* :class:`DriftDetector` watches windowed serving signals — arrival rate,
+  prompt/generation length distribution, KV occupancy, device-loss
+  events — against a self-calibrated baseline and raises a
+  :class:`DriftEstimate` once the relative deviation clears a hysteresis
+  threshold (with a cooldown so one regime change triggers one re-solve).
+* A *replanner* maps ``(current plan, estimate) -> new plan | None``.
+  :func:`workload_refit_replanner` is the cheap rung (re-size the plan's
+  declared workload, keeping partition and bitwidths — a metadata-only
+  switch); :func:`make_search_replanner` is the full rung (re-solve
+  through :func:`repro.core.api.plan_llmpq` on the observed workload).
+* :class:`MigrationController` executes the switch on a live
+  :class:`~repro.runtime.scheduler.ContinuousScheduler` **without
+  dropping traffic**: it runs at a token boundary (the pipeline is
+  quiesced by construction — no activation in flight), swaps the plan via
+  :meth:`PipelineRuntime.switch_plan`, re-prices admission under the new
+  plan's :class:`~repro.cost.stagecosts.StageCostModel`, re-homes every
+  in-flight cache unit in a fresh ledger, and — when the swap re-cut
+  shards and therefore lost worker KV state — replays each in-flight
+  request's recorded computation (batch-1 prefill at its original prompt
+  length, then per-token decode feeding the recorded ids) so the rebuilt
+  KV caches are bit-identical to the lost ones.  Replay mirrors the
+  original kernel shapes exactly, which is what keeps post-migration
+  token streams byte-identical to an unmigrated run whenever the new
+  plan preserves per-layer bitwidths (repartitions and workload refits
+  do; :func:`~repro.core.api.replan_after_failure` does by design).
+
+Crash recovery, drift replanning, and manual replans all flow through
+the same controller — a crash is just a forced same-plan migration, and
+a permanent device loss escalates to a bit-preserving repartition.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+from ..workload.spec import Workload
+
+if TYPE_CHECKING:  # pragma: no cover - type-only imports
+    from ..core.plan import ExecutionPlan
+    from ..hardware.cluster import Cluster
+    from .scheduler import ContinuousScheduler
+
+__all__ = [
+    "DriftConfig",
+    "DriftEstimate",
+    "DriftDetector",
+    "MigrationRecord",
+    "MigrationController",
+    "workload_refit_replanner",
+    "make_search_replanner",
+]
+
+#: A replanner maps ``(current plan, drift estimate)`` to a new plan, or
+#: ``None`` to keep serving the current one.
+Replanner = Callable[["ExecutionPlan", "DriftEstimate"], "Optional[ExecutionPlan]"]
+
+
+@dataclass(frozen=True)
+class DriftConfig:
+    """Detection thresholds and windows (virtual-clock seconds)."""
+
+    window: float = 10.0        #: tumbling observation window
+    threshold: float = 0.5      #: relative deviation that counts as drift
+    hysteresis: int = 2         #: consecutive drifted windows before firing
+    cooldown: float = 30.0      #: min seconds between triggers
+    min_requests: int = 5       #: arrivals needed to trust length statistics
+    #: simulator-side pause charged per shard-rebuilding migration (the
+    #: real runtime measures its own quiesce; the analytic mirror cannot)
+    rebuild_seconds: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.threshold <= 0:
+            raise ValueError("threshold must be positive")
+        if self.hysteresis < 1:
+            raise ValueError("hysteresis must be >= 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be >= 0")
+        if self.min_requests < 1:
+            raise ValueError("min_requests must be >= 1")
+        if self.rebuild_seconds < 0:
+            raise ValueError("rebuild_seconds must be >= 0")
+
+
+@dataclass(frozen=True)
+class DriftEstimate:
+    """What the detector believes the workload looks like *now*."""
+
+    at: float               #: virtual time of the trigger
+    arrival_rate: float     #: requests/s over the recent windows
+    mean_prompt: float
+    p90_prompt: int
+    mean_gen: float
+    p90_gen: int
+    occupancy: float        #: max per-stage KV usage fraction (0..1+)
+    score: float            #: deviation score that fired the trigger
+    reason: str             #: e.g. ``"drift:rate"`` or ``"device-loss:stage1"``
+
+    def suggested_workload(self, base: Workload) -> Workload:
+        """Re-size ``base`` to the observed p90 lengths (batch unchanged)."""
+        return Workload(
+            prompt_len=max(4, self.p90_prompt),
+            gen_len=max(1, self.p90_gen),
+            global_batch=base.global_batch,
+        )
+
+
+class DriftDetector:
+    """Windowed drift detection over serving signals.
+
+    Feed it observations tagged with the caller's (virtual) clock —
+    :meth:`observe_arrival` for every request arrival,
+    :meth:`observe_occupancy` at token boundaries,
+    :meth:`observe_device_loss` from the fault path — and call
+    :meth:`poll` at boundaries.  The first closed window with enough
+    requests becomes the baseline; each later window scores the maximum
+    relative deviation of arrival rate, mean prompt length, and mean
+    generation length (plus the absolute occupancy shift), and the
+    detector fires once ``hysteresis`` consecutive windows clear
+    ``threshold`` and the cooldown has elapsed.  A device loss fires
+    immediately.  Call :meth:`rebaseline` after acting on a trigger so
+    the detector re-learns the post-migration regime.
+    """
+
+    def __init__(self, config: DriftConfig | None = None) -> None:
+        self.config = config or DriftConfig()
+        self._pending: list[tuple[float, int, int]] = []
+        self._occ_pending: list[tuple[float, float]] = []
+        self._win_start = 0.0
+        self._baseline: tuple[float, float, float, float] | None = None
+        self._streak = 0
+        self._last_trigger = -float("inf")
+        self._loss_stage: int | None = None
+        #: last ``hysteresis + 1`` closed windows' arrivals (for estimates)
+        self._recent: deque = deque(maxlen=self.config.hysteresis + 1)
+        self._last_occ = 0.0
+        self.windows_closed = 0
+        self.triggers = 0
+        self.device_losses = 0
+
+    # -- observations ---------------------------------------------------
+    def observe_arrival(self, t: float, prompt_len: int, gen_len: int) -> None:
+        """Record one request arrival at virtual time ``t``."""
+        self._pending.append((t, prompt_len, gen_len))
+
+    def observe_occupancy(self, t: float, fraction: float) -> None:
+        """Record the max per-stage KV usage fraction at time ``t``."""
+        self._occ_pending.append((t, float(fraction)))
+        self._last_occ = float(fraction)
+
+    def observe_device_loss(self, t: float, stage_idx: int) -> None:
+        """Record a permanent device loss (fires on the next poll)."""
+        self._loss_stage = stage_idx
+        self.device_losses += 1
+
+    # -- control --------------------------------------------------------
+    def rebaseline(self, now: float | None = None) -> None:
+        """Forget the baseline (post-migration) and restart the cooldown."""
+        self._baseline = None
+        self._streak = 0
+        self._recent.clear()
+        if now is not None:
+            self._win_start = now
+            self._last_trigger = now
+        self._pending.clear()
+        self._occ_pending.clear()
+
+    def poll(self, now: float) -> DriftEstimate | None:
+        """Close any windows ending before ``now``; return a trigger or None."""
+        cfg = self.config
+        if self._loss_stage is not None:
+            stage = self._loss_stage
+            self._loss_stage = None
+            self.triggers += 1
+            self._last_trigger = now
+            return self._estimate(
+                now, score=float("inf"), reason=f"device-loss:stage{stage}"
+            )
+        fired: DriftEstimate | None = None
+        while now >= self._win_start + cfg.window:
+            end = self._win_start + cfg.window
+            in_win = [a for a in self._pending if a[0] < end]
+            self._pending = [a for a in self._pending if a[0] >= end]
+            occ_in = [o for t, o in self._occ_pending if t < end]
+            self._occ_pending = [
+                (t, o) for t, o in self._occ_pending if t >= end
+            ]
+            est = self._close_window(end, in_win, occ_in)
+            if est is not None and fired is None:
+                fired = est
+            self._win_start = end
+        return fired
+
+    # -- internals ------------------------------------------------------
+    def _close_window(
+        self,
+        end: float,
+        arrivals: list[tuple[float, int, int]],
+        occ: list[float],
+    ) -> DriftEstimate | None:
+        cfg = self.config
+        self.windows_closed += 1
+        self._recent.append(arrivals)
+        rate = len(arrivals) / cfg.window
+        occ_mean = float(np.mean(occ)) if occ else self._last_occ
+        if self._baseline is None:
+            if len(arrivals) >= cfg.min_requests:
+                mp = float(np.mean([a[1] for a in arrivals]))
+                mg = float(np.mean([a[2] for a in arrivals]))
+                self._baseline = (rate, mp, mg, occ_mean)
+            return None
+        base_rate, base_mp, base_mg, base_occ = self._baseline
+        eps = 1e-9
+        devs = {"rate": abs(rate - base_rate) / max(base_rate, eps)}
+        if len(arrivals) >= cfg.min_requests:
+            mp = float(np.mean([a[1] for a in arrivals]))
+            mg = float(np.mean([a[2] for a in arrivals]))
+            devs["prompt"] = abs(mp - base_mp) / max(base_mp, eps)
+            devs["gen"] = abs(mg - base_mg) / max(base_mg, eps)
+        if occ:
+            devs["occupancy"] = abs(occ_mean - base_occ)
+        axis = max(devs, key=devs.get)
+        score = devs[axis]
+        if score >= cfg.threshold:
+            self._streak += 1
+        else:
+            self._streak = 0
+        if (
+            self._streak >= cfg.hysteresis
+            and end - self._last_trigger >= cfg.cooldown
+        ):
+            self._streak = 0
+            self.triggers += 1
+            self._last_trigger = end
+            return self._estimate(end, score=score, reason=f"drift:{axis}")
+        return None
+
+    def _estimate(self, at: float, *, score: float, reason: str) -> DriftEstimate:
+        recent = [a for win in self._recent for a in win] + self._pending
+        cfg = self.config
+        spanned = max(len(self._recent), 1) * cfg.window
+        rate = len(recent) / spanned if recent else 0.0
+        if recent:
+            prompts = np.array([a[1] for a in recent])
+            gens = np.array([a[2] for a in recent])
+            mp, p90p = float(prompts.mean()), int(np.quantile(prompts, 0.9))
+            mg, p90g = float(gens.mean()), int(np.quantile(gens, 0.9))
+        elif self._baseline is not None:
+            mp = p90p = self._baseline[1]
+            mg = p90g = self._baseline[2]
+            mp, mg = float(mp), float(mg)
+            p90p, p90g = int(p90p), int(p90g)
+        else:
+            mp, p90p, mg, p90g = 0.0, 0, 0.0, 0
+        return DriftEstimate(
+            at=at, arrival_rate=rate,
+            mean_prompt=mp, p90_prompt=p90p,
+            mean_gen=mg, p90_gen=p90g,
+            occupancy=self._last_occ, score=score, reason=reason,
+        )
+
+
+# ---------------------------------------------------------------------------
+# Replanners
+# ---------------------------------------------------------------------------
+
+
+def workload_refit_replanner(
+    plan: "ExecutionPlan", estimate: DriftEstimate
+) -> "Optional[ExecutionPlan]":
+    """Cheap rung: re-size the plan's declared workload to the estimate.
+
+    Partition and per-layer bitwidths are untouched, so the runtime
+    switch is metadata-only (no worker rebuild, no KV replay) — it
+    re-prices admission headroom and per-request charges under the
+    observed prompt/generation lengths.  Returns ``None`` when the
+    suggested workload already matches.
+    """
+    wl = estimate.suggested_workload(plan.workload)
+    if wl == plan.workload:
+        return None
+    return replace(plan, workload=wl, meta={**plan.meta, "drift_refit": True})
+
+
+def make_search_replanner(
+    cluster: "Cluster",
+    *,
+    theta: float = 1.0,
+    use_heuristic: bool = True,
+    ilp_time_limit: float = 10.0,
+    latency_model=None,
+    **plan_kwargs,
+) -> Replanner:
+    """Full rung: re-solve through the warm planner stack.
+
+    The returned replanner calls :func:`repro.core.api.plan_llmpq` on the
+    drift estimate's suggested workload (heuristic mode by default so a
+    live re-solve stays fast) and hands back the new plan — or ``None``
+    when the solve fails or reproduces the current plan.  Passing a
+    fitted ``latency_model`` keeps repeated re-solves warm, mirroring the
+    planner's own prediction-cache reuse.
+    """
+
+    def _replan(
+        plan: "ExecutionPlan", estimate: DriftEstimate
+    ) -> "Optional[ExecutionPlan]":
+        from ..core.api import plan_llmpq
+
+        wl = estimate.suggested_workload(plan.workload)
+        result = plan_llmpq(
+            plan.model_name, cluster, wl,
+            theta=theta, use_heuristic=use_heuristic,
+            ilp_time_limit=ilp_time_limit, latency_model=latency_model,
+            **plan_kwargs,
+        )
+        if result.plan is None or result.plan == plan:
+            return None
+        return result.plan
+
+    return _replan
+
+
+# ---------------------------------------------------------------------------
+# Migration
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MigrationRecord:
+    """What one migration did (appended to the controller's log)."""
+
+    reason: str
+    rebuilt: bool               #: workers rebuilt (shards re-cut / restarted)
+    stages_before: int = 0
+    stages_after: int = 0
+    inflight: int = 0           #: requests carried across the switch
+    replayed_tokens: int = 0    #: tokens recomputed to rebuild KV state
+    divergences: int = 0        #: replayed samples that differed (bit changes)
+    quiesce_seconds: float = 0.0  #: admission-paused virtual seconds
+
+
+class MigrationController:
+    """Executes plan switches on a live scheduler without dropping traffic.
+
+    One controller per :class:`ContinuousScheduler`; crash recovery,
+    drift replanning, and manual :meth:`ContinuousScheduler
+    .request_migration` calls all land in :meth:`migrate`.  It must run
+    at a token boundary — the scheduler guarantees the pipeline is idle
+    there, which is the whole quiesce protocol: no draining dance is
+    needed because continuous batching already synchronizes every
+    iteration at the master.
+    """
+
+    def __init__(self, scheduler: "ContinuousScheduler") -> None:
+        self.sched = scheduler
+        self.log: list[MigrationRecord] = []
+
+    def migrate(
+        self,
+        new_plan: "Optional[ExecutionPlan]" = None,
+        *,
+        reason: str = "manual",
+        force_restart: bool = False,
+    ) -> MigrationRecord:
+        """Switch the running pipeline to ``new_plan`` (or rebuild in place).
+
+        ``new_plan=None`` keeps the current plan — with
+        ``force_restart=True`` that is exactly a crash recovery: rebuild
+        the workers from cached shards and replay in-flight state.
+        Pending requests stay queued and every in-flight request is
+        carried across, so nothing is dropped.
+        """
+        sched = self.sched
+        rt = sched.rt
+        if sched.policy != "continuous":
+            raise ValueError("live migration requires the continuous policy")
+        from ..cost.stagecosts import StageCostModel
+        from .microbatch import ContinuousLedger
+
+        t0 = sched._now()
+        rec = MigrationRecord(
+            reason=reason, rebuilt=False,
+            stages_before=rt.plan.num_stages,
+            inflight=len(sched._active),
+        )
+        target = new_plan if new_plan is not None else rt.plan
+        rebuilt = rt.switch_plan(target)
+        if force_restart and not rebuilt:
+            rt._restart_stages()
+            rebuilt = True
+        rec.rebuilt = rebuilt
+        rec.stages_after = rt.plan.num_stages
+
+        # re-price admission under the new plan; in-flight units keep
+        # their ids (worker KV units are keyed by them) but are re-homed
+        # into a ledger shaped for the new stage count with recomputed
+        # charges
+        sched.cost = StageCostModel(rt.plan, cfg=rt.cfg)
+        sched.headroom = sched.cost.kv_headroom(
+            [c.budget_bytes for c in rt.dequant_caches]
+        )
+        ledger = ContinuousLedger(rt.plan.num_stages)
+        for a in sched._active:
+            ledger.adopt(
+                a.unit_id,
+                sched.cost.request_kv_bytes(a.req.prompt_len, a.req.gen_len),
+            )
+        sched.ledger = ledger
+
+        if rebuilt:
+            self._replay(rec)
+        self._retire_finished()
+
+        rec.quiesce_seconds = sched._now() - t0
+        sched.migrations += 1
+        sched.quiesce_seconds += rec.quiesce_seconds
+        sched.replayed_tokens += rec.replayed_tokens
+        sched.replay_divergences += rec.divergences
+        rt.stats.migrations += 1
+        rt.stats.quiesce_seconds += rec.quiesce_seconds
+        self.log.append(rec)
+        return rec
+
+    # -- state re-map ---------------------------------------------------
+    def _replay(self, rec: MigrationRecord) -> None:
+        """Rebuild lost KV state by replaying each request's computation.
+
+        Replay mirrors the original kernel shapes exactly — a batch-1
+        prefill over the original prompt, then one batch-1 decode per
+        recorded token feeding the recorded id — because a single fused
+        prefill over prompt+tokens would change GEMM shapes and hence
+        rounding, breaking the byte-identity contract.  Rounds are
+        pipelined across requests like a normal iteration.  Replayed
+        samples are compared against the recorded stream: under a
+        bit-preserving plan they match bit-for-bit; under changed
+        bitwidths mismatches are *counted* (the recorded, already-emitted
+        tokens stay authoritative so client-visible streams remain
+        self-consistent).
+        """
+        sched = self.sched
+        replaying = [a for a in sched._active if a.tokens]
+        if not replaying:
+            return
+        for a in replaying:
+            sched._send_prefill(a, a.reserve)
+        outs = sched._collect(len(replaying))
+        for a in replaying:
+            tok = sched._sample(a, outs[a.unit_id])
+            rec.replayed_tokens += 1
+            if tok != a.tokens[0]:
+                rec.divergences += 1
+        k = 1
+        while True:
+            round_ = [a for a in replaying if len(a.tokens) > k]
+            if not round_:
+                break
+            for a in round_:
+                sched._send_replay_decode(a, k)
+            outs = sched._collect(len(round_))
+            for a in round_:
+                tok = sched._sample(a, outs[a.unit_id])
+                rec.replayed_tokens += 1
+                if tok != a.tokens[k]:
+                    rec.divergences += 1
+            k += 1
+
+    def _retire_finished(self) -> None:
+        """Retire requests that finished but whose release was interrupted.
+
+        A crash during the release handshake leaves fully-generated
+        requests in the active set; decoding them again would corrupt
+        the schedule, so they are released and reported here instead.
+        """
+        sched = self.sched
+        done = [
+            a for a in sched._active
+            if a.decode_budget <= 0 and len(a.tokens) >= a.req.gen_len
+        ]
+        if not done:
+            return
+        sched._release([a.unit_id for a in done])
+        now = sched._now()
+        for a in done:
+            sched._active.remove(a)
+            a.record.tokens = np.array(a.tokens, dtype=np.int64)
+            if a.record.finish_time == 0.0:  # pragma: no cover - guard
+                a.record.finish_time = now
+            sched._report.records.append(a.record)

@@ -37,11 +37,13 @@ from typing import Iterable, Literal, Sequence
 
 import numpy as np
 
+from ..core.plan import ExecutionPlan
 from ..cost.stagecosts import StageCostModel
 from ..workload.traces import RequestArrival
 from .engine import PipelineRuntime, StageFailureError
 from .messages import ActivationMessage, MergeMessage, ReleaseMessage
 from .microbatch import ContinuousLedger
+from .replan import DriftConfig, DriftDetector, MigrationController, Replanner
 
 __all__ = [
     "ServeRequest",
@@ -113,6 +115,14 @@ class ServeReport:
     policy: str
     records: list[RequestRecord] = field(default_factory=list)
     makespan: float = 0.0        #: trace start -> last completion (virtual s)
+    # --- reconfiguration counters (live replanning / recovery) ---------
+    drift_triggers: int = 0      #: drift-detector firings during the replay
+    migrations: int = 0          #: live plan switches executed
+    replans: int = 0             #: migrations that adopted a *new* plan
+    crash_recoveries: int = 0    #: stage failures recovered in-flight
+    quiesce_seconds: float = 0.0  #: virtual seconds admission was paused
+    replayed_tokens: int = 0     #: tokens recomputed to rebuild KV state
+    replay_divergences: int = 0  #: replayed samples differing from record
 
     @property
     def completed(self) -> list[RequestRecord]:
@@ -205,6 +215,8 @@ class _Active:
     tokens: list[int] = field(default_factory=list)
     #: decode passes still owed (wave mode pads this to the wave max)
     decode_budget: int = 0
+    #: KV reservation (tokens) its prefill carried — replays reuse it
+    reserve: int = 0
 
 
 class ContinuousScheduler:
@@ -229,6 +241,22 @@ class ContinuousScheduler:
         whole trace as if it arrived at once.  Arrival gaps larger than
         the time already spent computing are *jumped* by a virtual
         clock, so replays never sleep.
+    drift:
+        Optional :class:`~repro.runtime.replan.DriftConfig` enabling the
+        drift detector (continuous policy only).  Triggers consult
+        ``replanner``; a migration is executed at the next token
+        boundary without dropping traffic.
+    replanner:
+        ``(plan, estimate) -> new plan | None`` callback consulted on
+        drift triggers (e.g. :func:`~repro.runtime.replan
+        .workload_refit_replanner` or :func:`~repro.runtime.replan
+        .make_search_replanner`).
+
+    Stage failures under the continuous policy are recovered in-flight
+    through the same :class:`~repro.runtime.replan.MigrationController`
+    (crash is a forced same-plan migration; permanent losses escalate to
+    ``replan_after_failure`` when the runtime's supervision allows),
+    bounded by the runtime's ``SupervisionConfig``.
     """
 
     def __init__(
@@ -238,6 +266,8 @@ class ContinuousScheduler:
         policy: Literal["continuous", "wave"] = "continuous",
         max_inflight: int | None = None,
         time_scale: float = 1.0,
+        drift: DriftConfig | None = None,
+        replanner: Replanner | None = None,
     ) -> None:
         if policy not in ("continuous", "wave"):
             raise ValueError(f"unknown policy {policy!r}")
@@ -245,6 +275,8 @@ class ContinuousScheduler:
             raise ValueError("max_inflight must be positive")
         if time_scale < 0:
             raise ValueError("time_scale must be >= 0")
+        if drift is not None and policy != "continuous":
+            raise ValueError("drift replanning requires the continuous policy")
         self.rt = runtime
         self.policy = policy
         self.max_inflight = max_inflight
@@ -260,6 +292,40 @@ class ContinuousScheduler:
         )
         self._t0: float | None = None
         self._offset = 0.0
+        # --- live replanning / recovery -------------------------------
+        self.replanner = replanner
+        self._detector = DriftDetector(drift) if drift is not None else None
+        self.controller = MigrationController(self)
+        self.drift_triggers = 0
+        self.migrations = 0
+        self.replans = 0
+        self.crash_recoveries = 0
+        self.quiesce_seconds = 0.0
+        self.replayed_tokens = 0
+        self.replay_divergences = 0
+        self._pending_plan: ExecutionPlan | None = None
+        self._crash_retries = 0
+        self._active: list[_Active] = []
+        self._report: ServeReport | None = None
+        self._arrival_schedule: list[tuple[float, int, int]] = []
+        self._arrival_ptr = 0
+
+    @property
+    def detector(self) -> DriftDetector | None:
+        """The drift detector, when drift replanning is enabled."""
+        return self._detector
+
+    def request_migration(self, new_plan: ExecutionPlan) -> None:
+        """Ask for a migration to ``new_plan`` at the next token boundary.
+
+        Safe to call from a callback or another thread while
+        :meth:`serve` is running; the switch happens between iterations
+        (the quiesce point), carries all in-flight requests across, and
+        drops nothing.
+        """
+        if self.policy != "continuous":
+            raise ValueError("live migration requires the continuous policy")
+        self._pending_plan = new_plan
 
     # ------------------------------------------------------------------
     # Virtual clock
@@ -296,6 +362,23 @@ class ContinuousScheduler:
         start = a.req.prompt_len + len(a.tokens) - 1
         x = self.rt.reference._embed(
             np.array([[a.tokens[-1]]], dtype=np.int64), start
+        )
+        self.rt.head.put(
+            ActivationMessage(
+                microbatch_id=a.unit_id, phase="decode", start=start, hidden=x
+            )
+        )
+
+    def _send_replay_decode(self, a: _Active, k: int) -> None:
+        """Replay decode step ``k``: feed the *recorded* token ``k-1``.
+
+        Mirrors the shapes of the original decode exactly (batch-1, same
+        position), which is what keeps a migration's rebuilt KV caches
+        bit-identical to the lost ones under a bit-preserving plan.
+        """
+        start = a.req.prompt_len + k - 1
+        x = self.rt.reference._embed(
+            np.array([[a.tokens[k - 1]]], dtype=np.int64), start
         )
         self.rt.head.put(
             ActivationMessage(
@@ -452,6 +535,13 @@ class ContinuousScheduler:
             for req in ordered
         )
         active: list[_Active] = []
+        self._active = active
+        self._report = report
+        self._arrival_schedule = [
+            (self._eff_arrival(r), r.prompt_len, r.gen_len) for r in ordered
+        ]
+        self._arrival_ptr = 0
+        self._crash_retries = 0
         self._t0 = time.perf_counter()
         self._offset = 0.0
         try:
@@ -460,6 +550,13 @@ class ContinuousScheduler:
             self.rt._fail_cleanly(err)  # raises RuntimeError
         report.makespan = self._now()
         report.records.sort(key=lambda r: r.request_id)
+        report.drift_triggers = self.drift_triggers
+        report.migrations = self.migrations
+        report.replans = self.replans
+        report.crash_recoveries = self.crash_recoveries
+        report.quiesce_seconds = self.quiesce_seconds
+        report.replayed_tokens = self.replayed_tokens
+        report.replay_divergences = self.replay_divergences
         self._publish_stats(report)
         return report
 
@@ -477,38 +574,53 @@ class ContinuousScheduler:
                 # idle gap: jump the virtual clock to the next arrival
                 head_arrival = self._eff_arrival(pending[0][0])
                 now = self._jump_to(head_arrival)
+            self._feed_detector(now)
             newly = admit(pending, active, now, report)
             if not newly and not active:
                 continue  # everything at the head was rejected
-            self._iteration(active, newly, report)
+            try:
+                self._iteration(active, newly, report)
+                self._boundary()
+            except StageFailureError as err:
+                self._recover(err)
 
     def _iteration(
         self, active: list[_Active], newly: list[_Active],
         report: ServeReport,
     ) -> None:
-        """One token boundary: prefill the newcomers, decode everyone else."""
-        for a in newly:
-            reserve = (
-                a.req.gen_len
-                if self.policy == "continuous"
-                else a.decode_budget + 1 + (  # (s_max - s_i) + n_max
-                    max(x.req.prompt_len for x in newly) - a.req.prompt_len
-                )
-            )
-            self._send_prefill(a, reserve)
-        for a in active:
+        """One token boundary: prefill the newcomers, decode everyone else.
+
+        Newly admitted requests join ``active`` *before* any pipeline
+        I/O, so a mid-iteration failure can never orphan them — the
+        recovery path sees every admitted request.  Requests with no
+        tokens yet (fresh admissions, or admissions whose prefill was
+        lost to a crash) are prefilled; the rest decode.
+        """
+        if newly and self.policy == "wave":
+            s_max = max(x.req.prompt_len for x in newly)
+            for a in newly:  # (s_max - s_i) + n_max
+                a.reserve = a.decode_budget + 1 + (s_max - a.req.prompt_len)
+        else:
+            for a in newly:
+                a.reserve = a.req.gen_len
+        active.extend(newly)
+        fresh = [a for a in active if not a.tokens]
+        going = [a for a in active if a.tokens]
+        for a in fresh:
+            self._send_prefill(a, a.reserve)
+        for a in going:
             self._send_decode(a)
-        outs = self._collect(len(newly) + len(active))
+        outs = self._collect(len(active))
         now = self._now()
         finished: list[_Active] = []
-        for a in newly:
+        for a in fresh:
             tok = self._sample(a, outs[a.unit_id])
             a.tokens.append(tok)
             a.record.first_token_time = now
             if a.req.gen_len == 1:
                 a.record.finish_time = now
             self.rt.stats.tokens_generated += 1
-        for a in active:
+        for a in going:
             tok = self._sample(a, outs[a.unit_id])
             a.decode_budget -= 1
             self.rt.stats.decode_tokens += 1
@@ -517,7 +629,6 @@ class ContinuousScheduler:
                 a.tokens.append(tok)
                 if len(a.tokens) == a.req.gen_len:
                     a.record.finish_time = now  # wave keeps padding past this
-        active.extend(newly)
         for a in active:
             if a.decode_budget <= 0:
                 finished.append(a)
@@ -529,6 +640,113 @@ class ContinuousScheduler:
                 if a.record.finish_time == 0.0:  # pragma: no cover - guard
                     a.record.finish_time = now
                 report.records.append(a.record)
+
+    # ------------------------------------------------------------------
+    # Live replanning / recovery (all at token boundaries)
+    # ------------------------------------------------------------------
+    def _feed_detector(self, now: float) -> None:
+        """Stream arrivals that have happened by ``now`` to the detector."""
+        if self._detector is None:
+            return
+        sched = self._arrival_schedule
+        while self._arrival_ptr < len(sched) and sched[self._arrival_ptr][0] <= now:
+            t, s, n = sched[self._arrival_ptr]
+            self._detector.observe_arrival(t, s, n)
+            self._arrival_ptr += 1
+
+    def _occupancy(self) -> float:
+        """Max per-stage KV usage fraction under the current headroom."""
+        headroom = np.asarray(self.headroom, dtype=np.float64)
+        used = self.ledger.used_bytes
+        mask = headroom > 0
+        if not mask.any():
+            return 1.0 if used.any() else 0.0
+        return float(np.max(used[mask] / headroom[mask]))
+
+    def _boundary(self) -> None:
+        """Quiesce point between iterations: migrations happen here."""
+        if self._pending_plan is not None:
+            plan, self._pending_plan = self._pending_plan, None
+            before = self.rt.plan
+            self.controller.migrate(plan, reason="manual")
+            if self.rt.plan is not before:  # a new plan was adopted
+                self.replans += 1
+            if self._detector is not None:
+                self._detector.rebaseline(self._now())
+        if self._detector is None:
+            return
+        now = self._now()
+        self._detector.observe_occupancy(now, self._occupancy())
+        est = self._detector.poll(now)
+        if est is None:
+            return
+        self.drift_triggers += 1
+        self.rt.stats.drift_triggers += 1
+        if self.replanner is None:
+            return
+        new_plan = self.replanner(self.rt.plan, est)
+        if new_plan is None:
+            return
+        self.controller.migrate(new_plan, reason=est.reason)
+        self.replans += 1
+        self._detector.rebaseline(self._now())
+
+    def _recover(self, err: StageFailureError) -> None:
+        """Crash ladder at a token boundary, through the migration path.
+
+        Retry (forced same-plan migration: rebuild workers from cached
+        shards, replay in-flight KV) up to ``max_retries``; then, when
+        supervision allows, adopt the bit-preserving
+        ``replan_after_failure`` plan for the surviving devices.  Every
+        rung carries the in-flight requests across — nothing is dropped.
+        """
+        sup = self.rt.supervision
+        if self.policy != "continuous" or not sup.enable_recovery:
+            raise err
+        while True:
+            self._crash_retries += 1
+            escalate = self._crash_retries > sup.max_retries
+            if escalate and not (
+                sup.replan_on_permanent_failure
+                and err.stage_idx is not None
+                and self.rt.plan.num_stages > 1
+                and self.rt.stats.replans < sup.max_replans
+            ):
+                raise err
+            try:
+                if escalate:
+                    from ..core.api import replan_after_failure
+
+                    new_plan = replan_after_failure(self.rt.plan, err.stage_idx)
+                    if self.rt.injector is not None:
+                        self.rt.injector.retire_stage(err.stage_idx)
+                    if self._detector is not None:
+                        self._detector.observe_device_loss(
+                            self._now(), err.stage_idx
+                        )
+                    self.controller.migrate(
+                        new_plan,
+                        reason=f"crash:stage{err.stage_idx}",
+                        force_restart=True,
+                    )
+                    self.rt.stats.replans += 1
+                    self.replans += 1
+                    self._crash_retries = 0
+                else:
+                    self.rt.stats.retries += 1
+                    self.controller.migrate(
+                        None, reason=f"crash-retry:stage{err.stage_idx}",
+                        force_restart=True,
+                    )
+            except StageFailureError as again:
+                # the recovery replay itself was hit (crash racing the
+                # migration): charge another rung and go around
+                err = again
+                continue
+            self.crash_recoveries += 1
+            if self._detector is not None:
+                self._detector.rebaseline(self._now())
+            return
 
     def _publish_stats(self, report: ServeReport) -> None:
         """Mirror per-request metrics onto the runtime's ``RuntimeStats``."""

@@ -22,7 +22,6 @@ from .online import (
     OnlineRequest,
     OnlineResult,
     max_admissible_batch,
-    sample_poisson_trace,
     simulate_online,
 )
 from .offload import OffloadResult, simulate_offload
@@ -59,7 +58,6 @@ __all__ = [
     "mtbf_sweep",
     "OnlineRequest",
     "OnlineResult",
-    "sample_poisson_trace",
     "max_admissible_batch",
     "simulate_online",
     "OffloadResult",

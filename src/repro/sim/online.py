@@ -36,7 +36,6 @@ generated tokens / makespan.
 
 from __future__ import annotations
 
-import warnings
 from collections import deque
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Sequence
@@ -50,11 +49,11 @@ if TYPE_CHECKING:  # pragma: no cover - type-only imports
     from ..core.plan import ExecutionPlan
     from ..cost.latency import LatencyModel
     from ..hardware.cluster import Cluster
+    from ..runtime.replan import DriftConfig, Replanner
 
 __all__ = [
     "OnlineRequest",
     "OnlineResult",
-    "sample_poisson_trace",
     "max_admissible_batch",
     "stage_kv_headroom",
     "request_kv_bytes",
@@ -91,6 +90,11 @@ class OnlineResult:
     rejected: int = 0          #: requests that could never be admitted
     iterations: int = 0        #: token boundaries run (continuous policy)
     mean_inflight: float = 0.0  #: avg concurrently-running requests
+    # --- live-replanning counters (drift-aware continuous runs) ---------
+    drift_triggers: int = 0    #: drift-detector firings
+    migrations: int = 0        #: live plan switches executed
+    replans: int = 0           #: migrations that adopted a new plan
+    migration_seconds: float = 0.0  #: simulated pause spent migrating
 
     def summary(self) -> str:
         """One-line human-readable result."""
@@ -105,39 +109,13 @@ class OnlineResult:
             tail = f" | {self.waves} waves, avg batch {self.mean_wave_batch:.1f}"
         if self.rejected:
             tail += f" | {self.rejected} rejected"
+        if self.migrations or self.drift_triggers:
+            tail += (
+                f" | {self.drift_triggers} drift triggers, "
+                f"{self.migrations} migrations "
+                f"({self.migration_seconds:.2f}s paused)"
+            )
         return head + tail
-
-
-def sample_poisson_trace(
-    rate: float,
-    duration: float,
-    *,
-    seed: int = 0,
-    max_prompt: int = 512,
-    max_gen: int = 128,
-) -> list[OnlineRequest]:
-    """Deprecated duplicate of
-    :func:`repro.workload.traces.sample_poisson_arrivals`.
-
-    Kept as a shim so old call sites keep working; new code should sample
-    from the workload layer (the canonical ShareGPT-shaped sampler) and
-    pass the :class:`~repro.workload.traces.RequestArrival` records
-    straight to :func:`simulate_online`, which accepts them as-is.
-    """
-    warnings.warn(
-        "sample_poisson_trace is deprecated; use "
-        "repro.workload.traces.sample_poisson_arrivals",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    from ..workload.traces import sample_poisson_arrivals
-
-    return [
-        OnlineRequest(arrival=r.arrival, prompt_len=r.prompt_len, gen_len=r.gen_len)
-        for r in sample_poisson_arrivals(
-            rate, duration, seed=seed, max_prompt=max_prompt, max_gen=max_gen
-        )
-    ]
 
 
 def max_admissible_batch(
@@ -300,9 +278,24 @@ def _simulate_continuous(
     max_batch: int | None,
     engine: str,
     scm: StageCostModel,
+    source: str = "kernels",
+    latency_model: "LatencyModel | None" = None,
+    drift: "DriftConfig | None" = None,
+    replanner: "Replanner | None" = None,
 ) -> OnlineResult:
     if engine == "des":
         from .pipeline_des import iteration_makespan_des
+
+    def _price(units: list[np.ndarray]) -> float:
+        if engine == "des":
+            return float(iteration_makespan_des(units))
+        return float(units[0].sum() + sum(u.max() for u in units[1:]))
+
+    detector = None
+    if drift is not None:
+        from ..runtime.replan import DriftDetector
+
+        detector = DriftDetector(drift)
     headroom = scm.kv_headroom()
     used = np.zeros(plan.num_stages)
 
@@ -315,6 +308,9 @@ def _simulate_continuous(
     rejected = 0
     iterations = 0
     inflight_samples: list[int] = []
+    arrival_ptr = 0
+    drift_triggers = migrations = replans = 0
+    migration_seconds = 0.0
 
     while pending or active:
         if not active and pending and pending[0].arrival > now:
@@ -349,10 +345,7 @@ def _simulate_continuous(
             units.append(scm.unit_decode_times(len(active), ctx))
         for a in newly:
             units.append(scm.unit_prefill_times(a["req"].prompt_len))
-        if engine == "des":
-            step = iteration_makespan_des(units)
-        else:
-            step = float(units[0].sum() + sum(u.max() for u in units[1:]))
+        step = _price(units)
         now += step
         iterations += 1
         inflight_samples.append(len(active) + len(newly))
@@ -376,6 +369,64 @@ def _simulate_continuous(
                 still.append(a)
         active = still
 
+        # ---- drift detection at the boundary (mirrors the runtime) ----
+        if detector is not None:
+            while arrival_ptr < len(reqs) and reqs[arrival_ptr].arrival <= now:
+                r = reqs[arrival_ptr]
+                detector.observe_arrival(r.arrival, r.prompt_len, r.gen_len)
+                arrival_ptr += 1
+            mask = headroom > 0
+            occ = float(np.max(used[mask] / headroom[mask])) if mask.any() else 0.0
+            detector.observe_occupancy(now, occ)
+            est = detector.poll(now)
+            if est is None:
+                continue
+            drift_triggers += 1
+            if replanner is None:
+                continue
+            new_plan = replanner(plan, est)
+            if new_plan is None:
+                continue
+            # ---- mirrored migration: re-price, pause, re-home ---------
+            if new_plan.stages == plan.stages:
+                new_scm = scm.derive(new_plan)
+                pause = 0.0  # metadata-only switch: no shards re-cut
+            else:
+                new_scm = StageCostModel(
+                    new_plan, cluster, source=source,
+                    latency_model=latency_model,
+                )
+                # shard rebuild + pipelined replay of in-flight KV state,
+                # priced exactly like the iterations it re-runs
+                pause = drift.rebuild_seconds
+                if active:
+                    pause += _price([
+                        new_scm.unit_prefill_times(a["req"].prompt_len)
+                        for a in active
+                    ])
+                    max_prod = max(a["produced"] for a in active)
+                    for k in range(1, max_prod):
+                        group = [a for a in active if a["produced"] > k]
+                        ctx = float(np.mean(
+                            [a["req"].prompt_len + k for a in group]
+                        ))
+                        pause += _price(
+                            [new_scm.unit_decode_times(len(group), ctx)]
+                        )
+            now += pause
+            migration_seconds += pause
+            migrations += 1
+            replans += 1
+            plan, scm = new_plan, new_scm
+            headroom = scm.kv_headroom()
+            used = np.zeros(plan.num_stages)
+            for a in active:
+                a["charge"] = scm.request_kv_bytes(
+                    a["req"].prompt_len, a["req"].gen_len
+                )
+                used += a["charge"]
+            detector.rebaseline(now)
+
     if not latencies:
         return _infeasible("continuous", rejected)
     lat = np.array(latencies)
@@ -396,6 +447,10 @@ def _simulate_continuous(
         rejected=rejected,
         iterations=iterations,
         mean_inflight=float(np.mean(inflight_samples)),
+        drift_triggers=drift_triggers,
+        migrations=migrations,
+        replans=replans,
+        migration_seconds=migration_seconds,
     )
 
 
@@ -410,6 +465,8 @@ def simulate_online(
     source: str = "kernels",
     latency_model: "LatencyModel | None" = None,
     cost_model: StageCostModel | None = None,
+    drift: "DriftConfig | None" = None,
+    replanner: "Replanner | None" = None,
 ) -> OnlineResult:
     """Serve ``trace`` on ``plan``'s pipeline under a scheduling policy.
 
@@ -425,6 +482,14 @@ def simulate_online(
     existing :class:`StageCostModel`'s tables.  Accepts any records with
     ``arrival`` / ``prompt_len`` / ``gen_len`` attributes, including
     :class:`~repro.workload.traces.RequestArrival`.
+
+    ``drift`` (a :class:`~repro.runtime.replan.DriftConfig`) plus a
+    ``replanner`` enable the mirrored live-replanning path (continuous
+    policy only): the same :class:`~repro.runtime.replan.DriftDetector`
+    the real scheduler uses watches the trace, and a trigger switches
+    the plan mid-run — charging ``drift.rebuild_seconds`` plus the
+    analytically priced replay of in-flight KV state when the new plan
+    re-cuts shards, so big-model drift studies run without a runtime.
     """
     if not trace:
         raise ValueError("empty trace")
@@ -432,6 +497,8 @@ def simulate_online(
         raise ValueError(f"unknown policy {policy!r}")
     if engine not in ("analytic", "des"):
         raise ValueError(f"unknown engine {engine!r}")
+    if (drift is not None or replanner is not None) and policy != "continuous":
+        raise ValueError("drift replanning requires the continuous policy")
     if cost_model is None:
         cost_model = StageCostModel(
             plan, cluster, source=source, latency_model=latency_model
@@ -440,7 +507,8 @@ def simulate_online(
     if policy == "continuous":
         return _simulate_continuous(
             plan, cluster, reqs, max_batch=max_batch, engine=engine,
-            scm=cost_model,
+            scm=cost_model, source=source, latency_model=latency_model,
+            drift=drift, replanner=replanner,
         )
     return _simulate_wave(
         plan, cluster, reqs, max_batch=max_batch, engine=engine, scm=cost_model

@@ -4,6 +4,10 @@ from .spec import DEFAULT_WORKLOAD, SHORT_PROMPT_WORKLOAD, Workload
 from .traces import (
     PromptTrace,
     RequestArrival,
+    concat_arrival_phases,
+    sample_bursty_arrivals,
+    sample_diurnal_arrivals,
+    sample_pareto_arrivals,
     sample_poisson_arrivals,
     sample_sharegpt_like,
     workloads_from_trace,
@@ -15,6 +19,10 @@ __all__ = [
     "SHORT_PROMPT_WORKLOAD",
     "PromptTrace",
     "RequestArrival",
+    "concat_arrival_phases",
+    "sample_bursty_arrivals",
+    "sample_diurnal_arrivals",
+    "sample_pareto_arrivals",
     "sample_poisson_arrivals",
     "sample_sharegpt_like",
     "workloads_from_trace",

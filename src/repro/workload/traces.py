@@ -20,6 +20,10 @@ __all__ = [
     "RequestArrival",
     "sample_sharegpt_like",
     "sample_poisson_arrivals",
+    "sample_bursty_arrivals",
+    "sample_diurnal_arrivals",
+    "sample_pareto_arrivals",
+    "concat_arrival_phases",
     "workloads_from_trace",
 ]
 
@@ -114,6 +118,173 @@ def sample_poisson_arrivals(
         else:
             s = int(np.clip(np.exp(rng.normal(5.6, 0.8)), 4, max_prompt))
         n = int(np.clip(np.exp(rng.normal(4.6, 0.7)), 4, max_gen))
+        out.append(RequestArrival(arrival=float(t), prompt_len=s, gen_len=n))
+    return out
+
+
+def _sharegpt_lengths(rng, max_prompt: int, max_gen: int) -> tuple[int, int]:
+    """One (prompt_len, gen_len) draw from the ShareGPT-shaped mixture."""
+    if rng.random() < 0.45:
+        s = int(rng.integers(4, min(128, max_prompt + 1)))
+    else:
+        s = int(np.clip(np.exp(rng.normal(5.6, 0.8)), 4, max_prompt))
+    n = int(np.clip(np.exp(rng.normal(4.6, 0.7)), 4, max_gen))
+    return s, n
+
+
+def sample_bursty_arrivals(
+    base_rate: float,
+    duration: float,
+    *,
+    burst_rate: float | None = None,
+    burst_duration: float = 5.0,
+    burst_period: float = 30.0,
+    seed: int = 0,
+    max_prompt: int = 512,
+    max_gen: int = 128,
+) -> list[RequestArrival]:
+    """Bursty arrival trace: a quiet Poisson baseline punctuated by bursts.
+
+    Every ``burst_period`` seconds the rate jumps to ``burst_rate``
+    (default ``8 * base_rate``) for ``burst_duration`` seconds, modelling
+    flash crowds.  Request lengths follow the ShareGPT-shaped mixture.
+    Deterministic per ``seed`` (thinning over a homogeneous envelope).
+    """
+    if base_rate <= 0:
+        raise ValueError("base_rate must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if burst_duration <= 0 or burst_period <= burst_duration:
+        raise ValueError("need 0 < burst_duration < burst_period")
+    peak = float(burst_rate) if burst_rate is not None else 8.0 * base_rate
+    if peak < base_rate:
+        raise ValueError("burst_rate must be >= base_rate")
+
+    def rate_at(t: float) -> float:
+        return peak if (t % burst_period) < burst_duration else base_rate
+
+    return _thinned_arrivals(
+        rate_at, peak, duration, seed=seed, max_prompt=max_prompt, max_gen=max_gen
+    )
+
+
+def sample_diurnal_arrivals(
+    mean_rate: float,
+    duration: float,
+    *,
+    amplitude: float = 0.8,
+    period: float = 120.0,
+    seed: int = 0,
+    max_prompt: int = 512,
+    max_gen: int = 128,
+) -> list[RequestArrival]:
+    """Diurnal arrival trace: sinusoidal rate around ``mean_rate``.
+
+    ``rate(t) = mean_rate * (1 + amplitude * sin(2*pi*t/period))`` — a
+    compressed day/night cycle (``period`` seconds per "day").  Lengths
+    follow the ShareGPT-shaped mixture; deterministic per ``seed``.
+    """
+    if mean_rate <= 0:
+        raise ValueError("mean_rate must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if not 0.0 <= amplitude < 1.0:
+        raise ValueError("amplitude must be in [0, 1)")
+    if period <= 0:
+        raise ValueError("period must be positive")
+    peak = mean_rate * (1.0 + amplitude)
+
+    def rate_at(t: float) -> float:
+        return mean_rate * (1.0 + amplitude * np.sin(2.0 * np.pi * t / period))
+
+    return _thinned_arrivals(
+        rate_at, peak, duration, seed=seed, max_prompt=max_prompt, max_gen=max_gen
+    )
+
+
+def sample_pareto_arrivals(
+    rate: float,
+    duration: float,
+    *,
+    shape: float = 1.5,
+    min_prompt: int = 16,
+    min_gen: int = 4,
+    seed: int = 0,
+    max_prompt: int = 2048,
+    max_gen: int = 512,
+) -> list[RequestArrival]:
+    """Poisson arrivals with heavy-tailed (Pareto) prompt/generation lengths.
+
+    Lengths are ``min * (1 + Pareto(shape))`` clipped to the caps — with
+    ``shape <= 2`` the length distribution has infinite variance, the
+    worst case for padding-based wave scheduling and a stress test for
+    drift detection on the length axis.  Deterministic per ``seed``.
+    """
+    if rate <= 0:
+        raise ValueError("rate must be positive")
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    if shape <= 0:
+        raise ValueError("shape must be positive")
+    rng = np.random.default_rng(seed)
+    out: list[RequestArrival] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / rate)
+        if t >= duration:
+            break
+        s = int(np.clip(min_prompt * (1.0 + rng.pareto(shape)), min_prompt, max_prompt))
+        n = int(np.clip(min_gen * (1.0 + rng.pareto(shape)), min_gen, max_gen))
+        out.append(RequestArrival(arrival=float(t), prompt_len=s, gen_len=n))
+    return out
+
+
+def concat_arrival_phases(
+    phases: list[list[RequestArrival]],
+) -> list[RequestArrival]:
+    """Concatenate arrival traces back-to-back into one drifting trace.
+
+    Each phase's clock restarts at the end of the previous phase's last
+    arrival, so ``[steady, bursty]`` yields a trace whose statistics shift
+    mid-stream — the canonical input for drift-detection tests.
+    """
+    out: list[RequestArrival] = []
+    offset = 0.0
+    for phase in phases:
+        last = 0.0
+        for r in phase:
+            out.append(
+                RequestArrival(
+                    arrival=offset + r.arrival,
+                    prompt_len=r.prompt_len,
+                    gen_len=r.gen_len,
+                )
+            )
+            last = r.arrival
+        offset += last
+    return out
+
+
+def _thinned_arrivals(
+    rate_at,
+    peak_rate: float,
+    duration: float,
+    *,
+    seed: int,
+    max_prompt: int,
+    max_gen: int,
+) -> list[RequestArrival]:
+    """Non-homogeneous Poisson process by thinning a ``peak_rate`` envelope."""
+    rng = np.random.default_rng(seed)
+    out: list[RequestArrival] = []
+    t = 0.0
+    while True:
+        t += rng.exponential(1.0 / peak_rate)
+        if t >= duration:
+            break
+        if rng.random() * peak_rate > rate_at(t):
+            continue  # thinned out
+        s, n = _sharegpt_lengths(rng, max_prompt, max_gen)
         out.append(RequestArrival(arrival=float(t), prompt_len=s, gen_len=n))
     return out
 

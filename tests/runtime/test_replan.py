@@ -1,0 +1,381 @@
+"""Drift detection + live migration tests: detector unit behaviour, the
+migration controller's byte-identity contract (including a migration
+racing an injected crash), and drift-driven refits end to end."""
+
+import numpy as np
+import pytest
+
+from repro.core.plan import ExecutionPlan, StagePlan
+from repro.hardware import Device, get_gpu
+from repro.models import TinyDecoderLM, generate
+from repro.runtime import (
+    ContinuousScheduler,
+    DriftConfig,
+    DriftDetector,
+    FaultInjector,
+    PipelineRuntime,
+    ServeRequest,
+    StageCrash,
+    workload_refit_replanner,
+)
+from repro.runtime.microbatch import ContinuousLedger
+from repro.workload import Workload
+
+
+def _dev(i):
+    return Device(get_gpu("T4-16G"), node_id=0, local_rank=i)
+
+
+def _plan(bits_per_stage, *, workload):
+    stages = tuple(
+        StagePlan(_dev(i), tuple(bits)) for i, bits in enumerate(bits_per_stage)
+    )
+    return ExecutionPlan(
+        model_name="tiny-8l", stages=stages,
+        prefill_microbatch=2, decode_microbatch=4, workload=workload,
+    )
+
+
+@pytest.fixture(scope="module")
+def reference(tiny8l):
+    return TinyDecoderLM(tiny8l, seed=3)
+
+
+@pytest.fixture(scope="module")
+def workload12():
+    return Workload(prompt_len=12, gen_len=8, global_batch=8)
+
+
+def _uniform_requests(cfg, *, n=4, s=8, g=6, seed=7, gap=0.0):
+    rng = np.random.default_rng(seed)
+    return [
+        ServeRequest(
+            request_id=i,
+            prompt=rng.integers(0, cfg.vocab_size, size=s, dtype=np.int64),
+            gen_len=g, arrival=i * gap,
+        )
+        for i in range(n)
+    ]
+
+
+def _assert_streams_match(report, model, requests):
+    """Every completed stream must equal the batch-1 single-process run."""
+    by_id = {r.request_id: r for r in requests}
+    assert report.completed, "nothing completed"
+    for rec in report.completed:
+        req = by_id[rec.request_id]
+        expected = generate(
+            model, np.asarray(req.prompt)[None, :], req.gen_len
+        ).tokens[0]
+        np.testing.assert_array_equal(rec.tokens, expected)
+
+
+class TriggerAfter(ContinuousScheduler):
+    """Request a live migration at the N-th token boundary."""
+
+    def __init__(self, rt, *, new_plan, after, **kw):
+        super().__init__(rt, **kw)
+        self._migrate_to = new_plan
+        self._after = after
+        self._boundaries = 0
+
+    def _boundary(self):
+        self._boundaries += 1
+        if self._boundaries == self._after and self._migrate_to is not None:
+            self.request_migration(self._migrate_to)
+            self._migrate_to = None
+        super()._boundary()
+
+
+# ---------------------------------------------------------------------------
+# DriftDetector
+# ---------------------------------------------------------------------------
+
+
+def _feed(det, t0, t1, rate, s=8, g=4):
+    t = t0
+    while t < t1:
+        det.observe_arrival(t, s, g)
+        t += 1.0 / rate
+
+
+def test_drift_config_validation():
+    with pytest.raises(ValueError, match="window"):
+        DriftConfig(window=0)
+    with pytest.raises(ValueError, match="threshold"):
+        DriftConfig(threshold=0)
+    with pytest.raises(ValueError, match="hysteresis"):
+        DriftConfig(hysteresis=0)
+    with pytest.raises(ValueError, match="cooldown"):
+        DriftConfig(cooldown=-1)
+    with pytest.raises(ValueError, match="min_requests"):
+        DriftConfig(min_requests=0)
+    with pytest.raises(ValueError, match="rebuild_seconds"):
+        DriftConfig(rebuild_seconds=-0.1)
+
+
+def test_detector_rate_drift_needs_hysteresis():
+    det = DriftDetector(DriftConfig(
+        window=1.0, threshold=0.5, hysteresis=2, cooldown=0.0, min_requests=3
+    ))
+    _feed(det, 0.0, 1.0, rate=4)
+    assert det.poll(1.0) is None  # first window only calibrates
+    _feed(det, 1.0, 2.0, rate=12)
+    assert det.poll(2.0) is None  # one drifted window < hysteresis
+    _feed(det, 2.0, 3.0, rate=12)
+    est = det.poll(3.0)
+    assert est is not None and est.reason == "drift:rate"
+    assert est.score >= 0.5
+    assert est.arrival_rate > 4.0
+    assert det.triggers == 1 and det.windows_closed == 3
+
+
+def test_detector_streak_resets_on_calm_window():
+    det = DriftDetector(DriftConfig(
+        window=1.0, threshold=0.5, hysteresis=2, cooldown=0.0, min_requests=3
+    ))
+    _feed(det, 0.0, 1.0, rate=4)
+    det.poll(1.0)
+    _feed(det, 1.0, 2.0, rate=12)   # drifted
+    _feed(det, 2.0, 3.0, rate=4)    # back to normal: streak resets
+    _feed(det, 3.0, 4.0, rate=12)   # drifted again — still only 1 in a row
+    assert det.poll(4.0) is None
+    assert det.triggers == 0
+
+
+def test_detector_length_drift_axis():
+    det = DriftDetector(DriftConfig(
+        window=1.0, threshold=0.5, hysteresis=1, cooldown=0.0, min_requests=3
+    ))
+    _feed(det, 0.0, 1.0, rate=6, s=8)
+    det.poll(1.0)
+    _feed(det, 1.0, 2.0, rate=6, s=32)  # same rate, 4x prompts
+    est = det.poll(2.0)
+    assert est is not None and est.reason == "drift:prompt"
+    assert est.p90_prompt >= 24
+
+
+def test_detector_cooldown_suppresses_retrigger():
+    det = DriftDetector(DriftConfig(
+        window=1.0, threshold=0.5, hysteresis=1, cooldown=100.0, min_requests=3
+    ))
+    _feed(det, 0.0, 1.0, rate=4)
+    det.poll(1.0)
+    det._last_trigger = 1.0  # as if a trigger just fired
+    _feed(det, 1.0, 2.0, rate=12)
+    assert det.poll(2.0) is None  # drifted, but inside the cooldown
+    assert det.triggers == 0
+
+
+def test_detector_device_loss_fires_immediately():
+    det = DriftDetector(DriftConfig(window=10.0))
+    det.observe_device_loss(2.5, 1)
+    est = det.poll(2.5)  # no window closed, no baseline — still fires
+    assert est is not None
+    assert est.reason == "device-loss:stage1"
+    assert est.score == float("inf")
+    assert det.device_losses == 1
+    assert det.poll(2.6) is None  # consumed
+
+
+def test_detector_rebaseline_learns_new_regime():
+    det = DriftDetector(DriftConfig(
+        window=1.0, threshold=0.5, hysteresis=1, cooldown=0.0, min_requests=3
+    ))
+    _feed(det, 0.0, 1.0, rate=4)
+    det.poll(1.0)
+    _feed(det, 1.0, 2.0, rate=12)
+    assert det.poll(2.0) is not None
+    det.rebaseline(2.0)
+    _feed(det, 2.0, 3.0, rate=12)
+    det.poll(3.0)  # recalibrates on the new regime
+    _feed(det, 3.0, 4.0, rate=12)
+    assert det.poll(4.0) is None  # 12/s is the new normal
+    assert det.triggers == 1
+
+
+def test_suggested_workload_clamps_and_refit_replanner(workload12):
+    from repro.runtime.replan import DriftEstimate
+
+    est = DriftEstimate(
+        at=1.0, arrival_rate=2.0, mean_prompt=3.0, p90_prompt=2,
+        mean_gen=0.5, p90_gen=0, occupancy=0.1, score=1.0, reason="drift:rate",
+    )
+    wl = est.suggested_workload(workload12)
+    assert wl == Workload(prompt_len=4, gen_len=1, global_batch=8)
+
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    new = workload_refit_replanner(plan, est)
+    assert new is not None
+    assert new.workload == wl
+    assert new.stages == plan.stages  # metadata-only switch
+    assert new.meta.get("drift_refit") is True
+    # a suggestion matching the declared workload is a no-op
+    same = DriftEstimate(
+        at=1.0, arrival_rate=2.0, mean_prompt=12.0, p90_prompt=12,
+        mean_gen=8.0, p90_gen=8, occupancy=0.1, score=1.0, reason="drift:rate",
+    )
+    assert workload_refit_replanner(plan, same) is None
+
+
+def test_ledger_adopt_rehomes_units():
+    ledger = ContinuousLedger(2)
+    ledger.adopt(3, np.array([10.0, 20.0]))
+    ledger.adopt(0, np.array([1.0, 2.0]))
+    np.testing.assert_allclose(ledger.used_bytes, [11.0, 22.0])
+    assert ledger.inflight_count == 2
+    with pytest.raises(ValueError):
+        ledger.adopt(3, np.array([1.0, 1.0]))  # already in flight
+    assert ledger.admit(np.array([1.0, 1.0])) == 4  # ids stay unique
+    ledger.release(3)
+    np.testing.assert_allclose(ledger.used_bytes, [2.0, 3.0])
+
+
+# ---------------------------------------------------------------------------
+# Live migration on the real runtime
+# ---------------------------------------------------------------------------
+
+
+def test_manual_migration_streams_byte_identical(reference, tiny8l, workload12):
+    """The headline contract: a mid-flight repartition (3 -> 2 stages,
+    bit-preserving) must not change a single token of any stream."""
+    plan3 = _plan([(16,) * 3, (16,) * 3, (16,) * 2], workload=workload12)
+    plan2 = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    requests = _uniform_requests(tiny8l)
+    with PipelineRuntime(reference, plan3) as rt:
+        sched = TriggerAfter(rt, new_plan=plan2, after=2)
+        report = sched.serve(requests)
+        assert rt.plan is plan2
+    assert len(report.completed) == len(requests)
+    assert report.rejected == []  # zero drops through the quiesce
+    assert report.migrations == 1 and report.replans == 1
+    assert report.replayed_tokens > 0
+    assert report.replay_divergences == 0  # bit-preserving plan
+    assert report.quiesce_seconds > 0
+    rec = sched.controller.log[0]
+    assert rec.rebuilt and rec.reason == "manual"
+    assert rec.stages_before == 3 and rec.stages_after == 2
+    assert rec.inflight == len(requests)
+    _assert_streams_match(report, reference, requests)
+
+
+def test_quantized_migration_preserves_streams(reference, tiny8l, workload12):
+    """Repartitioning a mixed-precision plan keeps per-layer bitwidths, so
+    replayed streams still equal the fake-quant reference."""
+    from repro.quant import quantize_dequantize
+
+    layer_bits = [8, 8, 8, 4, 4, 4, 16, 16]
+    plan3 = _plan([(8,) * 3, (4,) * 3, (16,) * 2], workload=workload12)
+    plan2 = _plan([(8, 8, 8, 4), (4, 4, 16, 16)], workload=workload12)
+    fq = reference.clone()
+    for i, b in enumerate(layer_bits):
+        if b < 16:
+            fq.apply_to_layer(i, lambda _n, w, b=b: quantize_dequantize(w, b))
+    requests = _uniform_requests(tiny8l, seed=23)
+    with PipelineRuntime(reference, plan3) as rt:
+        report = TriggerAfter(rt, new_plan=plan2, after=3).serve(requests)
+    assert report.migrations == 1
+    assert report.replay_divergences == 0
+    _assert_streams_match(report, fq, requests)
+
+
+def test_metadata_only_migration_skips_replay(reference, tiny8l, workload12):
+    """Same partition + bitwidths: workers and KV survive, nothing is
+    replayed, and the streams are untouched."""
+    from dataclasses import replace
+
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    refit = replace(plan, workload=Workload(8, 6, 4))
+    requests = _uniform_requests(tiny8l, seed=5)
+    with PipelineRuntime(reference, plan) as rt:
+        sched = TriggerAfter(rt, new_plan=refit, after=2)
+        report = sched.serve(requests)
+        assert rt.plan is refit
+    assert report.migrations == 1 and report.replans == 1
+    assert report.replayed_tokens == 0
+    assert sched.controller.log[0].rebuilt is False
+    assert len(report.completed) == len(requests)
+    _assert_streams_match(report, reference, requests)
+
+
+def test_migration_racing_stage_crash(reference, tiny8l, workload12):
+    """A stage crash striking *during* the migration replay must be
+    absorbed by the crash ladder — same-plan forced migration — and the
+    streams must still be byte-identical with nothing dropped."""
+    plan3 = _plan([(16,) * 3, (16,) * 3, (16,) * 2], workload=workload12)
+    plan2 = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    requests = _uniform_requests(tiny8l)
+    # stage 1 sees 4 prefills (1-4) then 4 decodes (5-8) before the
+    # boundary-2 migration; activation 10 is the second replayed prefill
+    # of the migration itself.
+    inj = FaultInjector([StageCrash(stage=1, at=10)], seed=0)
+    with PipelineRuntime(reference, plan3, fault_injector=inj) as rt:
+        sched = TriggerAfter(rt, new_plan=plan2, after=2)
+        report = sched.serve(requests)
+        assert rt.plan is plan2  # the interrupted migration still landed
+    assert inj.fired and inj.fired[0][0] == "crash"
+    assert report.crash_recoveries == 1
+    assert report.migrations >= 1
+    assert report.replayed_tokens > 0
+    assert report.replay_divergences == 0
+    assert len(report.completed) == len(requests)
+    assert report.rejected == []
+    _assert_streams_match(report, reference, requests)
+
+
+def test_crash_recovery_through_controller(reference, tiny8l, workload12):
+    """A transient crash with no migration requested is recovered as a
+    forced same-plan migration: KV replayed, nothing dropped."""
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    requests = _uniform_requests(tiny8l, seed=13)
+    inj = FaultInjector([StageCrash(stage=1, at=6)], seed=0)
+    with PipelineRuntime(reference, plan, fault_injector=inj) as rt:
+        sched = ContinuousScheduler(rt)
+        report = sched.serve(requests)
+        assert rt.stats.retries == 1
+    assert report.crash_recoveries == 1
+    assert report.migrations == 1 and report.replans == 0
+    assert sched.controller.log[0].reason == "crash-retry:stage1"
+    assert len(report.completed) == len(requests)
+    _assert_streams_match(report, reference, requests)
+
+
+def test_drift_refit_end_to_end(reference, tiny8l, workload12):
+    """Drift in the live trace (longer prompts, shorter generations than
+    the plan declared) triggers a metadata-only refit mid-serve."""
+    rng = np.random.default_rng(31)
+    mk = lambda i, s, t: ServeRequest(
+        request_id=i,
+        prompt=rng.integers(0, tiny8l.vocab_size, size=s, dtype=np.int64),
+        gen_len=3, arrival=t,
+    )
+    calm = [mk(i, 4, i * 0.5) for i in range(12)]
+    drifted = [mk(12 + i, 12, 6.0 + i * 0.5) for i in range(12)]
+    requests = calm + drifted
+    drift = DriftConfig(
+        window=2.0, threshold=0.6, hysteresis=1, cooldown=0.0, min_requests=3
+    )
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    with PipelineRuntime(reference, plan) as rt:
+        sched = ContinuousScheduler(
+            rt, drift=drift, replanner=workload_refit_replanner
+        )
+        report = sched.serve(requests)
+        assert rt.plan.meta.get("drift_refit") is True
+        assert rt.plan.workload.gen_len == 3  # refit to the observed mix
+    assert report.drift_triggers >= 1
+    assert report.migrations >= 1 and report.replans >= 1
+    assert report.replayed_tokens == 0  # refits never re-cut shards
+    assert len(report.completed) == len(requests)
+    assert report.rejected == []
+    _assert_streams_match(report, reference, requests)
+
+
+def test_wave_policy_rejects_drift_and_migration(reference, workload12):
+    plan = _plan([(16,) * 4, (16,) * 4], workload=workload12)
+    with PipelineRuntime(reference, plan) as rt:
+        with pytest.raises(ValueError, match="continuous"):
+            ContinuousScheduler(rt, policy="wave", drift=DriftConfig())
+        sched = ContinuousScheduler(rt, policy="wave")
+        with pytest.raises(ValueError, match="continuous"):
+            sched.request_migration(plan)

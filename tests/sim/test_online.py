@@ -38,17 +38,15 @@ def test_trace_deterministic_by_seed():
     assert [r.arrival for r in a] == [r.arrival for r in b]
 
 
-def test_deprecated_trace_shim_delegates():
-    """The old sim-side sampler is a warning shim over the workload one."""
-    from repro.sim.online import sample_poisson_trace
+def test_deprecated_trace_shim_removed():
+    """The sim-side sampler shim has been removed for good; the workload
+    layer's sampler is the only one."""
+    import repro.sim as sim
+    import repro.sim.online as online
 
-    with pytest.warns(DeprecationWarning, match="sample_poisson_arrivals"):
-        old = sample_poisson_trace(2.0, 50.0, seed=3)
-    new = sample_poisson_arrivals(2.0, 50.0, seed=3)
-    assert [(r.arrival, r.prompt_len, r.gen_len) for r in old] == [
-        (r.arrival, r.prompt_len, r.gen_len) for r in new
-    ]
-    assert all(isinstance(r, OnlineRequest) for r in old)
+    assert not hasattr(online, "sample_poisson_trace")
+    assert "sample_poisson_trace" not in sim.__all__
+    assert "sample_poisson_trace" not in online.__all__
 
 
 def test_lower_precision_admits_bigger_batches(cluster3, w):
@@ -208,6 +206,86 @@ def test_simulate_online_validates_policy_and_engine(cluster3, w):
         simulate_online(plan, cluster3, trace, policy="orca")
     with pytest.raises(ValueError, match="engine"):
         simulate_online(plan, cluster3, trace, engine="magic")
+
+
+# ---------------------------------------------------------------------------
+# Drift-aware live replanning (mirrored migration)
+# ---------------------------------------------------------------------------
+
+
+def _drifted_trace():
+    """Light phase (1 req/s, short) then a heavy phase (5 req/s, longer)."""
+    light = [
+        OnlineRequest(arrival=k * 1.0, prompt_len=128, gen_len=16)
+        for k in range(40)
+    ]
+    heavy = [
+        OnlineRequest(arrival=40.0 + k * 0.2, prompt_len=256, gen_len=32)
+        for k in range(200)
+    ]
+    return light + heavy
+
+
+def test_drift_requires_continuous_policy(cluster3, w):
+    from repro.runtime.replan import DriftConfig
+
+    plan = _plan(cluster3, w, 8)
+    trace = [OnlineRequest(arrival=0.0, prompt_len=64, gen_len=8)]
+    with pytest.raises(ValueError, match="continuous"):
+        simulate_online(
+            plan, cluster3, trace, policy="wave", drift=DriftConfig()
+        )
+
+
+def test_drift_migration_triggers_and_beats_static(cluster3, w):
+    """The mirrored migration: the drift-aware run switches to the 4-bit
+    plan when the heavy phase hits and ends up ahead of the static run,
+    pause included."""
+    from repro.runtime.replan import DriftConfig
+
+    plan16 = _plan(cluster3, w, 16)
+    plan4 = _plan(cluster3, w, 4)
+    trace = _drifted_trace()
+    drift = DriftConfig(
+        window=10.0, threshold=1.0, hysteresis=1, cooldown=1000.0,
+        rebuild_seconds=0.5,
+    )
+    static = simulate_online(plan16, cluster3, trace, policy="continuous")
+    adaptive = simulate_online(
+        plan16, cluster3, trace, policy="continuous", drift=drift,
+        replanner=lambda cur, est: plan4 if cur is plan16 else None,
+    )
+    assert adaptive.drift_triggers >= 1
+    assert adaptive.migrations == 1 and adaptive.replans == 1
+    assert adaptive.migration_seconds > 0  # shards re-cut: replay priced
+    assert adaptive.completed == static.completed == len(trace)
+    assert adaptive.p95_latency < static.p95_latency
+    assert "migrations" in adaptive.summary()
+
+
+def test_drift_workload_refit_is_metadata_only(cluster3, w):
+    """Same partition + bitwidths: the refit switch costs zero pause."""
+    from repro.runtime.replan import DriftConfig, workload_refit_replanner
+
+    plan = _plan(cluster3, w, 4)
+    short = [
+        OnlineRequest(arrival=k * 0.5, prompt_len=64, gen_len=16)
+        for k in range(80)
+    ]
+    long_ = [
+        OnlineRequest(arrival=40.0 + k * 0.5, prompt_len=512, gen_len=16)
+        for k in range(80)
+    ]
+    drift = DriftConfig(
+        window=10.0, threshold=1.0, hysteresis=1, cooldown=1000.0
+    )
+    res = simulate_online(
+        plan, cluster3, short + long_, policy="continuous",
+        drift=drift, replanner=workload_refit_replanner,
+    )
+    assert res.migrations >= 1
+    assert res.migration_seconds == 0.0  # same stages: metadata-only
+    assert res.completed == 160
 
 
 def test_headroom_helpers_consistent(cluster3, w):

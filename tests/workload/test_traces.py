@@ -89,3 +89,88 @@ def test_poisson_arrivals_caps_and_validation():
         RequestArrival(arrival=0.0, prompt_len=0, gen_len=4)
     with pytest.raises(ValueError):
         RequestArrival(arrival=0.0, prompt_len=8, gen_len=0)
+
+
+# ---------------------------------------------------------------------------
+# Drift-exercising arrival processes (bursty / diurnal / Pareto)
+# ---------------------------------------------------------------------------
+
+
+def test_bursty_arrivals_deterministic_and_bursty():
+    from repro.workload import sample_bursty_arrivals
+
+    a = sample_bursty_arrivals(1.0, 300.0, seed=4, burst_duration=5.0,
+                               burst_period=30.0)
+    b = sample_bursty_arrivals(1.0, 300.0, seed=4, burst_duration=5.0,
+                               burst_period=30.0)
+    assert [(r.arrival, r.prompt_len, r.gen_len) for r in a] == [
+        (r.arrival, r.prompt_len, r.gen_len) for r in b
+    ]
+    times = np.array([r.arrival for r in a])
+    assert np.all(np.diff(times) > 0)
+    # arrivals inside the 5s burst windows run at ~8x the base rate
+    in_burst = (times % 30.0) < 5.0
+    burst_rate = in_burst.sum() / (300.0 / 30.0 * 5.0)
+    base_rate = (~in_burst).sum() / (300.0 / 30.0 * 25.0)
+    assert burst_rate > 3.0 * base_rate
+    with pytest.raises(ValueError):
+        sample_bursty_arrivals(0.0, 10.0)
+    with pytest.raises(ValueError):
+        sample_bursty_arrivals(1.0, 10.0, burst_duration=30.0, burst_period=30.0)
+    with pytest.raises(ValueError):
+        sample_bursty_arrivals(2.0, 10.0, burst_rate=1.0)
+
+
+def test_diurnal_arrivals_follow_the_cycle():
+    from repro.workload import sample_diurnal_arrivals
+
+    a = sample_diurnal_arrivals(2.0, 240.0, seed=5, amplitude=0.9, period=120.0)
+    b = sample_diurnal_arrivals(2.0, 240.0, seed=5, amplitude=0.9, period=120.0)
+    assert [(r.arrival, r.prompt_len) for r in a] == [
+        (r.arrival, r.prompt_len) for r in b
+    ]
+    times = np.array([r.arrival for r in a])
+    assert np.all(np.diff(times) > 0)
+    # the rising half of the sine carries more arrivals than the falling
+    phase = times % 120.0
+    day = (phase < 60.0).sum()
+    night = (phase >= 60.0).sum()
+    assert day > 1.5 * night
+    with pytest.raises(ValueError):
+        sample_diurnal_arrivals(2.0, 10.0, amplitude=1.0)
+    with pytest.raises(ValueError):
+        sample_diurnal_arrivals(0.0, 10.0)
+
+
+def test_pareto_arrivals_heavy_tail():
+    from repro.workload import sample_pareto_arrivals
+
+    a = sample_pareto_arrivals(3.0, 200.0, seed=6, shape=1.2)
+    b = sample_pareto_arrivals(3.0, 200.0, seed=6, shape=1.2)
+    assert [(r.arrival, r.prompt_len, r.gen_len) for r in a] == [
+        (r.arrival, r.prompt_len, r.gen_len) for r in b
+    ]
+    lens = np.array([r.prompt_len for r in a])
+    assert lens.min() >= 16 and lens.max() <= 2048
+    # heavy tail: the max dwarfs the median, and some prompts blow past 8x
+    assert lens.max() > 8 * np.median(lens)
+    assert all(r.gen_len >= 4 and r.gen_len <= 512 for r in a)
+    with pytest.raises(ValueError):
+        sample_pareto_arrivals(1.0, 10.0, shape=0.0)
+
+
+def test_concat_arrival_phases_offsets_clocks():
+    from repro.workload import (
+        concat_arrival_phases,
+        sample_pareto_arrivals,
+        sample_poisson_arrivals,
+    )
+
+    calm = sample_poisson_arrivals(1.0, 60.0, seed=1)
+    heavy = sample_pareto_arrivals(4.0, 60.0, seed=2)
+    trace = concat_arrival_phases([calm, heavy])
+    assert len(trace) == len(calm) + len(heavy)
+    times = np.array([r.arrival for r in trace])
+    assert np.all(np.diff(times) >= 0)  # monotone across the phase seam
+    # the second phase really starts after the first ends
+    assert trace[len(calm)].arrival > calm[-1].arrival
