@@ -1,0 +1,148 @@
+"""Extension: the vectorized event-batch trace engine at million scale.
+
+``simulate_online(engine="analytic")`` now runs the continuous-batching
+online simulation through :mod:`repro.sim.trace_engine` — column-major
+request state, vectorized admission scans, closed-form decode-run
+pricing through memoized per-(stage, bits) decode constants, and a
+boundary-stretch mode that schedules whole runs of token boundaries per
+Python-level step.  The displaced scalar loop survives as the equality
+oracle behind ``engine="reference"``.
+
+The headline replays a **one-million-request** drifting diurnal trace
+(3x overloaded against the plan's decode capacity, live replanning
+enabled) through both engines and requires:
+
+* **byte-identical results** — every ``OnlineResult`` field, including
+  the drift/replan counters, must match the scalar oracle exactly;
+* **>= 50x speedup** — the vectorized engine must finish the million
+  requests in single-digit seconds where the oracle takes minutes.
+
+Wall time is machine-dependent, so the committed baseline records the
+speedup ratio; the CI smoke replays a 100k-request cut of the same
+scenario and guards a conservative 8x floor plus byte-identity.
+"""
+
+import json
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.bench.tables import RESULTS_DIR, print_table, save_results
+from repro.core.plan import ExecutionPlan
+from repro.hardware import make_cluster
+from repro.runtime.replan import DriftConfig, workload_refit_replanner
+from repro.sim.online import simulate_online
+from repro.workload import Workload
+from repro.workload.traces import sample_diurnal_arrivals
+
+#: decode tokens/s the A100x4 4-bit opt-30b plan sustains at full batch —
+#: measured once from the analytic engine; the trace rate is pinned at 3x
+#: this capacity so admission control and drift replanning stay loaded.
+_CAPACITY_TOK_S = 1739.0
+_OVERLOAD = 3.0
+
+
+def _scenario(n_requests):
+    cluster = make_cluster([("A100-80G", 4)], name="bench-a100x4")
+    w = Workload(prompt_len=24, gen_len=64, global_batch=16)
+    plan = ExecutionPlan.uniform("opt-30b", cluster.devices, w, bits=4)
+    plan = replace(plan, meta={**plan.meta, "kv_bits": 4})
+    probe = sample_diurnal_arrivals(
+        35.0, 200.0, amplitude=0.35, period=6000.0,
+        seed=11, max_prompt=48, max_gen=96,
+    )
+    rate = _OVERLOAD * (_CAPACITY_TOK_S / float(probe.gen_lens.mean()))
+    duration = n_requests / rate
+    trace = sample_diurnal_arrivals(
+        rate, duration, amplitude=0.35, period=duration / 4.0,
+        seed=11, max_prompt=48, max_gen=96,
+    )
+    drift = DriftConfig(
+        window=duration / 16.0, threshold=0.4, hysteresis=2,
+        cooldown=duration / 8.0, rebuild_seconds=1.0,
+    )
+    return plan, cluster, trace, drift
+
+
+def _run(plan, cluster, trace, drift, *, engine):
+    t0 = time.perf_counter()
+    res = simulate_online(
+        plan, cluster, trace, policy="continuous", engine=engine,
+        drift=drift, replanner=workload_refit_replanner,
+    )
+    return res, time.perf_counter() - t0
+
+
+def _compare(n_requests, repeats=1):
+    plan, cluster, trace, drift = _scenario(n_requests)
+    vec_s, ref_s = [], []
+    vec = ref = None
+    for _ in range(repeats):
+        vec, t = _run(plan, cluster, trace, drift, engine="analytic")
+        vec_s.append(t)
+        ref, t = _run(plan, cluster, trace, drift, engine="reference")
+        ref_s.append(t)
+    return vec, ref, min(vec_s), min(ref_s), len(trace)
+
+
+def _check_identical(vec, ref):
+    assert vec == ref, "vectorized engine diverged from the scalar oracle"
+    assert vec.drift_triggers == ref.drift_triggers
+    assert vec.migrations == ref.migrations
+    assert vec.replans == ref.replans
+
+
+def test_ext_trace_engine_headline():
+    vec, ref, vec_t, ref_t, n_req = _compare(1_000_000)
+    _check_identical(vec, ref)
+    speedup = ref_t / vec_t
+    rows = [
+        {"engine": "reference (scalar oracle)", "wall_s": round(ref_t, 3),
+         "iterations": ref.iterations, "speedup": 1.0},
+        {"engine": "event-batch (vectorized)", "wall_s": round(vec_t, 3),
+         "iterations": vec.iterations, "speedup": round(speedup, 1)},
+    ]
+    print_table(rows, title="Ext — million-request trace engine")
+    assert speedup >= 50.0, (
+        f"vectorized engine only {speedup:.1f}x faster (needs >= 50x)"
+    )
+    save_results(
+        "ext_trace_engine",
+        {
+            "scenario": "opt-30b 4-bit (kv 4-bit), A100-80G x4, continuous "
+                        "policy, diurnal 3x-overload drift trace "
+                        f"({n_req} requests), live replanning on",
+            "rows": rows,
+            "requests": n_req,
+            "speedup": round(speedup, 1),
+            "vectorized_wall_s": round(vec_t, 3),
+            "reference_wall_s": round(ref_t, 3),
+            "iterations": vec.iterations,
+            "mean_inflight": round(vec.mean_inflight, 1),
+            "drift_triggers": vec.drift_triggers,
+            "migrations": vec.migrations,
+            "results_identical": True,
+        },
+    )
+
+
+def test_ext_trace_engine_smoke():
+    """CI guard: byte-identity on a 100k-request cut of the headline
+    scenario, and the speedup holds a conservative 8x floor (the
+    committed 50x+ ratio is informational — wall clock and the fixed
+    per-run overheads are machine-dependent, and the engine's advantage
+    grows with trace length)."""
+    baseline_path = RESULTS_DIR / "ext_trace_engine.json"
+    if not baseline_path.exists():
+        pytest.skip("no committed baseline to compare against")
+    committed = json.loads(baseline_path.read_text())
+    assert committed["results_identical"] is True
+    assert committed["speedup"] >= 50.0
+    vec, ref, vec_t, ref_t, _ = _compare(100_000, repeats=2)
+    _check_identical(vec, ref)
+    speedup = ref_t / vec_t
+    assert speedup >= 8.0, (
+        f"speedup {speedup:.1f}x fell below the 8x smoke floor "
+        f"(committed headline {committed['speedup']:.1f}x at 1M requests)"
+    )

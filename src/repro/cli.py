@@ -283,24 +283,38 @@ def dist_main(argv: list[str] | None = None) -> int:
 
 
 def _sample_trace(args: argparse.Namespace, max_prompt: int, max_gen: int):
-    """Draw the requested arrival process from ``workload.traces``."""
+    """Draw the requested arrival process from ``workload.traces``.
+
+    ``--trace-file`` replays a saved trace instead of sampling;
+    ``--save-trace`` persists whatever was sampled for later replay.
+    """
     from .workload.traces import (
+        load_trace,
         sample_bursty_arrivals,
         sample_diurnal_arrivals,
         sample_pareto_arrivals,
         sample_poisson_arrivals,
+        save_trace,
     )
 
+    if getattr(args, "trace_file", None):
+        try:
+            return load_trace(args.trace_file)
+        except (OSError, ValueError) as e:
+            raise SystemExit(f"error: cannot load --trace-file: {e}") from e
     sampler = {
         "poisson": sample_poisson_arrivals,
         "bursty": sample_bursty_arrivals,
         "diurnal": sample_diurnal_arrivals,
         "pareto": sample_pareto_arrivals,
     }[args.trace]
-    return sampler(
+    trace = sampler(
         args.rate, args.duration, seed=args.seed,
         max_prompt=max_prompt, max_gen=max_gen,
     )
+    if getattr(args, "save_trace", None):
+        save_trace(trace, args.save_trace)
+    return trace
 
 
 def serve_main(argv: list[str] | None = None) -> int:
@@ -321,12 +335,23 @@ def serve_main(argv: list[str] | None = None) -> int:
                    help="arrival process: homogeneous Poisson, periodic "
                         "bursts, a sinusoidal diurnal cycle, or Pareto "
                         "heavy-tailed lengths")
+    p.add_argument("--trace-file", default=None,
+                   help="replay a saved arrival trace (JSON from "
+                        "--save-trace) instead of sampling; --trace/--rate/"
+                        "--duration/--seed are ignored")
+    p.add_argument("--save-trace", default=None,
+                   help="write the sampled trace to this JSON file for "
+                        "exact replay via --trace-file")
     p.add_argument("--policy", choices=["continuous", "wave"],
                    default="continuous",
                    help="iteration-level continuous batching, or the "
                         "wave (offline-style gang) baseline")
-    p.add_argument("--engine", choices=["analytic", "des"], default="analytic",
-                   help="iteration pricing for the simulator path")
+    p.add_argument("--engine",
+                   choices=["analytic", "des", "reference", "reference-des"],
+                   default="analytic",
+                   help="simulator backend: the vectorized event-batch "
+                        "engine with analytic or DES iteration pricing, or "
+                        "the scalar reference oracle it is checked against")
     p.add_argument("--cost-source", choices=["kernels", "model"],
                    default="kernels",
                    help="stage-time source for the simulator path: "
@@ -358,10 +383,12 @@ def serve_main(argv: list[str] | None = None) -> int:
                    help="minimum seconds between drift triggers")
     args = p.parse_args(argv)
 
-    if args.rate <= 0 or args.duration <= 0:
+    if args.trace_file is None and (args.rate <= 0 or args.duration <= 0):
         return _fail("--rate and --duration must be positive")
     if args.replan_on_drift and args.policy != "continuous":
         return _fail("--replan-on-drift requires --policy continuous")
+    if args.engine.startswith("reference") and args.policy != "continuous":
+        return _fail("the reference engine requires --policy continuous")
     drift = None
     if args.replan_on_drift:
         from .runtime.replan import DriftConfig

@@ -131,6 +131,8 @@ class StageCostModel:
         self._charge_memo: dict = {}
         self._mem_memo: dict = {}
         self._pairs = None
+        self._decode_extra_memo: dict = {}
+        self._batch_consts_memo = None
         # plan-workload-specific memos (never shared)
         self._fits_memo: dict = {}
         self._views = None
@@ -399,6 +401,100 @@ class StageCostModel:
             out[j] += self.comm_time(j, batch, 1)
         return out
 
+    def unit_decode_times_batch(
+        self, batches: np.ndarray, contexts: np.ndarray
+    ) -> np.ndarray:
+        """``(k, num_stages)`` decode-unit table: row ``i`` equals
+        ``unit_decode_times(batches[i], contexts[i])`` bit-for-bit.
+
+        The vectorized online engine prices whole decode runs through this
+        one call.  With the kernels source and caching on, the roofline is
+        evaluated as a ``(k, pairs)`` matrix against the precomputed
+        per-(stage, bits) constants; per-batch embedding/comm add-ons come
+        from small per-distinct-batch tables.  Every floating-point
+        operation mirrors the scalar path's order, so equality is exact,
+        not approximate.
+        """
+        b = np.asarray(batches, dtype=np.int64)
+        c = np.asarray(contexts, dtype=np.float64)
+        if b.shape != c.shape or b.ndim != 1:
+            raise ValueError("batches/contexts must be aligned 1-D arrays")
+        n = self.plan.num_stages
+        k = b.size
+        if self.source == "model" or not self.cache_enabled:
+            out = np.zeros((k, n))
+            for i in range(k):
+                out[i] = self.unit_decode_times(int(b[i]), float(c[i]))
+            return out
+        counts_f, seg_starts, one_layer_flops, h, ffn, heads = self._batch_consts()
+        _, _, eff_flops, w_term, eff_bw, launch = self._decode_pairs()
+        kv_bits = 16
+        bc = b[:, None].astype(np.float64)
+        cc = c[:, None]
+        # layer_flops(b, 1, 0) == b * layer_flops(1, 1, 0) exactly: the
+        # scalar path multiplies the int batch into one float constant
+        flops = bc * one_layer_flops + 4.0 * bc * h * cc
+        compute_t = flops / eff_flops[None, :]
+        fixed = bc * 1 * (6 * h + 2 * ffn) * ACT_BYTES + bc * 2 * h * (
+            kv_bits / 8.0
+        )
+        per_ctx = bc * heads * cc * ACT_BYTES * 2 + bc * cc * 2 * h * (
+            kv_bits / 8.0
+        )
+        mem_t = w_term[None, :] + (fixed + per_ctx) / eff_bw[None, :]
+        vals = np.maximum(compute_t, mem_t) + launch[None, :]
+        # fold pairs into their stages: reduceat's left fold over each
+        # contiguous stage segment matches the scalar ``out[j] +=`` chain
+        out = np.add.reduceat(vals * counts_f[None, :], seg_starts, axis=1)
+        extras = self._decode_extra_tables(b)
+        out[:, 0] += extras[:, 0]
+        out[:, n - 1] += extras[:, 1]
+        out += extras[:, 2:]
+        return out
+
+    def _batch_consts(self):
+        """Scalar constants hoisted out of the batched roofline (pair
+        counts as floats, reduceat stage offsets, model dims)."""
+        consts = self._batch_consts_memo
+        if consts is None:
+            stage_of, counts, *_ = self._decode_pairs()
+            seg = np.flatnonzero(np.r_[1, np.diff(stage_of)])
+            consts = (
+                np.array(counts, dtype=np.float64),
+                seg,
+                self.cfg.layer_flops(1, 1, 0),
+                self.cfg.hidden_size,
+                self.cfg.ffn_dim,
+                self.cfg.num_heads,
+            )
+            self._batch_consts_memo = consts
+        return consts
+
+    def _decode_extra_tables(self, batches: np.ndarray) -> np.ndarray:
+        """Per-row embedding/comm decode add-ons as a gather from a dense
+        per-batch-size memo: columns ``(emb_first, emb_last, comm...)``."""
+        n = self.plan.num_stages
+        top = int(batches.max()) + 1
+        table = self._decode_extra_memo.get("table")
+        if table is None or table.shape[0] < top:
+            grown = np.full((max(top, 64), n + 2), np.nan)
+            if table is not None:
+                grown[: table.shape[0]] = table
+            table = grown
+            if self.cache_enabled:
+                self._decode_extra_memo["table"] = table
+        rows = table[batches]
+        hole = np.isnan(rows[:, 0])
+        if hole.any():
+            for bval in np.unique(batches[hole]).tolist():
+                row = table[bval]
+                row[0] = self._emb_time(0, bval, 1, False)
+                row[1] = self._emb_time(n - 1, bval, 1, True)
+                for j in range(n):
+                    row[2 + j] = self.comm_time(j, bval, 1)
+            rows = table[batches]
+        return rows
+
     # ------------------------------------------------------------------
     # memory views (planner Sec.-4.1 accounting)
     # ------------------------------------------------------------------
@@ -540,6 +636,23 @@ class StageCostModel:
                 self._charge_memo[tokens] = arr
         return arr.copy()
 
+    def request_kv_bytes_batch(self, total_tokens: np.ndarray) -> np.ndarray:
+        """``(k, num_stages)`` KV-charge table: row ``i`` equals
+        ``request_kv_bytes(s, n)`` for any ``s + n == total_tokens[i]``
+        (the charge depends only on the token count).
+
+        ``kv_cache_bytes`` is ``float(L * 1 * t * per_token)``: the integer
+        product is exact, so the single float rounding lands on the same
+        value regardless of evaluation order — the rows are bit-identical
+        to the scalar memo.
+        """
+        t = np.asarray(total_tokens, dtype=np.int64)
+        layers = np.array(
+            [s.num_layers for s in self.plan.stages], dtype=np.int64
+        )
+        per_token = self.cfg.kv_bytes_per_token_per_layer(self.kv_bits)
+        return (t[:, None] * layers[None, :]) * per_token
+
     # ------------------------------------------------------------------
     def derive(self, plan: "ExecutionPlan") -> "StageCostModel":
         """Cost model for a re-shaped variant of the same plan.
@@ -567,6 +680,8 @@ class StageCostModel:
         clone._charge_memo = self._charge_memo
         clone._mem_memo = self._mem_memo
         clone._pairs = self._pairs
+        clone._decode_extra_memo = self._decode_extra_memo
+        clone._batch_consts_memo = self._batch_consts_memo
         return clone
 
 

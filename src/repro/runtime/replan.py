@@ -138,8 +138,19 @@ class DriftDetector:
 
     def __init__(self, config: DriftConfig | None = None) -> None:
         self.config = config or DriftConfig()
-        self._pending: list[tuple[float, int, int]] = []
-        self._occ_pending: list[tuple[float, float]] = []
+        # pending observations as parallel columns: scalar observes append
+        # to Python tail lists, batch observes park whole arrays as chunks
+        # (no per-element conversion) — window maths then runs as array
+        # reductions over the same values in the same order either way,
+        # so closed-window statistics (and therefore triggers) are
+        # bit-identical
+        self._pending_t: list[float] = []
+        self._pending_s: list[int] = []
+        self._pending_g: list[int] = []
+        self._arr_chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._occ_t: list[float] = []
+        self._occ_v: list[float] = []
+        self._occ_chunks: list[tuple[np.ndarray, np.ndarray]] = []
         self._win_start = 0.0
         self._baseline: tuple[float, float, float, float] | None = None
         self._streak = 0
@@ -155,12 +166,93 @@ class DriftDetector:
     # -- observations ---------------------------------------------------
     def observe_arrival(self, t: float, prompt_len: int, gen_len: int) -> None:
         """Record one request arrival at virtual time ``t``."""
-        self._pending.append((t, prompt_len, gen_len))
+        self._pending_t.append(t)
+        self._pending_s.append(prompt_len)
+        self._pending_g.append(gen_len)
+
+    def observe_arrivals(self, times, prompt_lens, gen_lens) -> None:
+        """Batch form of :meth:`observe_arrival` (aligned arrays)."""
+        self._flush_arrival_tail()
+        self._arr_chunks.append((
+            np.asarray(times, dtype=np.float64),
+            np.asarray(prompt_lens, dtype=np.int64),
+            np.asarray(gen_lens, dtype=np.int64),
+        ))
 
     def observe_occupancy(self, t: float, fraction: float) -> None:
         """Record the max per-stage KV usage fraction at time ``t``."""
-        self._occ_pending.append((t, float(fraction)))
+        self._occ_t.append(t)
+        self._occ_v.append(float(fraction))
         self._last_occ = float(fraction)
+
+    def observe_occupancies(self, times, fractions) -> None:
+        """Batch form of :meth:`observe_occupancy` (aligned arrays)."""
+        ts = np.asarray(times, dtype=np.float64)
+        vs = np.asarray(fractions, dtype=np.float64)
+        if vs.size:
+            self._flush_occupancy_tail()
+            self._occ_chunks.append((ts, vs))
+            self._last_occ = float(vs[-1])
+
+    def _flush_arrival_tail(self) -> None:
+        if self._pending_t:
+            self._arr_chunks.append((
+                np.array(self._pending_t, dtype=np.float64),
+                np.array(self._pending_s, dtype=np.int64),
+                np.array(self._pending_g, dtype=np.int64),
+            ))
+            self._pending_t = []
+            self._pending_s = []
+            self._pending_g = []
+
+    def _flush_occupancy_tail(self) -> None:
+        if self._occ_t:
+            self._occ_chunks.append((
+                np.array(self._occ_t, dtype=np.float64),
+                np.array(self._occ_v, dtype=np.float64),
+            ))
+            self._occ_t = []
+            self._occ_v = []
+
+    def _arrival_columns(
+        self,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Pending arrivals as aligned arrays (observation order)."""
+        self._flush_arrival_tail()
+        ch = self._arr_chunks
+        if not ch:
+            return (
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.int64),
+                np.empty(0, dtype=np.int64),
+            )
+        if len(ch) == 1:
+            return ch[0]
+        merged = (
+            np.concatenate([c[0] for c in ch]),
+            np.concatenate([c[1] for c in ch]),
+            np.concatenate([c[2] for c in ch]),
+        )
+        self._arr_chunks = [merged]
+        return merged
+
+    def _occupancy_columns(self) -> tuple[np.ndarray, np.ndarray]:
+        """Pending occupancy samples as aligned arrays."""
+        self._flush_occupancy_tail()
+        ch = self._occ_chunks
+        if not ch:
+            return (
+                np.empty(0, dtype=np.float64),
+                np.empty(0, dtype=np.float64),
+            )
+        if len(ch) == 1:
+            return ch[0]
+        merged = (
+            np.concatenate([c[0] for c in ch]),
+            np.concatenate([c[1] for c in ch]),
+        )
+        self._occ_chunks = [merged]
+        return merged
 
     def observe_device_loss(self, t: float, stage_idx: int) -> None:
         """Record a permanent device loss (fires on the next poll)."""
@@ -168,6 +260,12 @@ class DriftDetector:
         self.device_losses += 1
 
     # -- control --------------------------------------------------------
+    def next_window_end(self) -> float:
+        """When the currently open window closes — the only instant a
+        (non-device-loss) trigger can fire, which is what lets the
+        vectorized engine skip polling between window boundaries."""
+        return self._win_start + self.config.window
+
     def rebaseline(self, now: float | None = None) -> None:
         """Forget the baseline (post-migration) and restart the cooldown."""
         self._baseline = None
@@ -176,8 +274,13 @@ class DriftDetector:
         if now is not None:
             self._win_start = now
             self._last_trigger = now
-        self._pending.clear()
-        self._occ_pending.clear()
+        self._pending_t.clear()
+        self._pending_s.clear()
+        self._pending_g.clear()
+        self._arr_chunks.clear()
+        self._occ_t.clear()
+        self._occ_v.clear()
+        self._occ_chunks.clear()
 
     def poll(self, now: float) -> DriftEstimate | None:
         """Close any windows ending before ``now``; return a trigger or None."""
@@ -193,13 +296,15 @@ class DriftDetector:
         fired: DriftEstimate | None = None
         while now >= self._win_start + cfg.window:
             end = self._win_start + cfg.window
-            in_win = [a for a in self._pending if a[0] < end]
-            self._pending = [a for a in self._pending if a[0] >= end]
-            occ_in = [o for t, o in self._occ_pending if t < end]
-            self._occ_pending = [
-                (t, o) for t, o in self._occ_pending if t >= end
-            ]
-            est = self._close_window(end, in_win, occ_in)
+            pt, ps, pg = self._arrival_columns()
+            keep = pt >= end
+            in_s, in_g = ps[~keep], pg[~keep]
+            self._arr_chunks = [(pt[keep], ps[keep], pg[keep])]
+            ot, ov = self._occupancy_columns()
+            okeep = ot >= end
+            occ_in = ov[~okeep]
+            self._occ_chunks = [(ot[okeep], ov[okeep])]
+            est = self._close_window(end, in_s, in_g, occ_in)
             if est is not None and fired is None:
                 fired = est
             self._win_start = end
@@ -209,29 +314,30 @@ class DriftDetector:
     def _close_window(
         self,
         end: float,
-        arrivals: list[tuple[float, int, int]],
-        occ: list[float],
+        prompts: np.ndarray,
+        gens: np.ndarray,
+        occ: np.ndarray,
     ) -> DriftEstimate | None:
         cfg = self.config
         self.windows_closed += 1
-        self._recent.append(arrivals)
-        rate = len(arrivals) / cfg.window
-        occ_mean = float(np.mean(occ)) if occ else self._last_occ
+        self._recent.append((prompts, gens))
+        rate = prompts.size / cfg.window
+        occ_mean = float(np.mean(occ)) if occ.size else self._last_occ
         if self._baseline is None:
-            if len(arrivals) >= cfg.min_requests:
-                mp = float(np.mean([a[1] for a in arrivals]))
-                mg = float(np.mean([a[2] for a in arrivals]))
+            if prompts.size >= cfg.min_requests:
+                mp = float(np.mean(prompts))
+                mg = float(np.mean(gens))
                 self._baseline = (rate, mp, mg, occ_mean)
             return None
         base_rate, base_mp, base_mg, base_occ = self._baseline
         eps = 1e-9
         devs = {"rate": abs(rate - base_rate) / max(base_rate, eps)}
-        if len(arrivals) >= cfg.min_requests:
-            mp = float(np.mean([a[1] for a in arrivals]))
-            mg = float(np.mean([a[2] for a in arrivals]))
+        if prompts.size >= cfg.min_requests:
+            mp = float(np.mean(prompts))
+            mg = float(np.mean(gens))
             devs["prompt"] = abs(mp - base_mp) / max(base_mp, eps)
             devs["gen"] = abs(mg - base_mg) / max(base_mg, eps)
-        if occ:
+        if occ.size:
             devs["occupancy"] = abs(occ_mean - base_occ)
         axis = max(devs, key=devs.get)
         score = devs[axis]
@@ -250,13 +356,15 @@ class DriftDetector:
         return None
 
     def _estimate(self, at: float, *, score: float, reason: str) -> DriftEstimate:
-        recent = [a for win in self._recent for a in win] + self._pending
+        _, pend_s, pend_g = self._arrival_columns()
+        s_parts = [s for s, _ in self._recent] + [pend_s]
+        g_parts = [g for _, g in self._recent] + [pend_g]
+        prompts = np.concatenate(s_parts)
+        gens = np.concatenate(g_parts)
         cfg = self.config
         spanned = max(len(self._recent), 1) * cfg.window
-        rate = len(recent) / spanned if recent else 0.0
-        if recent:
-            prompts = np.array([a[1] for a in recent])
-            gens = np.array([a[2] for a in recent])
+        rate = prompts.size / spanned if prompts.size else 0.0
+        if prompts.size:
             mp, p90p = float(prompts.mean()), int(np.quantile(prompts, 0.9))
             mg, p90g = float(gens.mean()), int(np.quantile(gens, 0.9))
         elif self._baseline is not None:

@@ -157,6 +157,14 @@ def request_kv_bytes(
     return StageCostModel(plan).request_kv_bytes(prompt_len, gen_len)
 
 
+def _quantile(values: np.ndarray, q: float) -> float:
+    """NaN-safe percentile: empty samples read as unbounded latency
+    instead of tripping numpy's empty-slice warning and returning NaN."""
+    if values.size == 0:
+        return float("inf")
+    return float(np.quantile(values, q))
+
+
 def _infeasible(policy: str, rejected: int) -> OnlineResult:
     """Graceful no-request-admissible outcome (nothing to serve)."""
     return OnlineResult(
@@ -256,15 +264,15 @@ def _simulate_wave(
         completed=len(latencies),
         makespan=now,
         mean_latency=float(lat.mean()),
-        p95_latency=float(np.quantile(lat, 0.95)),
+        p95_latency=_quantile(lat, 0.95),
         throughput=total_tokens / now,
         waves=len(wave_batches),
         mean_wave_batch=float(np.mean(wave_batches)),
         policy="wave",
-        p50_latency=float(np.quantile(lat, 0.50)),
-        p99_latency=float(np.quantile(lat, 0.99)),
+        p50_latency=_quantile(lat, 0.50),
+        p99_latency=_quantile(lat, 0.99),
         mean_ttft=float(tt.mean()),
-        p95_ttft=float(np.quantile(tt, 0.95)),
+        p95_ttft=_quantile(tt, 0.95),
         rejected=rejected,
         mean_inflight=float(np.mean(wave_batches)),
     )
@@ -435,15 +443,15 @@ def _simulate_continuous(
         completed=len(latencies),
         makespan=now,
         mean_latency=float(lat.mean()),
-        p95_latency=float(np.quantile(lat, 0.95)),
+        p95_latency=_quantile(lat, 0.95),
         throughput=total_tokens / now,
         waves=0,
         mean_wave_batch=0.0,
         policy="continuous",
-        p50_latency=float(np.quantile(lat, 0.50)),
-        p99_latency=float(np.quantile(lat, 0.99)),
+        p50_latency=_quantile(lat, 0.50),
+        p99_latency=_quantile(lat, 0.99),
         mean_ttft=float(tt.mean()),
-        p95_ttft=float(np.quantile(tt, 0.95)),
+        p95_ttft=_quantile(tt, 0.95),
         rejected=rejected,
         iterations=iterations,
         mean_inflight=float(np.mean(inflight_samples)),
@@ -476,7 +484,12 @@ def simulate_online(
     optional hard concurrency cap on top of the memory model — with the
     wave policy it reproduces the legacy count-capped behaviour exactly.
     ``engine="des"`` prices each wave / iteration with the event-driven
-    simulator instead of the closed form.  ``source="model"`` (with a
+    simulator instead of the closed form.  The continuous policy runs
+    through the vectorized event-batch engine
+    (:mod:`repro.sim.trace_engine`), which replays million-request
+    traces in seconds; ``engine="reference"`` / ``"reference-des"``
+    select the scalar loop it is checked byte-identical against.
+    ``source="model"`` (with a
     fitted ``latency_model``) prices with the planner's cost model
     instead of the ground-truth kernels; ``cost_model`` shares an
     existing :class:`StageCostModel`'s tables.  Accepts any records with
@@ -491,25 +504,38 @@ def simulate_online(
     analytically priced replay of in-flight KV state when the new plan
     re-cuts shards, so big-model drift studies run without a runtime.
     """
-    if not trace:
+    if not len(trace):
         raise ValueError("empty trace")
     if policy not in ("wave", "continuous"):
         raise ValueError(f"unknown policy {policy!r}")
-    if engine not in ("analytic", "des"):
+    if engine not in ("analytic", "des", "reference", "reference-des"):
         raise ValueError(f"unknown engine {engine!r}")
+    reference = engine in ("reference", "reference-des")
+    if reference and policy != "continuous":
+        raise ValueError("the reference engine only prices the continuous policy")
     if (drift is not None or replanner is not None) and policy != "continuous":
         raise ValueError("drift replanning requires the continuous policy")
     if cost_model is None:
         cost_model = StageCostModel(
             plan, cluster, source=source, latency_model=latency_model
         )
-    reqs = sorted(trace, key=lambda r: r.arrival)
     if policy == "continuous":
-        return _simulate_continuous(
-            plan, cluster, reqs, max_batch=max_batch, engine=engine,
-            scm=cost_model, source=source, latency_model=latency_model,
-            drift=drift, replanner=replanner,
+        if reference:
+            reqs = sorted(trace, key=lambda r: r.arrival)
+            return _simulate_continuous(
+                plan, cluster, reqs, max_batch=max_batch,
+                engine="des" if engine == "reference-des" else "analytic",
+                scm=cost_model, source=source, latency_model=latency_model,
+                drift=drift, replanner=replanner,
+            )
+        from .trace_engine import simulate_continuous_vectorized, trace_columns
+
+        return simulate_continuous_vectorized(
+            plan, cluster, trace_columns(trace), max_batch=max_batch,
+            engine=engine, scm=cost_model, source=source,
+            latency_model=latency_model, drift=drift, replanner=replanner,
         )
+    reqs = sorted(trace, key=lambda r: r.arrival)
     return _simulate_wave(
         plan, cluster, reqs, max_batch=max_batch, engine=engine, scm=cost_model
     )

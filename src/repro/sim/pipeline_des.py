@@ -30,6 +30,7 @@ __all__ = [
     "DESResult",
     "simulate_pipeline_des",
     "iteration_makespan_des",
+    "iteration_makespan_des_batch",
     "FaultModel",
     "FaultyDESResult",
     "simulate_pipeline_des_with_faults",
@@ -258,6 +259,26 @@ def iteration_makespan_des(unit_stage_times: "list[np.ndarray]") -> float:
                 )
             )
     return simulate_task_graph(tasks).makespan
+
+
+def iteration_makespan_des_batch(stage_times: np.ndarray) -> np.ndarray:
+    """Vectorized DES makespans of single-unit (decode-only) iterations.
+
+    Row ``i`` of ``stage_times`` holds one iteration's per-stage busy
+    times.  With a single unit the event-driven schedule degenerates to
+    the sequential chain through the stages, so the makespan is the
+    left-fold sum ``((0 + t_0) + t_1) + ...`` — evaluated here as
+    column-wise adds, bit-identical to ``iteration_makespan_des([row])``
+    per row.  The vectorized online engine prices whole decode runs
+    through this instead of building one task graph per token step.
+    """
+    st = np.asarray(stage_times, dtype=np.float64)
+    if st.ndim != 2:
+        raise ValueError("stage_times must be a (iterations, stages) matrix")
+    acc = np.zeros(st.shape[0])
+    for j in range(st.shape[1]):
+        acc = acc + st[:, j]
+    return acc
 
 
 def simulate_pipeline_des_with_faults(

@@ -2,9 +2,12 @@
 
 from .spec import DEFAULT_WORKLOAD, SHORT_PROMPT_WORKLOAD, Workload
 from .traces import (
+    ArrivalTrace,
     PromptTrace,
     RequestArrival,
     concat_arrival_phases,
+    load_trace,
+    save_trace,
     sample_bursty_arrivals,
     sample_diurnal_arrivals,
     sample_pareto_arrivals,
@@ -17,9 +20,12 @@ __all__ = [
     "Workload",
     "DEFAULT_WORKLOAD",
     "SHORT_PROMPT_WORKLOAD",
+    "ArrivalTrace",
     "PromptTrace",
     "RequestArrival",
     "concat_arrival_phases",
+    "load_trace",
+    "save_trace",
     "sample_bursty_arrivals",
     "sample_diurnal_arrivals",
     "sample_pareto_arrivals",

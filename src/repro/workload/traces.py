@@ -5,11 +5,22 @@ substantially, with a heavy short-prompt mode and a long tail.  We model
 that with a mixture of a log-normal body and a uniform long tail, which
 the workload-characterization example uses to motivate phase-aware
 planning.
+
+Arrival traces are array-backed (:class:`ArrivalTrace`): the generators
+draw gaps/lengths in vectorized numpy chunks so a million-request
+day-long trace samples in well under a second, and the columns feed the
+vectorized online simulator without any per-request Python objects.
+Iterating a trace still yields :class:`RequestArrival` records, so every
+scalar consumer (the real scheduler, the reference simulator, tests)
+keeps working unchanged.
 """
 
 from __future__ import annotations
 
+import json
+import math
 from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -18,12 +29,15 @@ from .spec import Workload
 __all__ = [
     "PromptTrace",
     "RequestArrival",
+    "ArrivalTrace",
     "sample_sharegpt_like",
     "sample_poisson_arrivals",
     "sample_bursty_arrivals",
     "sample_diurnal_arrivals",
     "sample_pareto_arrivals",
     "concat_arrival_phases",
+    "save_trace",
+    "load_trace",
     "workloads_from_trace",
 ]
 
@@ -84,6 +98,142 @@ class RequestArrival:
             raise ValueError("prompt_len and gen_len must be positive")
 
 
+@dataclass(frozen=True)
+class ArrivalTrace(Sequence):
+    """Array-backed arrival trace: three aligned columns.
+
+    Behaves like a ``Sequence[RequestArrival]`` (len / index / iterate),
+    while exposing the raw numpy columns for the vectorized engine.
+    """
+
+    arrivals: np.ndarray     #: float64 seconds, one per request
+    prompt_lens: np.ndarray  #: int64 prompt tokens
+    gen_lens: np.ndarray     #: int64 generation tokens
+
+    def __post_init__(self) -> None:
+        a = np.asarray(self.arrivals, dtype=np.float64)
+        s = np.asarray(self.prompt_lens, dtype=np.int64)
+        g = np.asarray(self.gen_lens, dtype=np.int64)
+        if not (a.ndim == s.ndim == g.ndim == 1):
+            raise ValueError("trace columns must be 1-D")
+        if not (a.shape == s.shape == g.shape):
+            raise ValueError("trace columns must align")
+        if a.size:
+            if not np.all(np.isfinite(a)) or float(a.min()) < 0.0:
+                raise ValueError("arrivals must be finite and >= 0")
+            if int(s.min()) <= 0 or int(g.min()) <= 0:
+                raise ValueError("prompt_len and gen_len must be positive")
+        object.__setattr__(self, "arrivals", a)
+        object.__setattr__(self, "prompt_lens", s)
+        object.__setattr__(self, "gen_lens", g)
+
+    def __len__(self) -> int:
+        return int(self.arrivals.size)
+
+    def __getitem__(self, i):
+        if isinstance(i, slice):
+            return ArrivalTrace(
+                arrivals=self.arrivals[i],
+                prompt_lens=self.prompt_lens[i],
+                gen_lens=self.gen_lens[i],
+            )
+        return RequestArrival(
+            arrival=float(self.arrivals[i]),
+            prompt_len=int(self.prompt_lens[i]),
+            gen_len=int(self.gen_lens[i]),
+        )
+
+    def __iter__(self) -> Iterator[RequestArrival]:
+        for a, s, g in zip(
+            self.arrivals.tolist(), self.prompt_lens.tolist(), self.gen_lens.tolist()
+        ):
+            yield RequestArrival(arrival=a, prompt_len=s, gen_len=g)
+
+    def sorted(self) -> "ArrivalTrace":
+        """Stable sort by arrival time (matches ``sorted(list, key=arrival)``)."""
+        order = np.argsort(self.arrivals, kind="stable")
+        return ArrivalTrace(
+            arrivals=self.arrivals[order],
+            prompt_lens=self.prompt_lens[order],
+            gen_lens=self.gen_lens[order],
+        )
+
+    @classmethod
+    def from_requests(cls, reqs: Iterable[RequestArrival]) -> "ArrivalTrace":
+        """Build the array view of any iterable of request records."""
+        if isinstance(reqs, cls):
+            return reqs
+        rows = list(reqs)
+        return cls(
+            arrivals=np.array([r.arrival for r in rows], dtype=np.float64),
+            prompt_lens=np.array([r.prompt_len for r in rows], dtype=np.int64),
+            gen_lens=np.array([r.gen_len for r in rows], dtype=np.int64),
+        )
+
+
+def save_trace(trace, path) -> None:
+    """Persist an arrival trace as JSON (exact float64 round-trip).
+
+    Accepts an :class:`ArrivalTrace` or any iterable of
+    :class:`RequestArrival`; big traces are generated once with
+    ``--save-trace`` and replayed with ``--trace-file``.
+    """
+    tr = ArrivalTrace.from_requests(trace)
+    payload = {
+        "version": 1,
+        "arrivals": tr.arrivals.tolist(),
+        "prompt_lens": tr.prompt_lens.tolist(),
+        "gen_lens": tr.gen_lens.tolist(),
+    }
+    with open(path, "w") as fh:
+        json.dump(payload, fh)
+
+
+def load_trace(path) -> ArrivalTrace:
+    """Load a trace saved by :func:`save_trace`."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    if not isinstance(payload, dict) or "arrivals" not in payload:
+        raise ValueError(f"{path}: not a saved arrival trace")
+    return ArrivalTrace(
+        arrivals=np.array(payload["arrivals"], dtype=np.float64),
+        prompt_lens=np.array(payload["prompt_lens"], dtype=np.int64),
+        gen_lens=np.array(payload["gen_lens"], dtype=np.int64),
+    )
+
+
+def _poisson_times(rng, rate: float, duration: float) -> np.ndarray:
+    """Homogeneous Poisson event times in [0, duration), vectorized.
+
+    Draws exponential gaps in chunks sized by the expected count plus a
+    generous margin, extending until the horizon is covered.
+    """
+    chunks: list[np.ndarray] = []
+    t = 0.0
+    while t < duration:
+        expect = rate * (duration - t)
+        n = max(int(expect + 10.0 * math.sqrt(expect + 1.0)) + 16, 64)
+        block = t + np.cumsum(rng.exponential(1.0 / rate, size=n))
+        if block[-1] >= duration:
+            chunks.append(block[block < duration])
+            break
+        chunks.append(block)
+        t = float(block[-1])
+    return np.concatenate(chunks) if chunks else np.empty(0, dtype=np.float64)
+
+
+def _sharegpt_lengths_batch(
+    rng, n: int, max_prompt: int, max_gen: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Vectorized (prompt_len, gen_len) draws from the ShareGPT-shaped mixture."""
+    is_short = rng.random(n) < 0.45
+    short = rng.integers(4, min(128, max_prompt + 1), size=n)
+    body = np.clip(np.exp(rng.normal(5.6, 0.8, size=n)), 4, max_prompt)
+    prompts = np.where(is_short, short, body.astype(np.int64))
+    gens = np.clip(np.exp(rng.normal(4.6, 0.7, size=n)), 4, max_gen).astype(np.int64)
+    return prompts.astype(np.int64), gens
+
+
 def sample_poisson_arrivals(
     rate: float,
     duration: float,
@@ -91,13 +241,13 @@ def sample_poisson_arrivals(
     seed: int = 0,
     max_prompt: int = 512,
     max_gen: int = 128,
-) -> list[RequestArrival]:
+) -> ArrivalTrace:
     """Poisson arrival trace with ShareGPT-shaped request lengths.
 
     Inter-arrival gaps are exponential at ``rate`` req/s over ``duration``
     seconds; each request's prompt and generation lengths follow the same
     log-normal mixture as :func:`sample_sharegpt_like`, clipped to
-    ``max_prompt`` / ``max_gen``.  The list is sorted by arrival time —
+    ``max_prompt`` / ``max_gen``.  The trace is sorted by arrival time —
     the canonical input of both the online simulator and the real
     :class:`~repro.runtime.scheduler.ContinuousScheduler`.
     """
@@ -106,30 +256,9 @@ def sample_poisson_arrivals(
     if duration <= 0:
         raise ValueError("duration must be positive")
     rng = np.random.default_rng(seed)
-    out: list[RequestArrival] = []
-    t = 0.0
-    while True:
-        t += rng.exponential(1.0 / rate)
-        if t >= duration:
-            break
-        is_short = rng.random() < 0.45
-        if is_short:
-            s = int(rng.integers(4, min(128, max_prompt + 1)))
-        else:
-            s = int(np.clip(np.exp(rng.normal(5.6, 0.8)), 4, max_prompt))
-        n = int(np.clip(np.exp(rng.normal(4.6, 0.7)), 4, max_gen))
-        out.append(RequestArrival(arrival=float(t), prompt_len=s, gen_len=n))
-    return out
-
-
-def _sharegpt_lengths(rng, max_prompt: int, max_gen: int) -> tuple[int, int]:
-    """One (prompt_len, gen_len) draw from the ShareGPT-shaped mixture."""
-    if rng.random() < 0.45:
-        s = int(rng.integers(4, min(128, max_prompt + 1)))
-    else:
-        s = int(np.clip(np.exp(rng.normal(5.6, 0.8)), 4, max_prompt))
-    n = int(np.clip(np.exp(rng.normal(4.6, 0.7)), 4, max_gen))
-    return s, n
+    times = _poisson_times(rng, rate, duration)
+    prompts, gens = _sharegpt_lengths_batch(rng, times.size, max_prompt, max_gen)
+    return ArrivalTrace(arrivals=times, prompt_lens=prompts, gen_lens=gens)
 
 
 def sample_bursty_arrivals(
@@ -142,7 +271,7 @@ def sample_bursty_arrivals(
     seed: int = 0,
     max_prompt: int = 512,
     max_gen: int = 128,
-) -> list[RequestArrival]:
+) -> ArrivalTrace:
     """Bursty arrival trace: a quiet Poisson baseline punctuated by bursts.
 
     Every ``burst_period`` seconds the rate jumps to ``burst_rate``
@@ -160,8 +289,8 @@ def sample_bursty_arrivals(
     if peak < base_rate:
         raise ValueError("burst_rate must be >= base_rate")
 
-    def rate_at(t: float) -> float:
-        return peak if (t % burst_period) < burst_duration else base_rate
+    def rate_at(t: np.ndarray) -> np.ndarray:
+        return np.where((t % burst_period) < burst_duration, peak, base_rate)
 
     return _thinned_arrivals(
         rate_at, peak, duration, seed=seed, max_prompt=max_prompt, max_gen=max_gen
@@ -177,7 +306,7 @@ def sample_diurnal_arrivals(
     seed: int = 0,
     max_prompt: int = 512,
     max_gen: int = 128,
-) -> list[RequestArrival]:
+) -> ArrivalTrace:
     """Diurnal arrival trace: sinusoidal rate around ``mean_rate``.
 
     ``rate(t) = mean_rate * (1 + amplitude * sin(2*pi*t/period))`` — a
@@ -194,7 +323,7 @@ def sample_diurnal_arrivals(
         raise ValueError("period must be positive")
     peak = mean_rate * (1.0 + amplitude)
 
-    def rate_at(t: float) -> float:
+    def rate_at(t: np.ndarray) -> np.ndarray:
         return mean_rate * (1.0 + amplitude * np.sin(2.0 * np.pi * t / period))
 
     return _thinned_arrivals(
@@ -212,7 +341,7 @@ def sample_pareto_arrivals(
     seed: int = 0,
     max_prompt: int = 2048,
     max_gen: int = 512,
-) -> list[RequestArrival]:
+) -> ArrivalTrace:
     """Poisson arrivals with heavy-tailed (Pareto) prompt/generation lengths.
 
     Lengths are ``min * (1 + Pareto(shape))`` clipped to the caps — with
@@ -227,42 +356,46 @@ def sample_pareto_arrivals(
     if shape <= 0:
         raise ValueError("shape must be positive")
     rng = np.random.default_rng(seed)
-    out: list[RequestArrival] = []
-    t = 0.0
-    while True:
-        t += rng.exponential(1.0 / rate)
-        if t >= duration:
-            break
-        s = int(np.clip(min_prompt * (1.0 + rng.pareto(shape)), min_prompt, max_prompt))
-        n = int(np.clip(min_gen * (1.0 + rng.pareto(shape)), min_gen, max_gen))
-        out.append(RequestArrival(arrival=float(t), prompt_len=s, gen_len=n))
-    return out
+    times = _poisson_times(rng, rate, duration)
+    n = times.size
+    prompts = np.clip(
+        min_prompt * (1.0 + rng.pareto(shape, size=n)), min_prompt, max_prompt
+    ).astype(np.int64)
+    gens = np.clip(
+        min_gen * (1.0 + rng.pareto(shape, size=n)), min_gen, max_gen
+    ).astype(np.int64)
+    return ArrivalTrace(arrivals=times, prompt_lens=prompts, gen_lens=gens)
 
 
-def concat_arrival_phases(
-    phases: list[list[RequestArrival]],
-) -> list[RequestArrival]:
+def concat_arrival_phases(phases) -> ArrivalTrace:
     """Concatenate arrival traces back-to-back into one drifting trace.
 
     Each phase's clock restarts at the end of the previous phase's last
     arrival, so ``[steady, bursty]`` yields a trace whose statistics shift
-    mid-stream — the canonical input for drift-detection tests.
+    mid-stream — the canonical input for drift-detection tests.  Phases
+    may be :class:`ArrivalTrace` columns or plain request lists.
     """
-    out: list[RequestArrival] = []
+    a_chunks: list[np.ndarray] = []
+    s_chunks: list[np.ndarray] = []
+    g_chunks: list[np.ndarray] = []
     offset = 0.0
     for phase in phases:
-        last = 0.0
-        for r in phase:
-            out.append(
-                RequestArrival(
-                    arrival=offset + r.arrival,
-                    prompt_len=r.prompt_len,
-                    gen_len=r.gen_len,
-                )
-            )
-            last = r.arrival
-        offset += last
-    return out
+        tr = ArrivalTrace.from_requests(phase)
+        a_chunks.append(offset + tr.arrivals)
+        s_chunks.append(tr.prompt_lens)
+        g_chunks.append(tr.gen_lens)
+        if len(tr):
+            offset += float(tr.arrivals[-1])
+    if not a_chunks:
+        return ArrivalTrace(
+            arrivals=np.empty(0), prompt_lens=np.empty(0, np.int64),
+            gen_lens=np.empty(0, np.int64),
+        )
+    return ArrivalTrace(
+        arrivals=np.concatenate(a_chunks),
+        prompt_lens=np.concatenate(s_chunks),
+        gen_lens=np.concatenate(g_chunks),
+    )
 
 
 def _thinned_arrivals(
@@ -273,20 +406,14 @@ def _thinned_arrivals(
     seed: int,
     max_prompt: int,
     max_gen: int,
-) -> list[RequestArrival]:
+) -> ArrivalTrace:
     """Non-homogeneous Poisson process by thinning a ``peak_rate`` envelope."""
     rng = np.random.default_rng(seed)
-    out: list[RequestArrival] = []
-    t = 0.0
-    while True:
-        t += rng.exponential(1.0 / peak_rate)
-        if t >= duration:
-            break
-        if rng.random() * peak_rate > rate_at(t):
-            continue  # thinned out
-        s, n = _sharegpt_lengths(rng, max_prompt, max_gen)
-        out.append(RequestArrival(arrival=float(t), prompt_len=s, gen_len=n))
-    return out
+    cand = _poisson_times(rng, peak_rate, duration)
+    keep = rng.random(cand.size) * peak_rate <= rate_at(cand)
+    times = cand[keep]
+    prompts, gens = _sharegpt_lengths_batch(rng, times.size, max_prompt, max_gen)
+    return ArrivalTrace(arrivals=times, prompt_lens=prompts, gen_lens=gens)
 
 
 def workloads_from_trace(

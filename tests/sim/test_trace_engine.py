@@ -1,0 +1,238 @@
+"""The vectorized event-batch trace engine vs. the scalar oracle.
+
+``simulate_online(engine="analytic"|"des", policy="continuous")`` runs
+through :mod:`repro.sim.trace_engine`; the displaced scalar loop stays
+reachable as ``engine="reference"`` / ``engine="reference-des"``.  The
+contract is **exact equality**: every ``OnlineResult`` field — floats
+included — must match the oracle bit for bit, with or without drift
+detection and live replanning, in both the token-budget linear
+admission fast path and the general per-stage byte accounting
+(``_FORCE_GENERAL``).
+
+A hypothesis sweep drives random traces/plans/knobs through both
+engines; deterministic cases pin the canned trace, migrations that
+change the stage cut, and the degenerate all-rejected/empty-percentile
+paths.
+"""
+
+import dataclasses
+import warnings
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+import repro.sim.trace_engine as trace_engine
+from repro.core.plan import ExecutionPlan
+from repro.runtime.replan import DriftConfig, workload_refit_replanner
+from repro.runtime.scheduler import ServeReport
+from repro.sim.online import OnlineRequest, simulate_online
+from repro.workload.traces import (
+    load_trace,
+    sample_bursty_arrivals,
+    sample_diurnal_arrivals,
+    sample_poisson_arrivals,
+    save_trace,
+)
+
+from .costview_cases import canned_trace, mb1_plan, mixed_plan
+
+PLANS = {"mixed": mixed_plan(), "mb1": mb1_plan()}
+
+DRIFT = DriftConfig(
+    window=5.0, threshold=0.3, hysteresis=1, cooldown=10.0,
+    rebuild_seconds=0.25,
+)
+
+
+@pytest.fixture(params=[False, True], ids=["linear", "general"])
+def force_general(request, monkeypatch):
+    """Run each case through both admission paths: the exact-linear
+    token-budget shortcut and the general per-stage byte scan."""
+    monkeypatch.setattr(trace_engine, "_FORCE_GENERAL", request.param)
+    return request.param
+
+
+def _assert_identical(plan, cluster, trace, **kw):
+    vec = simulate_online(plan, cluster, trace, policy="continuous", **kw)
+    eng = kw.pop("engine", "analytic")
+    ref = "reference-des" if eng == "des" else "reference"
+    oracle = simulate_online(
+        plan, cluster, trace, policy="continuous", engine=ref, **kw
+    )
+    if vec != oracle:
+        bad = [
+            f"{f.name}: {getattr(vec, f.name)!r} != {getattr(oracle, f.name)!r}"
+            for f in dataclasses.fields(vec)
+            if getattr(vec, f.name) != getattr(oracle, f.name)
+        ]
+        raise AssertionError(
+            "vectorized engine diverged from the oracle:\n  " + "\n  ".join(bad)
+        )
+    return vec
+
+
+# ---------------------------------------------------------------------------
+# deterministic equivalence
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("plan_name", sorted(PLANS))
+@pytest.mark.parametrize("engine", ["analytic", "des"])
+@pytest.mark.parametrize("max_batch", [None, 4, 2])
+def test_canned_trace_identical(plan_name, engine, max_batch, force_general):
+    plan, cluster = PLANS[plan_name]
+    _assert_identical(
+        plan, cluster, canned_trace(), engine=engine, max_batch=max_batch
+    )
+
+
+def test_drifting_trace_identical_with_replanning(force_general):
+    plan, cluster = PLANS["mixed"]
+    trace = sample_diurnal_arrivals(
+        3.0, 40.0, amplitude=0.9, period=20.0, seed=7,
+        max_prompt=64, max_gen=32,
+    )
+    res = _assert_identical(
+        plan, cluster, trace, drift=DRIFT, replanner=workload_refit_replanner
+    )
+    assert res.iterations > 0
+
+
+def test_recut_migration_identical(force_general):
+    """A replanner that changes the stage cut exercises the engine's
+    migration path (KV recharge under the new plan's cost model)."""
+    plan, cluster = PLANS["mixed"]
+    plan4 = ExecutionPlan.uniform(
+        "opt-30b", cluster.devices, plan.workload, bits=4
+    )
+
+    def flip(p, estimate):
+        return plan4 if p is plan else plan
+
+    trace = sample_bursty_arrivals(
+        2.0, 50.0, burst_rate=10.0, burst_duration=5.0, burst_period=15.0,
+        seed=101, max_prompt=64, max_gen=16,
+    )
+    drift = DriftConfig(
+        window=5.0, threshold=0.25, hysteresis=1, cooldown=6.0,
+        rebuild_seconds=0.4,
+    )
+    res = _assert_identical(
+        plan, cluster, trace, drift=drift, replanner=flip
+    )
+    assert res.migrations >= 1
+
+
+# ---------------------------------------------------------------------------
+# hypothesis sweep: random traces x engines x knobs
+# ---------------------------------------------------------------------------
+
+
+@settings(
+    max_examples=12, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    plan_name=st.sampled_from(sorted(PLANS)),
+    kind=st.sampled_from(["poisson", "bursty", "diurnal"]),
+    seed=st.integers(0, 2**16),
+    engine=st.sampled_from(["analytic", "des"]),
+    max_batch=st.sampled_from([None, 8, 3]),
+    with_drift=st.booleans(),
+    general=st.booleans(),
+)
+def test_random_traces_identical(
+    plan_name, kind, seed, engine, max_batch, with_drift, general
+):
+    plan, cluster = PLANS[plan_name]
+    if kind == "poisson":
+        trace = sample_poisson_arrivals(
+            3.0, 25.0, seed=seed, max_prompt=96, max_gen=24
+        )
+    elif kind == "bursty":
+        trace = sample_bursty_arrivals(
+            2.0, 30.0, burst_rate=9.0, burst_duration=4.0, burst_period=12.0,
+            seed=seed, max_prompt=64, max_gen=16,
+        )
+    else:
+        trace = sample_diurnal_arrivals(
+            3.0, 30.0, amplitude=0.9, period=15.0, seed=seed,
+            max_prompt=64, max_gen=32,
+        )
+    kw = {"engine": engine, "max_batch": max_batch}
+    if with_drift:
+        kw.update(drift=DRIFT, replanner=workload_refit_replanner)
+    prev = trace_engine._FORCE_GENERAL
+    trace_engine._FORCE_GENERAL = general
+    try:
+        _assert_identical(plan, cluster, trace, **kw)
+    finally:
+        trace_engine._FORCE_GENERAL = prev
+
+
+# ---------------------------------------------------------------------------
+# degenerate inputs: empty percentiles stay warning-free
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.parametrize("engine", ["analytic", "reference"])
+def test_all_rejected_trace_is_infeasible_without_warnings(engine):
+    """Requests too big to ever admit: the result degrades to the
+    infeasible sentinel (inf latencies, zero throughput) without numpy's
+    empty-slice RuntimeWarning leaking from the percentile math."""
+    plan, cluster = PLANS["mixed"]
+    trace = [OnlineRequest(arrival=0.0, prompt_len=10**6, gen_len=10**6)]
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        res = simulate_online(
+            plan, cluster, trace, policy="continuous", engine=engine
+        )
+    assert res.completed == 0
+    assert res.rejected == 1
+    assert res.mean_latency == float("inf")
+    assert res.p50_latency == float("inf")
+    assert res.p95_latency == float("inf")
+    assert res.p99_latency == float("inf")
+    assert res.p95_ttft == float("inf")
+    assert res.throughput == 0.0
+    assert "rejected" in res.summary()
+
+
+def test_empty_serve_report_percentiles_are_safe():
+    """ServeReport with nothing completed: every percentile/mean reads 0
+    and nothing trips a numpy empty-slice warning."""
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        report = ServeReport(policy="continuous")
+        assert report.latency_p50 == 0.0
+        assert report.latency_p95 == 0.0
+        assert report.latency_p99 == 0.0
+        assert report.ttft_mean == 0.0
+        assert report.ttft_p95 == 0.0
+        assert report.throughput_tokens_per_s == 0.0
+
+
+# ---------------------------------------------------------------------------
+# trace persistence round-trip
+# ---------------------------------------------------------------------------
+
+
+def test_saved_trace_replays_identically(tmp_path):
+    """save_trace -> load_trace is an exact float64 round-trip, so the
+    replayed simulation is byte-identical to the original."""
+    plan, cluster = PLANS["mixed"]
+    trace = sample_diurnal_arrivals(
+        3.0, 30.0, amplitude=0.9, period=15.0, seed=3,
+        max_prompt=64, max_gen=32,
+    )
+    path = tmp_path / "trace.json"
+    save_trace(trace, path)
+    loaded = load_trace(path)
+    np.testing.assert_array_equal(loaded.arrivals, trace.arrivals)
+    np.testing.assert_array_equal(loaded.prompt_lens, trace.prompt_lens)
+    np.testing.assert_array_equal(loaded.gen_lens, trace.gen_lens)
+    a = simulate_online(plan, cluster, trace, policy="continuous")
+    b = simulate_online(plan, cluster, loaded, policy="continuous")
+    assert a == b

@@ -349,6 +349,65 @@ def test_serve_sim_wave_and_des_engines(strategy_file, capsys):
     assert "[wave]" in out and "[continuous]" in out
 
 
+def test_serve_trace_file_roundtrip(strategy_file, tmp_path, capsys):
+    """--save-trace then --trace-file replays the exact same trace: the
+    simulated summary line is byte-identical."""
+    from repro.cli import serve_main
+
+    saved = tmp_path / "trace.json"
+    base = [
+        "--strat-file-name", str(strategy_file),
+        "--cluster", "1",
+        "--rate", "1", "--duration", "8",
+    ]
+    assert serve_main([*base, "--save-trace", str(saved)]) == 0
+    first = capsys.readouterr().out
+    assert saved.exists()
+    assert serve_main([*base, "--trace-file", str(saved)]) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_serve_reference_engine_matches_vectorized(strategy_file, capsys):
+    """--engine reference runs the scalar oracle; its summary matches the
+    default vectorized engine on the same sampled trace."""
+    from repro.cli import serve_main
+
+    base = [
+        "--strat-file-name", str(strategy_file),
+        "--cluster", "1",
+        "--rate", "1", "--duration", "8",
+    ]
+    assert serve_main([*base, "--engine", "reference"]) == 0
+    ref = capsys.readouterr().out
+    assert serve_main(base) == 0
+    assert capsys.readouterr().out == ref
+
+
+def test_serve_bad_trace_file_friendly_error(strategy_file, tmp_path, capsys):
+    from repro.cli import serve_main
+
+    bogus = tmp_path / "bogus.json"
+    bogus.write_text("{}")
+    with pytest.raises(SystemExit) as exc:
+        serve_main([
+            "--strat-file-name", str(strategy_file),
+            "--cluster", "1", "--trace-file", str(bogus),
+        ])
+    assert "not a saved arrival trace" in str(exc.value)
+    assert "Traceback" not in capsys.readouterr().err
+
+
+def test_serve_reference_engine_needs_continuous(tiny_strategy_file, capsys):
+    from repro.cli import serve_main
+
+    rc = serve_main([
+        "--strat-file-name", str(tiny_strategy_file),
+        "--policy", "wave", "--engine", "reference",
+    ])
+    assert rc == 2
+    assert "continuous" in capsys.readouterr().err
+
+
 def test_serve_rejects_bad_rate(tiny_strategy_file, capsys):
     from repro.cli import serve_main
 
