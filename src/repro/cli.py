@@ -102,6 +102,11 @@ def algo_main(argv: list[str] | None = None) -> int:
     p.add_argument("-j", "--jobs", type=int, default=1,
                    help="worker processes for candidate ILP solves "
                         "(same plan at any value; >1 parallelizes)")
+    p.add_argument("--kv-bits", choices=["auto", "4", "8", "16"], default="16",
+                   help="KV-cache bitwidth: 8/4 plan with quantized KV "
+                        "(less memory, faster decode, more admission "
+                        "headroom); 'auto' searches the levels and refines "
+                        "per stage under theta")
     p.add_argument("--cost-source", choices=["kernels", "model"],
                    default="kernels",
                    help="stage-time source for the predicted report: "
@@ -119,11 +124,12 @@ def algo_main(argv: list[str] | None = None) -> int:
     print(f"planning {args.model_name} on {cluster.describe()}", file=sys.stderr)
     if args.jobs < 1:
         return _fail("--jobs must be >= 1")
+    kv_bits = args.kv_bits if args.kv_bits == "auto" else int(args.kv_bits)
     result = plan_llmpq(
         args.model_name, cluster, workload,
         theta=args.theta, group_size=args.group,
         use_heuristic=args.heuristic, ilp_time_limit=args.time_limit,
-        indicator=indicator, n_jobs=args.jobs,
+        indicator=indicator, n_jobs=args.jobs, kv_bits=kv_bits,
     )
     if result.stats is not None:
         print(result.stats.describe(), file=sys.stderr)
@@ -357,6 +363,10 @@ def serve_main(argv: list[str] | None = None) -> int:
                    help="stage-time source for the simulator path: "
                         "ground-truth roofline kernels, or a latency model "
                         "fitted on the fly (ignored for tiny-* real runtime)")
+    p.add_argument("--kv-bits", choices=["auto", "4", "8", "16"], default="auto",
+                   help="override every stage's KV-cache bitwidth at serve "
+                        "time ('auto' keeps the per-stage values from the "
+                        "strategy file)")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-inflight", type=int, default=None,
                    help="hard concurrency cap on top of the memory model")
@@ -403,6 +413,10 @@ def serve_main(argv: list[str] | None = None) -> int:
         except ValueError as e:
             return _fail(f"invalid drift settings: {e}")
     plan = _load_plan(args.strategy)
+    if args.kv_bits != "auto":
+        plan = plan.with_kv_bits(int(args.kv_bits))
+        # the override supersedes the strategy's plan-global legacy knob
+        plan.meta["kv_bits"] = int(args.kv_bits)
     cfg = get_model(plan.model_name)
     max_prompt = args.max_prompt or plan.workload.prompt_len
     max_gen = args.max_gen or plan.workload.gen_len

@@ -87,9 +87,14 @@ def plan_llmpq(
     prefill_mb_cap: int | None = None,
     decode_mb_candidates: tuple[int, ...] | None = None,
     n_jobs: int = 1,
+    kv_bits: int | str = 16,
 ) -> PlannerResult:
     """Run the LLM-PQ assigner end to end (Algorithm 1, or Algorithm 2
     when ``use_heuristic``).
+
+    ``kv_bits`` adds the KV-cache bitwidth dimension: 16 keeps the fp16
+    baseline, 8/4 plan with uniformly quantized KV, and ``"auto"``
+    searches the levels and refines per stage.
 
     ``n_jobs > 1`` solves independent candidate MILPs in parallel worker
     processes; the chosen plan is unaffected (see
@@ -108,6 +113,7 @@ def plan_llmpq(
             prefill_mb_cap=prefill_mb_cap,
             decode_mb_candidates=decode_mb_candidates,
             n_jobs=n_jobs,
+            kv_bits=kv_bits,
         ),
         latency_model=latency_model,
         indicator=indicator,
@@ -257,19 +263,25 @@ def replan_after_failure(
     failed = stages.pop(failed_stage)
     if failed_stage == 0:
         nxt = stages[0]
-        stages[0] = StagePlan(nxt.device, failed.layer_bits + nxt.layer_bits)
+        stages[0] = StagePlan(
+            nxt.device, failed.layer_bits + nxt.layer_bits, kv_bits=nxt.kv_bits
+        )
     elif failed_stage == len(stages):  # was the last stage
         prev = stages[-1]
-        stages[-1] = StagePlan(prev.device, prev.layer_bits + failed.layer_bits)
+        stages[-1] = StagePlan(
+            prev.device, prev.layer_bits + failed.layer_bits, kv_bits=prev.kv_bits
+        )
     else:
         k = (len(failed.layer_bits) + 1) // 2  # leading half upstream
         prev = stages[failed_stage - 1]
         nxt = stages[failed_stage]
         stages[failed_stage - 1] = StagePlan(
-            prev.device, prev.layer_bits + failed.layer_bits[:k]
+            prev.device, prev.layer_bits + failed.layer_bits[:k],
+            kv_bits=prev.kv_bits,
         )
         stages[failed_stage] = StagePlan(
-            nxt.device, failed.layer_bits[k:] + nxt.layer_bits
+            nxt.device, failed.layer_bits[k:] + nxt.layer_bits,
+            kv_bits=nxt.kv_bits,
         )
     return ExecutionPlan(
         model_name=plan.model_name,

@@ -163,7 +163,7 @@ def _neighbors(
                     if not ok:
                         continue
                     rebuilt = [
-                        StagePlan(st.device, tuple(bits))
+                        StagePlan(st.device, tuple(bits), kv_bits=st.kv_bits)
                         for st, bits in zip(stages, staged)
                     ]
                     cand = _with_stages(plan, rebuilt)
@@ -184,7 +184,7 @@ def _neighbors(
         new_bits = list(s.layer_bits)
         new_bits[li] = new_b
         new_stages = list(stages)
-        new_stages[straggler] = StagePlan(s.device, tuple(new_bits))
+        new_stages[straggler] = StagePlan(s.device, tuple(new_bits), kv_bits=s.kv_bits)
         cand = _with_stages(plan, new_stages)
         if cand is not None:
             out.append(cand)
@@ -204,7 +204,7 @@ def _neighbors(
         new_bits = list(s.layer_bits)
         new_bits[li] = new_b
         new_stages = list(stages)
-        new_stages[straggler] = StagePlan(s.device, tuple(new_bits))
+        new_stages[straggler] = StagePlan(s.device, tuple(new_bits), kv_bits=s.kv_bits)
         cand = _with_stages(plan, new_stages)
         if cand is not None:
             out.append(cand)
@@ -227,7 +227,7 @@ def _neighbors(
         new_bits = list(st.layer_bits)
         new_bits[li] = new_b
         new_stages = list(stages)
-        new_stages[j] = StagePlan(st.device, tuple(new_bits))
+        new_stages[j] = StagePlan(st.device, tuple(new_bits), kv_bits=st.kv_bits)
         cand = _with_stages(plan, new_stages)
         if cand is not None:
             out.append(cand)

@@ -298,10 +298,11 @@ class BitAssignmentILP:
                 for k, b in enumerate(self.bits):
                     lp = self.latency_model.predict_layer(
                         dev.spec, b, "prefill", self.prefill_microbatch,
-                        w.prompt_len, w.prompt_len,
+                        w.prompt_len, w.prompt_len, kv_bits=self.kv_bits,
                     )
                     ld = self.latency_model.predict_layer(
-                        dev.spec, b, "decode", self.decode_microbatch, 1, avg_ctx
+                        dev.spec, b, "decode", self.decode_microbatch, 1, avg_ctx,
+                        kv_bits=self.kv_bits,
                     )
                     for i, gs in enumerate(sizes):
                         t_pre[i, j, k] = gs * lp
@@ -320,6 +321,7 @@ class BitAssignmentILP:
                 prefill_microbatch=self.prefill_microbatch,
                 decode_microbatch=self.decode_microbatch,
                 prompt_len=w.prompt_len, avg_context=avg_ctx,
+                kv_bits=self.kv_bits,
             )
             sizes_arr = np.asarray(sizes, dtype=np.float64)
             t_pre = sizes_arr[:, None, None] * lp[None, :, :]

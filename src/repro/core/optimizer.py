@@ -39,11 +39,15 @@ from ..cost.predictions import PredictionCache
 from ..cost.profiler import build_latency_model
 from ..hardware.cluster import Cluster, Device
 from ..models.registry import get_model
-from ..quant.indicator import IndicatorTable, synthetic_indicator
+from ..quant.indicator import (
+    IndicatorTable,
+    synthetic_indicator,
+    synthetic_kv_indicator,
+)
 from ..sim.pipeline import PipelineResult, simulate_pipeline
 from ..workload.spec import Workload
 from .ilp import BitAssignmentILP, ILPSolution
-from .plan import ExecutionPlan, StagePlan
+from .plan import KV_BITS_CHOICES, ExecutionPlan, StagePlan
 from .search import PlannerStats
 
 __all__ = [
@@ -67,7 +71,11 @@ class PlannerConfig:
     prefill_mb_cap: int | None = None  # xi; default: global_batch
     decode_mb_candidates: tuple[int, ...] | None = None
     ilp_time_limit: float = 60.0
-    kv_bits: int = 16
+    #: KV-cache bitwidth: 16 (fp16 baseline), 8 or 4 (uniform quantized
+    #: KV priced into the ILP's memory *and* time tables), or ``"auto"``
+    #: — enumerate the uniform levels, pick the best under
+    #: ``objective + theta * kv_error``, then refine per stage
+    kv_bits: int | str = 16
     #: search-engine knobs: worker processes for candidate MILPs, and the
     #: dedup / bound-and-prune switches (all result-preserving)
     n_jobs: int = 1
@@ -167,6 +175,14 @@ class LLMPQOptimizer:
         # prediction memo
         self.grouped_indicator = self.indicator.grouped(self.config.group_size)
         self.prediction_cache = PredictionCache(self.latency_model)
+        kv = self.config.kv_bits
+        if kv != "auto" and kv not in KV_BITS_CHOICES:
+            raise ValueError(
+                f"kv_bits must be one of {KV_BITS_CHOICES} or 'auto', got {kv!r}"
+            )
+        # per-layer KV quantization error, same normalization contract as
+        # the weight indicator — the quality term of the kv_bits choice
+        self.kv_indicator = synthetic_kv_indicator(self.cfg).normalized()
 
     # ------------------------------------------------------------------
     def orderings(self) -> list[tuple[Device, ...]]:
@@ -204,7 +220,7 @@ class LLMPQOptimizer:
                 group_size=self.config.group_size,
                 theta=self.config.theta,
                 include_latency=include_latency,
-                kv_bits=self.config.kv_bits,
+                kv_bits=int(self.config.kv_bits),
                 time_limit=self.config.ilp_time_limit,
             )
             return ilp.solve(legacy=True), ilp
@@ -220,7 +236,7 @@ class LLMPQOptimizer:
             group_size=self.config.group_size,
             theta=self.config.theta,
             include_latency=include_latency,
-            kv_bits=self.config.kv_bits,
+            kv_bits=int(self.config.kv_bits),
             time_limit=self.config.ilp_time_limit,
             prediction_cache=self.prediction_cache,
         )
@@ -236,13 +252,16 @@ class LLMPQOptimizer:
     ) -> ExecutionPlan:
         """Materialize an ILP solution into an executable plan."""
         dev_per_layer, bits_per_layer = ilp.expand_groups(sol)
+        kv = int(self.config.kv_bits)  # "auto" never reaches the ILP layer
         stages = []
         for j, dev in enumerate(ordering):
             bits = tuple(
                 b for d, b in zip(dev_per_layer, bits_per_layer) if d == j
             )
             if bits:
-                stages.append(StagePlan(device=dev, layer_bits=bits))
+                stages.append(
+                    StagePlan(device=dev, layer_bits=bits, kv_bits=kv)
+                )
         return ExecutionPlan(
             model_name=self.model_name,
             stages=tuple(stages),
@@ -252,7 +271,7 @@ class LLMPQOptimizer:
             meta={
                 "theta": self.config.theta,
                 "group_size": self.config.group_size,
-                "kv_bits": self.config.kv_bits,
+                "kv_bits": kv,
             },
         )
 
@@ -264,10 +283,159 @@ class LLMPQOptimizer:
 
         Returns the same best objective and an equivalent plan as
         :meth:`optimize_legacy`; ``result.stats`` records the work saved.
+
+        With ``kv_bits="auto"`` the search additionally chooses KV-cache
+        bitwidths: the uniform levels are enumerated (each its own full
+        Algorithm-1 run at that level's prices), ranked by
+        ``objective + theta * kv_error``, and the winner refined per
+        stage (see :meth:`_refine_stage_kv`).
         """
         from .search import SearchEngine
 
+        if self.config.kv_bits == "auto":
+            return self._optimize_auto_kv()
         return SearchEngine(self).run()
+
+    # ------------------------------------------------------------------
+    def _kv_penalty(self, plan: ExecutionPlan, levels: Sequence[int]) -> float:
+        """Summed per-layer KV-error omega under per-stage KV levels."""
+        cols = {b: self.kv_indicator.column(b) for b in KV_BITS_CHOICES}
+        total, off = 0.0, 0
+        for st, lv in zip(plan.stages, levels):
+            total += float(cols[lv][off : off + st.num_layers].sum())
+            off += st.num_layers
+        return total
+
+    def _plan_with_stage_kv(
+        self, plan: ExecutionPlan, levels: Sequence[int]
+    ) -> ExecutionPlan:
+        """Per-stage KV variant with the stage values made authoritative.
+
+        ``meta["kv_bits"]`` is reset to 16 so the legacy plan-global knob
+        cannot re-price a stage that the refinement raised back to fp16.
+        """
+        import dataclasses
+
+        variant = plan.with_kv_bits(tuple(levels))
+        meta = dict(variant.meta)
+        meta["kv_bits"] = 16
+        return dataclasses.replace(variant, meta=meta)
+
+    def _refine_stage_kv(
+        self, res: PlannerResult
+    ) -> tuple[ExecutionPlan, PipelineResult, float]:
+        """Per-stage KV refinement of a uniform-KV winner.
+
+        Scores every per-stage level assignment (exhaustive for shallow
+        pipelines, coordinate descent otherwise) by re-simulating the
+        pipeline — memory fits are re-checked at the variant's per-stage
+        KV footprint — plus ``theta`` times the KV-error penalty of the
+        levels.  Returns the best variant, its simulation, and its
+        objective on the same ``latency + theta * weight_quality`` scale
+        as every other :class:`PlannerResult`.
+        """
+        import itertools
+
+        plan, theta = res.plan, self.config.theta
+        n = plan.num_stages
+        quality_part = res.objective - res.predicted.total_latency
+
+        def score(levels: tuple[int, ...]):
+            variant = self._plan_with_stage_kv(plan, levels)
+            pred = simulate_pipeline(
+                variant, self.cluster, latency_model=self.latency_model
+            )
+            if not pred.feasible:
+                return np.inf, None, None
+            s = (
+                pred.total_latency
+                + quality_part
+                + theta * self._kv_penalty(plan, levels)
+            )
+            return s, variant, pred
+
+        best_levels = plan.kv_bits_per_stage
+        best_s, best_plan, best_pred = score(best_levels)
+        if n <= 4:
+            for levels in itertools.product(KV_BITS_CHOICES, repeat=n):
+                if levels == best_levels:
+                    continue
+                s, variant, pred = score(levels)
+                if s < best_s:
+                    best_s, best_plan, best_pred = s, variant, pred
+                    best_levels = levels
+        else:
+            improved = True
+            while improved:
+                improved = False
+                for j in range(n):
+                    for lv in KV_BITS_CHOICES:
+                        if lv == best_levels[j]:
+                            continue
+                        cand = best_levels[:j] + (lv,) + best_levels[j + 1 :]
+                        s, variant, pred = score(cand)
+                        if s < best_s:
+                            best_s, best_plan, best_pred = s, variant, pred
+                            best_levels = cand
+                            improved = True
+        objective = quality_part + best_pred.total_latency
+        return best_plan, best_pred, objective
+
+    def _optimize_auto_kv(self) -> PlannerResult:
+        """KV-bitwidth auto-search wrapped around the Algorithm-1 engine.
+
+        KV levels are *not* extra ILP variables — that would make the
+        latency terms bilinear.  Instead each uniform level runs the
+        engine at that level's prices (time tables and memory both see
+        ``kv_bits``), the best level wins under the KV-error-penalized
+        objective, and a per-stage refinement pass then mixes levels
+        where the simulator + memory model justify it.
+        """
+        import dataclasses
+
+        from .search import SearchEngine
+
+        t0 = time.perf_counter()
+        base_cfg = self.config
+        records: list[CandidateRecord] = []
+        stats: PlannerStats | None = None
+        best: PlannerResult | None = None
+        best_score = np.inf
+        for level in sorted(KV_BITS_CHOICES, reverse=True):
+            self.config = dataclasses.replace(base_cfg, kv_bits=level)
+            try:
+                res = SearchEngine(self).run()
+            finally:
+                self.config = base_cfg
+            records.extend(res.candidates)
+            if res.stats is not None:
+                stats = res.stats if stats is None else stats.merged(res.stats)
+            if not res.feasible:
+                continue
+            uniform = (level,) * res.plan.num_stages
+            score = res.objective + base_cfg.theta * self._kv_penalty(
+                res.plan, uniform
+            )
+            if score < best_score:
+                best_score, best = score, res
+        if best is None:
+            return PlannerResult(
+                plan=None,
+                objective=np.inf,
+                predicted=None,
+                candidates=tuple(records),
+                total_seconds=time.perf_counter() - t0,
+                stats=stats,
+            )
+        plan, pred, objective = self._refine_stage_kv(best)
+        return PlannerResult(
+            plan=plan,
+            objective=objective,
+            predicted=pred,
+            candidates=tuple(records),
+            total_seconds=time.perf_counter() - t0,
+            stats=stats,
+        )
 
     def optimize_legacy(self) -> PlannerResult:
         """The pre-engine serial search: one scalar-assembled MILP per

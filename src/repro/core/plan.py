@@ -19,19 +19,35 @@ from ..hardware.gpu import get_gpu
 from ..models.registry import get_model
 from ..workload.spec import Workload
 
-__all__ = ["StagePlan", "ExecutionPlan"]
+__all__ = ["StagePlan", "ExecutionPlan", "KV_BITS_CHOICES"]
+
+
+#: Supported KV-cache bitwidths (QServe-style KV4/KV8 plus fp16 baseline).
+KV_BITS_CHOICES = (4, 8, 16)
 
 
 @dataclass(frozen=True)
 class StagePlan:
-    """One pipeline stage: a device and its layers' bitwidths (in order)."""
+    """One pipeline stage: a device and its layers' bitwidths (in order).
+
+    ``kv_bits`` is the stage's KV-cache bitwidth — a first-class plan
+    variable alongside the weight bitwidths.  16 is the fp16 baseline
+    (KV untouched); 8/4 store quantized KV, shrinking both the memory
+    footprint (more admission headroom) and the decode memory-bound
+    time (smaller KV stream).
+    """
 
     device: Device
     layer_bits: tuple[int, ...]
+    kv_bits: int = 16
 
     def __post_init__(self) -> None:
         if any(b <= 0 for b in self.layer_bits):
             raise ValueError("bitwidths must be positive")
+        if self.kv_bits not in KV_BITS_CHOICES:
+            raise ValueError(
+                f"kv_bits must be one of {KV_BITS_CHOICES}, got {self.kv_bits}"
+            )
 
     @property
     def num_layers(self) -> int:
@@ -97,6 +113,39 @@ class ExecutionPlan:
         """Layers per stage."""
         return tuple(s.num_layers for s in self.stages)
 
+    @property
+    def kv_bits_per_stage(self) -> tuple[int, ...]:
+        """KV-cache bitwidth of every stage, pipeline order."""
+        return tuple(s.kv_bits for s in self.stages)
+
+    def with_kv_bits(self, kv_bits: int | Sequence[int]) -> "ExecutionPlan":
+        """Copy of this plan with per-stage KV bitwidths replaced.
+
+        Accepts a single bitwidth (applied to every stage) or one per
+        stage.  Everything else — devices, layer bitwidths, micro-batch
+        sizes, workload, meta — is preserved.
+        """
+        if isinstance(kv_bits, int):
+            per_stage = (kv_bits,) * self.num_stages
+        else:
+            per_stage = tuple(int(b) for b in kv_bits)
+            if len(per_stage) != self.num_stages:
+                raise ValueError(
+                    f"need {self.num_stages} kv_bits entries, got {len(per_stage)}"
+                )
+        stages = tuple(
+            StagePlan(device=s.device, layer_bits=s.layer_bits, kv_bits=b)
+            for s, b in zip(self.stages, per_stage)
+        )
+        return ExecutionPlan(
+            model_name=self.model_name,
+            stages=stages,
+            prefill_microbatch=self.prefill_microbatch,
+            decode_microbatch=self.decode_microbatch,
+            workload=self.workload,
+            meta=dict(self.meta),
+        )
+
     def average_bits(self) -> float:
         """Mean weight bitwidth over all layers."""
         bits = self.layer_bits
@@ -107,7 +156,10 @@ class ExecutionPlan:
         rows = []
         for i, s in enumerate(self.stages):
             counts = ", ".join(f"{n}x{b}b" for b, n in sorted(s.bit_counts.items()))
-            rows.append(f"  stage {i}: {s.device.type_name:<10} {s.num_layers:>3} layers [{counts}]")
+            kv = "" if s.kv_bits == 16 else f" kv{s.kv_bits}"
+            rows.append(
+                f"  stage {i}: {s.device.type_name:<10} {s.num_layers:>3} layers [{counts}]{kv}"
+            )
         head = (
             f"{self.model_name} | {self.num_stages} stages | "
             f"mb_prefill={self.prefill_microbatch} mb_decode={self.decode_microbatch} | "
@@ -135,6 +187,7 @@ class ExecutionPlan:
                     "node_id": s.device.node_id,
                     "local_rank": s.device.local_rank,
                     "layer_bits": list(s.layer_bits),
+                    "kv_bits": s.kv_bits,
                 }
                 for s in self.stages
             ],
@@ -159,6 +212,7 @@ class ExecutionPlan:
                     local_rank=int(s["local_rank"]),
                 ),
                 layer_bits=tuple(int(b) for b in s["layer_bits"]),
+                kv_bits=int(s.get("kv_bits", 16)),
             )
             for s in d["stages"]
         )
@@ -193,6 +247,7 @@ class ExecutionPlan:
         workload: Workload,
         *,
         bits: int = 16,
+        kv_bits: int = 16,
         prefill_microbatch: int | None = None,
         decode_microbatch: int | None = None,
     ) -> "ExecutionPlan":
@@ -204,7 +259,7 @@ class ExecutionPlan:
         base, extra = divmod(cfg.num_layers, n_dev)
         counts = [base + (1 if i < extra else 0) for i in range(n_dev)]
         stages = tuple(
-            StagePlan(device=d, layer_bits=(bits,) * c)
+            StagePlan(device=d, layer_bits=(bits,) * c, kv_bits=kv_bits)
             for d, c in zip(devices, counts)
             if c > 0
         )

@@ -77,6 +77,26 @@ class PlannerStats:
     n_jobs: int = 1
     total_seconds: float = 0.0
 
+    def merged(self, other: "PlannerStats") -> "PlannerStats":
+        """Field-wise sum of two runs (``n_jobs`` keeps the maximum) —
+        used when one planner invocation performs several engine runs,
+        e.g. the ``kv_bits="auto"`` level enumeration."""
+        return PlannerStats(
+            candidates_total=self.candidates_total + other.candidates_total,
+            unique_candidates=self.unique_candidates + other.unique_candidates,
+            dedup_skipped=self.dedup_skipped + other.dedup_skipped,
+            cache_hits=self.cache_hits + other.cache_hits,
+            cache_misses=self.cache_misses + other.cache_misses,
+            pruned=self.pruned + other.pruned,
+            solved=self.solved + other.solved,
+            infeasible=self.infeasible + other.infeasible,
+            bound_seconds=self.bound_seconds + other.bound_seconds,
+            solve_wall_seconds=self.solve_wall_seconds + other.solve_wall_seconds,
+            solve_cpu_seconds=self.solve_cpu_seconds + other.solve_cpu_seconds,
+            n_jobs=max(self.n_jobs, other.n_jobs),
+            total_seconds=self.total_seconds + other.total_seconds,
+        )
+
     def row(self) -> dict:
         """Flat dict for result tables / JSON."""
         return {

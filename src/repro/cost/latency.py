@@ -44,11 +44,22 @@ class LatencySample:
 
 
 def features_for(
-    cfg: ModelConfig, bits: int, batch: int, q: int, context: int
+    cfg: ModelConfig,
+    bits: int,
+    batch: int,
+    q: int,
+    context: int,
+    *,
+    kv_bits: int = 16,
 ) -> np.ndarray:
-    """Feature vector ``[FLOPs, bytes, 1]`` for one layer invocation."""
+    """Feature vector ``[FLOPs, bytes, 1]`` for one layer invocation.
+
+    ``kv_bits`` shrinks the KV term of the byte feature, so predictions
+    made from fp16-profiled coefficients honor a plan's quantized KV
+    stream through the fitted ``c_mem`` coefficient.
+    """
     flops = cfg.layer_flops(batch, q, context)
-    mem = layer_memory_traffic(cfg, bits, batch, q, context)
+    mem = layer_memory_traffic(cfg, bits, batch, q, context, kv_bits=kv_bits)
     return np.array([flops, mem, 1.0])
 
 
@@ -108,10 +119,14 @@ class LatencyModel:
         batch: int,
         q: int,
         context: int,
+        *,
+        kv_bits: int = 16,
     ) -> float:
         """Predicted seconds for one layer invocation."""
         beta = self.coef[self._key(gpu, bits, phase)]
-        return float(features_for(self.cfg, bits, batch, q, context) @ beta)
+        return float(
+            features_for(self.cfg, bits, batch, q, context, kv_bits=kv_bits) @ beta
+        )
 
     def predict_layers(
         self,
@@ -121,16 +136,20 @@ class LatencyModel:
         batch: int,
         q: int,
         context: int,
+        *,
+        kv_bits: int = 16,
     ) -> float:
         """Predicted seconds for a shard = sum over its layers' bits."""
         return float(
             sum(
-                self.predict_layer(gpu, b, phase, batch, q, context)
+                self.predict_layer(gpu, b, phase, batch, q, context, kv_bits=kv_bits)
                 for b in layer_bits
             )
         )
 
-    def _decode_feature_matrix(self, bits: int, batch: int, contexts: np.ndarray) -> np.ndarray:
+    def _decode_feature_matrix(
+        self, bits: int, batch: int, contexts: np.ndarray, *, kv_bits: int = 16
+    ) -> np.ndarray:
         """``(K, 3)`` decode feature rows, stacked analytically.
 
         Builds the same rows :func:`features_for` would produce at
@@ -147,13 +166,14 @@ class LatencyModel:
         attn = 4.0 * q * ctx * h
         mlp = 4.0 * q * h * f
         flops = batch * (proj + attn + mlp)
-        # layer_memory_traffic at kv_bits=16: scores and kv_read scale with c
-        kv_bits = 16
+        # scores and kv_read scale with c; the KV stream is priced at the
+        # plan's bitwidth via the shared per-token formula
+        kv_token = cfg.kv_bytes_per_token_per_layer(kv_bits)
         w_bytes = cfg.layer_weight_bytes(bits)
         act = batch * q * (6 * h + 2 * f) * ACT_BYTES
         scores = batch * cfg.num_heads * q * ctx * ACT_BYTES * 2
-        kv_write = batch * q * 2 * h * (kv_bits / 8.0)
-        kv_read = batch * ctx * 2 * h * (kv_bits / 8.0)
+        kv_write = batch * q * kv_token
+        kv_read = batch * ctx * kv_token
         mem = w_bytes + act + scores + kv_write + kv_read
         return np.stack([flops, mem, np.ones_like(ctx)], axis=1)
 
@@ -163,10 +183,12 @@ class LatencyModel:
         bits: int,
         batch: int,
         contexts: np.ndarray,
+        *,
+        kv_bits: int = 16,
     ) -> np.ndarray:
         """Vectorized decode predictions across context lengths."""
         beta = self.coef[self._key(gpu, bits, "decode")]
-        return self._decode_feature_matrix(bits, batch, contexts) @ beta
+        return self._decode_feature_matrix(bits, batch, contexts, kv_bits=kv_bits) @ beta
 
     def max_relative_residual(self) -> float:
         """Worst in-sample mean relative error across fitted groups."""

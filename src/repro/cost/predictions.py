@@ -28,8 +28,8 @@ from .latency import LatencyModel, Phase, features_for
 
 __all__ = ["PredictionCache"]
 
-#: cache key: (gpu type, bits, phase, micro-batch, q tokens, context)
-_Key = tuple[str, int, str, int, int, int]
+#: cache key: (gpu type, bits, phase, micro-batch, q tokens, context, kv bits)
+_Key = tuple[str, int, str, int, int, int, int]
 
 
 @dataclass
@@ -43,7 +43,7 @@ class PredictionCache:
 
     model: LatencyModel
     _times: dict[_Key, float] = field(default_factory=dict)
-    _features: dict[tuple[int, int, int, int], np.ndarray] = field(
+    _features: dict[tuple[int, int, int, int, int], np.ndarray] = field(
         default_factory=dict
     )
     hits: int = 0
@@ -54,11 +54,13 @@ class PredictionCache:
         """Model architecture the underlying cost model was fitted for."""
         return self.model.cfg
 
-    def _feature(self, bits: int, batch: int, q: int, context: int) -> np.ndarray:
-        key = (bits, batch, q, context)
+    def _feature(
+        self, bits: int, batch: int, q: int, context: int, kv_bits: int = 16
+    ) -> np.ndarray:
+        key = (bits, batch, q, context, kv_bits)
         feat = self._features.get(key)
         if feat is None:
-            feat = features_for(self.cfg, bits, batch, q, context)
+            feat = features_for(self.cfg, bits, batch, q, context, kv_bits=kv_bits)
             self._features[key] = feat
         return feat
 
@@ -71,16 +73,17 @@ class PredictionCache:
         batch: int,
         q: int,
         context: int,
+        kv_bits: int = 16,
     ) -> float:
         """Memoized ``predict_layer`` for one key."""
-        key = (gpu_name, bits, phase, batch, q, context)
+        key = (gpu_name, bits, phase, batch, q, context, kv_bits)
         t = self._times.get(key)
         if t is not None:
             self.hits += 1
             return t
         self.misses += 1
         beta = self.model.coef[self.model._key(gpu_name, bits, phase)]
-        t = float(self._feature(bits, batch, q, context) @ beta)
+        t = float(self._feature(bits, batch, q, context, kv_bits) @ beta)
         self._times[key] = t
         return t
 
@@ -92,6 +95,7 @@ class PredictionCache:
         batch: int,
         q: int,
         context: int,
+        kv_bits: int = 16,
     ) -> np.ndarray:
         """``(len(gpu_names), len(bits))`` layer-time table, one planner
         coefficient block.
@@ -106,23 +110,23 @@ class PredictionCache:
             missing = [
                 k
                 for k, b in enumerate(bits)
-                if (name, b, phase, batch, q, context) not in self._times
+                if (name, b, phase, batch, q, context, kv_bits) not in self._times
             ]
             if missing:
                 feats = np.stack(
-                    [self._feature(bits[k], batch, q, context) for k in missing]
+                    [self._feature(bits[k], batch, q, context, kv_bits) for k in missing]
                 )
                 for row, k in enumerate(missing):
                     beta = self.model.coef[self.model._key(name, bits[k], phase)]
-                    self._times[(name, bits[k], phase, batch, q, context)] = float(
-                        feats[row] @ beta
-                    )
+                    self._times[
+                        (name, bits[k], phase, batch, q, context, kv_bits)
+                    ] = float(feats[row] @ beta)
                 self.misses += len(missing)
                 self.hits += len(bits) - len(missing)
             else:
                 self.hits += len(bits)
             for k, b in enumerate(bits):
-                out[j, k] = self._times[(name, b, phase, batch, q, context)]
+                out[j, k] = self._times[(name, b, phase, batch, q, context, kv_bits)]
         return out
 
     # ------------------------------------------------------------------

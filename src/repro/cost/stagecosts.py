@@ -122,6 +122,14 @@ class StageCostModel:
         self.prediction_cache = prediction_cache
         self.cache_enabled = bool(cache)
         self.kv_bits = int(plan.meta.get("kv_bits", 16))
+        # Per-stage KV bitwidths.  ``StagePlan.kv_bits`` is the first-class
+        # plan variable and drives both memory and timing; the plan-global
+        # ``meta["kv_bits"]`` is the legacy memory-only knob and still
+        # applies wherever a stage is left at the fp16 default.
+        self._mem_kv = tuple(
+            s.kv_bits if s.kv_bits < 16 else self.kv_bits for s in plan.stages
+        )
+        self._time_kv = tuple(s.kv_bits for s in plan.stages)
         self._gpus = [s.device.spec for s in plan.stages]
         self._links = None
         # shape-keyed memos (shared with per-wave derivatives, see derive())
@@ -180,25 +188,36 @@ class StageCostModel:
         return t
 
     def layer_time(
-        self, j: int, bits: int, phase: Phase, batch: int, q: int, context: int
+        self,
+        j: int,
+        bits: int,
+        phase: Phase,
+        batch: int,
+        q: int,
+        context: int,
+        *,
+        kv_bits: int = 16,
     ) -> float:
         """Seconds for one layer of stage ``j`` under the active source."""
         gpu = self._gpus[j]
         if self.source == "model":
             return self.prediction_cache.layer_time(
-                gpu.name, bits, phase, batch, q, context
+                gpu.name, bits, phase, batch, q, context, kv_bits
             )
         from ..sim.kernels import layer_exec_time
 
-        return layer_exec_time(gpu, self.cfg, bits, batch, q, context)
+        return layer_exec_time(gpu, self.cfg, bits, batch, q, context, kv_bits=kv_bits)
 
     def _stage_layers_prefill(self, j: int, batch: int, s: int) -> float:
         stage = self.plan.stages[j]
+        kv = self._time_kv[j]
         if self.source == "model":
             gpu = self._gpus[j]
             return float(
                 sum(
-                    self.prediction_cache.layer_time(gpu.name, b, "prefill", batch, s, s)
+                    self.prediction_cache.layer_time(
+                        gpu.name, b, "prefill", batch, s, s, kv
+                    )
                     for b in stage.layer_bits
                 )
             )
@@ -206,18 +225,22 @@ class StageCostModel:
 
         gpu = self._gpus[j]
         return sum(
-            layer_exec_time(gpu, self.cfg, b, batch, s, s) for b in stage.layer_bits
+            layer_exec_time(gpu, self.cfg, b, batch, s, s, kv_bits=kv)
+            for b in stage.layer_bits
         )
 
     def _decode_sweep(
         self, j: int, bits: int, batch: int, contexts: np.ndarray
     ) -> np.ndarray:
         gpu = self._gpus[j]
+        kv = self._time_kv[j]
         if self.source == "model":
-            return self.model.decode_step_times(gpu, bits, batch, contexts)
+            return self.model.decode_step_times(gpu, bits, batch, contexts, kv_bits=kv)
         from ..sim.kernels import layer_exec_times_decode_sweep
 
-        return layer_exec_times_decode_sweep(gpu, self.cfg, bits, batch, contexts)
+        return layer_exec_times_decode_sweep(
+            gpu, self.cfg, bits, batch, contexts, kv_bits=kv
+        )
 
     # ------------------------------------------------------------------
     # offline pipeline tables (analytic simulator + DES)
@@ -328,6 +351,7 @@ class StageCostModel:
             w_term: list[float] = []
             eff_bw: list[float] = []
             launch: list[float] = []
+            kv_token: list[float] = []
             for j, stage in enumerate(self.plan.stages):
                 gpu = self._gpus[j]
                 for bits, count in stage.bit_counts.items():
@@ -340,6 +364,9 @@ class StageCostModel:
                     )
                     eff_bw.append(gpu.effective_bandwidth)
                     launch.append(KERNELS_PER_LAYER * gpu.kernel_launch_overhead)
+                    kv_token.append(
+                        self.cfg.kv_bytes_per_token_per_layer(self._time_kv[j])
+                    )
             self._pairs = (
                 stage_of,
                 counts,
@@ -347,6 +374,7 @@ class StageCostModel:
                 np.array(w_term),
                 np.array(eff_bw),
                 np.array(launch),
+                np.array(kv_token),
             )
         return self._pairs
 
@@ -375,20 +403,20 @@ class StageCostModel:
                 t += self.comm_time(j, batch, 1)
                 out[j] = t
             return out
-        stage_of, counts, eff_flops, w_term, eff_bw, launch = self._decode_pairs()
+        stage_of, counts, eff_flops, w_term, eff_bw, launch, kv_token = (
+            self._decode_pairs()
+        )
         cfg = self.cfg
         h = cfg.hidden_size
         context = float(context)
-        # kernel timing always prices the KV stream at 16-bit (the plan's
-        # kv_bits only changes the memory accounting)
-        kv_bits = 16
         flops = cfg.layer_flops(batch, 1, 0) + 4.0 * batch * h * context
         compute_t = flops / eff_flops
-        fixed = batch * 1 * (6 * h + 2 * cfg.ffn_dim) * ACT_BYTES + batch * 2 * h * (
-            kv_bits / 8.0
-        )
-        per_ctx = batch * cfg.num_heads * context * ACT_BYTES * 2 + batch * context * 2 * h * (
-            kv_bits / 8.0
+        # the KV stream is priced at each stage's own bitwidth via the
+        # precomputed per-pair per-token byte constant
+        fixed = batch * 1 * (6 * h + 2 * cfg.ffn_dim) * ACT_BYTES + batch * kv_token
+        per_ctx = (
+            batch * cfg.num_heads * context * ACT_BYTES * 2
+            + batch * context * kv_token
         )
         mem_t = w_term + (fixed + per_ctx) / eff_bw
         vals = np.maximum(compute_t, mem_t) + launch
@@ -427,20 +455,15 @@ class StageCostModel:
                 out[i] = self.unit_decode_times(int(b[i]), float(c[i]))
             return out
         counts_f, seg_starts, one_layer_flops, h, ffn, heads = self._batch_consts()
-        _, _, eff_flops, w_term, eff_bw, launch = self._decode_pairs()
-        kv_bits = 16
+        _, _, eff_flops, w_term, eff_bw, launch, kv_token = self._decode_pairs()
         bc = b[:, None].astype(np.float64)
         cc = c[:, None]
         # layer_flops(b, 1, 0) == b * layer_flops(1, 1, 0) exactly: the
         # scalar path multiplies the int batch into one float constant
         flops = bc * one_layer_flops + 4.0 * bc * h * cc
         compute_t = flops / eff_flops[None, :]
-        fixed = bc * 1 * (6 * h + 2 * ffn) * ACT_BYTES + bc * 2 * h * (
-            kv_bits / 8.0
-        )
-        per_ctx = bc * heads * cc * ACT_BYTES * 2 + bc * cc * 2 * h * (
-            kv_bits / 8.0
-        )
+        fixed = bc * 1 * (6 * h + 2 * ffn) * ACT_BYTES + bc * kv_token[None, :]
+        per_ctx = bc * heads * cc * ACT_BYTES * 2 + bc * cc * kv_token[None, :]
         mem_t = w_term[None, :] + (fixed + per_ctx) / eff_bw[None, :]
         vals = np.maximum(compute_t, mem_t) + launch[None, :]
         # fold pairs into their stages: reduceat's left fold over each
@@ -522,7 +545,7 @@ class StageCostModel:
                 decode_microbatch=decode_microbatch,
                 is_first=(j == 0),
                 is_last=(j == self.plan.num_stages - 1),
-                kv_bits=self.kv_bits,
+                kv_bits=self._mem_kv[j],
             )
             if self.cache_enabled:
                 self._mem_memo[key] = m
@@ -627,9 +650,9 @@ class StageCostModel:
             arr = np.array(
                 [
                     kv_cache_bytes(
-                        self.cfg, stage.num_layers, 1, tokens, kv_bits=self.kv_bits
+                        self.cfg, stage.num_layers, 1, tokens, kv_bits=kv
                     )
-                    for stage in self.plan.stages
+                    for stage, kv in zip(self.plan.stages, self._mem_kv)
                 ]
             )
             if self.cache_enabled:
@@ -650,8 +673,10 @@ class StageCostModel:
         layers = np.array(
             [s.num_layers for s in self.plan.stages], dtype=np.int64
         )
-        per_token = self.cfg.kv_bytes_per_token_per_layer(self.kv_bits)
-        return (t[:, None] * layers[None, :]) * per_token
+        per_token = np.array(
+            [self.cfg.kv_bytes_per_token_per_layer(kv) for kv in self._mem_kv]
+        )
+        return (t[:, None] * layers[None, :]) * per_token[None, :]
 
     # ------------------------------------------------------------------
     def derive(self, plan: "ExecutionPlan") -> "StageCostModel":
@@ -694,6 +719,7 @@ def planner_time_tables(
     decode_microbatch: int,
     prompt_len: int,
     avg_context: int,
+    kv_bits: int = 16,
 ) -> tuple[np.ndarray, np.ndarray]:
     """The ILP's per-(device type, bits) layer-time coefficient blocks.
 
@@ -704,9 +730,10 @@ def planner_time_tables(
     simulators — the cross-path equality the CI cost-drift guard pins.
     """
     lp = prediction_cache.layer_time_table(
-        type_names, bits, "prefill", prefill_microbatch, prompt_len, prompt_len
+        type_names, bits, "prefill", prefill_microbatch, prompt_len, prompt_len,
+        kv_bits,
     )
     ld = prediction_cache.layer_time_table(
-        type_names, bits, "decode", decode_microbatch, 1, avg_context
+        type_names, bits, "decode", decode_microbatch, 1, avg_context, kv_bits
     )
     return lp, ld

@@ -34,12 +34,16 @@ def generate(
     *,
     greedy: bool = True,
     seed: int = 0,
+    kv_bits: int = 16,
 ) -> GenerationResult:
     """Run prefill once, then ``num_tokens`` decode steps.
 
     Follows the paper's offline-task setup (Sec. 6.1 / ORCA protocol):
     EOS is never emitted early — generation always runs the full
     ``num_tokens`` steps.
+
+    ``kv_bits`` below 16 serves the whole run through the fake-quant KV
+    reference path — the oracle for the packed pipeline runtime.
     """
     prompts = np.asarray(prompts)
     if prompts.ndim != 2:
@@ -50,7 +54,9 @@ def generate(
 
     # only the last prompt position feeds generation — skip the
     # (batch, s, vocab) projection the "all" mode would throw away
-    logits, cache = model.prefill(prompts, reserve=num_tokens, logits="last")
+    logits, cache = model.prefill(
+        prompts, reserve=num_tokens, logits="last", kv_bits=kv_bits
+    )
     last = logits[:, -1]
     out = np.empty((prompts.shape[0], num_tokens), dtype=np.int64)
     cur = _pick(last, greedy, rng)

@@ -100,6 +100,11 @@ class KVCache:
         """Reserved KV slots per sequence."""
         return self.k.shape[2]
 
+    @property
+    def kv_nbytes(self) -> float:
+        """Resident bytes of this cache's K/V storage."""
+        return float(self.k.nbytes + self.v.nbytes)
+
     def append(self, layer: int, k_new: np.ndarray, v_new: np.ndarray, start: int) -> None:
         """Write new K/V rows at absolute position ``start``."""
         q = k_new.shape[1]
@@ -107,6 +112,12 @@ class KVCache:
             raise ValueError("KV cache overflow: reserve s + n slots up front")
         self.k[layer, :, start : start + q] = k_new
         self.v[layer, :, start : start + q] = v_new
+
+    def read(self, layer: int, total: int) -> tuple[np.ndarray, np.ndarray]:
+        """K/V rows ``0 .. total`` of ``layer`` as dense ``(batch, total,
+        hidden)`` arrays.  The fp16-baseline cache returns zero-copy views;
+        packed subclasses dequantize on read."""
+        return self.k[layer, :, :total], self.v[layer, :, :total]
 
 
 def fused_qkv(lw: LayerWeights) -> tuple[np.ndarray, np.ndarray]:
@@ -232,8 +243,7 @@ def attention_forward(
     qp, kp, vp = qkv[..., :h], qkv[..., h : 2 * h], qkv[..., 2 * h :]
     cache.append(cache_layer, kp, vp, start)
     total = start + q
-    k_all = cache.k[cache_layer, :, :total]
-    v_all = cache.v[cache_layer, :, :total]
+    k_all, v_all = cache.read(cache_layer, total)
 
     qh = qp.reshape(batch, q, nh, hd).transpose(0, 2, 1, 3)
     kh = k_all.reshape(batch, total, nh, hd).transpose(0, 2, 3, 1)
@@ -345,12 +355,21 @@ class TinyDecoderLM:
         return out.reshape(batch, q, -1)
 
     def prefill(
-        self, tokens: np.ndarray, *, reserve: int = 0, logits: str = "all"
+        self,
+        tokens: np.ndarray,
+        *,
+        reserve: int = 0,
+        logits: str = "all",
+        kv_bits: int = 16,
     ) -> tuple[np.ndarray | None, KVCache]:
         """Process prompts; returns logits and the filled KV cache.
 
         ``reserve`` extra KV slots are pre-allocated for decoding — the
         paper's runtime reserves ``s + n`` up front to avoid reallocation.
+
+        ``kv_bits`` below 16 serves the KV cache through the fake-quant
+        reference path (per-token, per-head scales) — the single-process
+        oracle the packed runtime caches are asserted bit-identical to.
 
         ``logits`` selects how much of the ``(batch, s, vocab)`` logit
         tensor to materialize:
@@ -367,9 +386,18 @@ class TinyDecoderLM:
         if tokens.ndim != 2:
             raise ValueError("tokens must be (batch, seq)")
         batch, s = tokens.shape
-        cache = KVCache.allocate(
-            self.cfg.num_layers, batch, s + reserve, self.cfg.hidden_size
-        )
+        if kv_bits >= 16:
+            cache = KVCache.allocate(
+                self.cfg.num_layers, batch, s + reserve, self.cfg.hidden_size
+            )
+        else:
+            # runtime import: repro.runtime.kvcache imports this module
+            from ..runtime.kvcache import FakeQuantKVCache
+
+            cache = FakeQuantKVCache.allocate_quant(
+                self.cfg.num_layers, batch, s + reserve, self.cfg.hidden_size,
+                kv_bits=kv_bits, num_heads=self.cfg.num_heads,
+            )
         x = self._embed(tokens, 0)
         for i in range(self.cfg.num_layers):
             x = self._block(i, x, cache, 0)

@@ -34,6 +34,9 @@ def layer_memory_traffic(
     act = batch * q * (6 * h + 2 * cfg.ffn_dim) * ACT_BYTES
     # attention score matrix read+write (heads folded into h-sized rows)
     scores = batch * cfg.num_heads * q * context * ACT_BYTES * 2
-    kv_write = batch * q * 2 * h * (kv_bits / 8.0)
-    kv_read = batch * context * 2 * h * (kv_bits / 8.0)
+    # KV stream priced through the one shared per-token formula so every
+    # cost consumer agrees byte-for-byte on a bitwidth change
+    kv_token = cfg.kv_bytes_per_token_per_layer(kv_bits)
+    kv_write = batch * q * kv_token
+    kv_read = batch * context * kv_token
     return w_bytes + act + scores + kv_write + kv_read

@@ -18,10 +18,13 @@ from .theory import (
 from .gptq import calibration_objective, gptq_quantize, rtn_quantize
 from .indicator import (
     DEFAULT_BITS,
+    DEFAULT_KV_BITS,
     IndicatorTable,
     hessian_indicator,
+    kv_error_indicator,
     random_indicator,
     synthetic_indicator,
+    synthetic_kv_indicator,
     variance_indicator,
 )
 from .kernels import (
@@ -66,7 +69,10 @@ __all__ = [
     "hessian_indicator",
     "random_indicator",
     "synthetic_indicator",
+    "kv_error_indicator",
+    "synthetic_kv_indicator",
     "DEFAULT_BITS",
+    "DEFAULT_KV_BITS",
     "QuantizedLinear",
     "pack_codes",
     "unpack_codes",

@@ -37,9 +37,14 @@ __all__ = [
     "hessian_indicator",
     "random_indicator",
     "synthetic_indicator",
+    "kv_error_indicator",
+    "synthetic_kv_indicator",
 ]
 
 DEFAULT_BITS: tuple[int, ...] = (3, 4, 8, 16)
+
+#: Candidate KV-cache bitwidths (16 = fp16 baseline, lossless).
+DEFAULT_KV_BITS: tuple[int, ...] = (4, 8, 16)
 
 
 @dataclass(frozen=True)
@@ -271,6 +276,83 @@ def random_indicator(
     omega = layer_score[:, None] * bit_factor[None, :]
     omega = _zero_fp16_column(omega, bits)
     return IndicatorTable(omega=omega, bits=bits, method="random", overhead_seconds=0.0)
+
+
+# ----------------------------------------------------------------------
+# KV-cache error indicators: the planner's quality signal for the
+# per-stage KV bitwidth axis.
+# ----------------------------------------------------------------------
+def kv_error_indicator(
+    model: TinyDecoderLM,
+    calib_tokens: np.ndarray,
+    *,
+    kv_bits: tuple[int, ...] = DEFAULT_KV_BITS,
+) -> IndicatorTable:
+    """Measured per-(layer, KV bitwidth) quantization error.
+
+    Runs one real prefill on the tiny NumPy model, reads every layer's
+    filled K/V rows out of the cache, and scores the mean squared error
+    of the runtime's per-token, per-head fake quantization at each
+    candidate bitwidth.  16-bit entries are exactly zero (lossless), so
+    the table plugs into the same ``theta``-weighted objective as the
+    weight indicators.
+    """
+    from ..runtime.kvcache import kv_fake_quant
+
+    t0 = time.perf_counter()
+    tokens = np.asarray(calib_tokens)
+    _, cache = model.prefill(tokens, logits="none")
+    L = model.cfg.num_layers
+    heads = model.cfg.num_heads
+    filled = cache.length
+    omega = np.zeros((L, len(kv_bits)))
+    for i in range(L):
+        k = cache.k[i, :, :filled]
+        v = cache.v[i, :, :filled]
+        for j, b in enumerate(kv_bits):
+            if b >= 16:
+                continue
+            err_k = kv_fake_quant(k, b, heads) - k
+            err_v = kv_fake_quant(v, b, heads) - v
+            omega[i, j] = float(np.square(err_k).mean() + np.square(err_v).mean())
+    omega = _zero_fp16_column(omega, kv_bits)
+    return IndicatorTable(
+        omega=omega, bits=kv_bits, method="kv-error",
+        overhead_seconds=time.perf_counter() - t0,
+    )
+
+
+def synthetic_kv_indicator(
+    cfg: ModelConfig,
+    *,
+    kv_bits: tuple[int, ...] = DEFAULT_KV_BITS,
+    act_var_base: float = 1.0,
+    act_var_growth: float = 0.04,
+) -> IndicatorTable:
+    """Analytic KV-error table for models too large to execute.
+
+    Mirrors :func:`synthetic_indicator`'s depth profile: K/V rows are
+    projections of the residual stream, whose variance grows linearly
+    with depth, and per-token symmetric quantization at ``b`` bits with
+    an ``amax ~ 3 sigma`` scale has per-element MSE ``scale^2 / 12``.
+    The per-layer score sums K and V over the hidden dimension.
+    """
+    t0 = time.perf_counter()
+    L, h = cfg.num_layers, cfg.hidden_size
+    omega = np.zeros((L, len(kv_bits)))
+    for i in range(L):
+        act_var = act_var_base * (1.0 + act_var_growth * i)
+        amax = 3.0 * np.sqrt(act_var)
+        for j, b in enumerate(kv_bits):
+            if b >= 16:
+                continue
+            scale = amax / qmax_for_bits(b)
+            omega[i, j] = 2.0 * h * scale**2 / 12.0
+    omega = _zero_fp16_column(omega, kv_bits)
+    return IndicatorTable(
+        omega=omega, bits=kv_bits, method="synthetic-kv",
+        overhead_seconds=time.perf_counter() - t0,
+    )
 
 
 # ----------------------------------------------------------------------

@@ -323,6 +323,7 @@ class PipelineRuntime:
             decode_microbatch=self.plan.decode_microbatch,
             is_first=stage_idx == 0,
             is_last=stage_idx == self.plan.num_stages - 1,
+            kv_bits=stage.kv_bits,
         )
         return dequant_cache_budget(
             base, stage.device.spec.memory_bytes,
@@ -339,6 +340,7 @@ class PipelineRuntime:
                 control=self.control,
                 poll_interval=self.supervision.heartbeat_interval,
                 dequant_cache=self.dequant_caches[j],
+                kv_bits=self.plan.stages[j].kv_bits,
             )
             for j, load in enumerate(self._loads)
         ]
@@ -392,8 +394,10 @@ class PipelineRuntime:
         if new_plan.model_name != self.plan.model_name:
             raise ValueError("switch_plan cannot change the model")
         same_shards = tuple(
-            (s.num_layers, s.layer_bits) for s in new_plan.stages
-        ) == tuple((s.num_layers, s.layer_bits) for s in self.plan.stages)
+            (s.num_layers, s.layer_bits, s.kv_bits) for s in new_plan.stages
+        ) == tuple(
+            (s.num_layers, s.layer_bits, s.kv_bits) for s in self.plan.stages
+        )
         self.plan = new_plan
         self._decode_microbatch = new_plan.decode_microbatch
         if same_shards:

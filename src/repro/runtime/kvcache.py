@@ -1,10 +1,27 @@
-"""Per-stage KV-cache management.
+"""Per-stage KV-cache management, with optional KV4/KV8 packing.
 
-Each stage worker owns one :class:`StageKVCache` per live cache unit
-(prefill micro-batch or merged decode group), pre-allocated at ``s + n``
-slots exactly like the paper's runtime (Sec. 5: pre-allocated KV cache).
-The manager also keeps a byte ledger so tests can assert the runtime's
-peak KV memory matches the analytical cost model.
+Each stage worker owns one cache unit per live prefill micro-batch or
+merged decode group, pre-allocated at ``s + n`` slots exactly like the
+paper's runtime (Sec. 5: pre-allocated KV cache).  The manager also
+keeps a byte ledger so tests can assert the runtime's peak KV memory
+matches the analytical cost model.
+
+When a plan assigns a stage ``kv_bits`` below 16, the stage stores its
+keys/values *packed*: signed codes quantized with one scale per
+(token, head group), bit-packed into a uint8 stream via the same
+:func:`~repro.quant.kernels.pack_codes` machinery the weight shards use.
+Attention reads dequantize on the fly, so the resident footprint is the
+real ``hidden * kv_bits / 8`` bytes per token (plus one float64 scale
+per head) — the quantity the planner's admission ledger charges.
+
+Two reference paths pin the numerics:
+
+* :func:`kv_fake_quant` — quantize+dequantize without packing; the
+  oracle a packed cache's :meth:`~QuantizedKVCache.read` must match
+  bit-exactly (packing is lossless on codes).
+* :class:`FakeQuantKVCache` — a drop-in :class:`KVCache` that fake-
+  quantizes on append, used by ``TinyDecoderLM.prefill(kv_bits=...)``
+  to produce single-process reference tokens for the runtime tests.
 
 An optional ``alloc_guard`` callable is consulted with the requested
 byte count before every allocation (including the transient copy a
@@ -22,19 +39,248 @@ from typing import Callable
 import numpy as np
 
 from ..models.transformer import KVCache
+from ..quant.kernels import pack_codes, unpack_codes
+from ..quant.quantizer import qmax_for_bits
 
-__all__ = ["StageKVManager"]
+__all__ = [
+    "StageKVManager",
+    "QuantizedKVCache",
+    "FakeQuantKVCache",
+    "quantize_kv",
+    "dequantize_kv",
+    "kv_fake_quant",
+    "packed_kv_nbytes",
+]
+
+
+# ----------------------------------------------------------------------
+# KV quantization primitives
+# ----------------------------------------------------------------------
+
+def _head_groups(x: np.ndarray, num_heads: int) -> np.ndarray:
+    hidden = x.shape[-1]
+    if num_heads <= 0 or hidden % num_heads:
+        raise ValueError(f"hidden {hidden} not divisible into {num_heads} heads")
+    return x.reshape(*x.shape[:-1], num_heads, hidden // num_heads)
+
+
+def quantize_kv(
+    x: np.ndarray, kv_bits: int, num_heads: int = 1
+) -> tuple[np.ndarray, np.ndarray]:
+    """Symmetric per-(token, head) quantization of K/V activations.
+
+    ``x`` is ``(..., hidden)``; each trailing row is split into
+    ``num_heads`` groups and every group gets its own absmax scale —
+    the KV granularity QServe-style serving uses, fine enough that one
+    outlier channel cannot blow up a whole token.  Returns int16 codes
+    shaped like ``x`` and float64 scales shaped ``(..., num_heads)``.
+    All-zero groups get scale 1.0 so dequantization is exact for them.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    qmax = qmax_for_bits(kv_bits)
+    grouped = _head_groups(x, num_heads)
+    scales = np.abs(grouped).max(axis=-1) / qmax
+    scales[scales == 0.0] = 1.0
+    codes = np.clip(np.rint(grouped / scales[..., None]), -qmax, qmax)
+    return codes.astype(np.int16).reshape(x.shape), scales
+
+
+def dequantize_kv(codes: np.ndarray, scales: np.ndarray, num_heads: int = 1) -> np.ndarray:
+    """Inverse of :func:`quantize_kv`: ``codes * scale`` per head group."""
+    grouped = _head_groups(np.asarray(codes, dtype=np.float64), num_heads)
+    return (grouped * scales[..., None]).reshape(codes.shape)
+
+
+def kv_fake_quant(x: np.ndarray, kv_bits: int, num_heads: int = 1) -> np.ndarray:
+    """Quantize-dequantize round trip — the packed path's numeric oracle."""
+    if kv_bits >= 16:
+        return np.asarray(x, dtype=np.float64)
+    codes, scales = quantize_kv(x, kv_bits, num_heads)
+    return dequantize_kv(codes, scales, num_heads)
+
+
+def packed_kv_nbytes(
+    num_layers: int,
+    batch: int,
+    max_len: int,
+    hidden: int,
+    kv_bits: int,
+    num_heads: int = 1,
+) -> float:
+    """Resident bytes of one packed cache unit (codes + scales, K and V)."""
+    code_bytes = 2.0 * num_layers * batch * max_len * (hidden * kv_bits // 8)
+    scale_bytes = 2.0 * num_layers * batch * max_len * num_heads * 8
+    return code_bytes + scale_bytes
+
+
+# ----------------------------------------------------------------------
+# Cache variants
+# ----------------------------------------------------------------------
+
+@dataclass
+class FakeQuantKVCache(KVCache):
+    """fp16-layout cache that fake-quantizes every append.
+
+    Same dense float64 storage as :class:`KVCache` (no memory savings) —
+    this is the *reference* serving path: what attention reads here is
+    exactly what a packed cache dequantizes to, so end-to-end token
+    streams from this cache define correctness for the packed runtime.
+    """
+
+    kv_bits: int = 8
+    num_heads: int = 1
+
+    @classmethod
+    def allocate_quant(
+        cls,
+        num_layers: int,
+        batch: int,
+        max_len: int,
+        hidden: int,
+        *,
+        kv_bits: int,
+        num_heads: int = 1,
+    ) -> "FakeQuantKVCache":
+        shape = (num_layers, batch, max_len, hidden)
+        return cls(
+            k=np.zeros(shape), v=np.zeros(shape), length=0,
+            kv_bits=kv_bits, num_heads=num_heads,
+        )
+
+    def append(self, layer: int, k_new: np.ndarray, v_new: np.ndarray, start: int) -> None:
+        super().append(
+            layer,
+            kv_fake_quant(k_new, self.kv_bits, self.num_heads),
+            kv_fake_quant(v_new, self.kv_bits, self.num_heads),
+            start,
+        )
 
 
 @dataclass
+class QuantizedKVCache:
+    """Bit-packed KV cache: uint8 code stream + per-(token, head) scales.
+
+    Codes are packed little-endian at ``kv_bits`` per value, so each
+    token row occupies exactly ``hidden * kv_bits / 8`` bytes
+    (``hidden * kv_bits`` must be byte-aligned — true for KV4/KV8 with
+    any even hidden size).  Implements the same protocol as
+    :class:`KVCache` (``append`` / ``read`` / ``max_len`` /
+    ``kv_nbytes`` / ``length``), so attention and the stage manager use
+    it interchangeably; ``read`` returns dense float64 arrays that are
+    bit-exact equal to :func:`kv_fake_quant` of what was appended.
+    """
+
+    k_codes: np.ndarray   #: (num_layers, batch, max_len, hidden*kv_bits//8) uint8
+    v_codes: np.ndarray
+    k_scales: np.ndarray  #: (num_layers, batch, max_len, num_heads) float64
+    v_scales: np.ndarray
+    hidden_size: int
+    kv_bits: int
+    num_heads: int = 1
+    length: int = 0
+
+    @classmethod
+    def allocate(
+        cls,
+        num_layers: int,
+        batch: int,
+        max_len: int,
+        hidden: int,
+        *,
+        kv_bits: int,
+        num_heads: int = 1,
+    ) -> "QuantizedKVCache":
+        if kv_bits >= 16 or kv_bits <= 0:
+            raise ValueError(f"packed KV needs 0 < kv_bits < 16, got {kv_bits}")
+        if (hidden * kv_bits) % 8:
+            raise ValueError(
+                f"hidden*kv_bits must be byte-aligned, got {hidden}x{kv_bits}"
+            )
+        if num_heads <= 0 or hidden % num_heads:
+            raise ValueError(f"hidden {hidden} not divisible into {num_heads} heads")
+        code_shape = (num_layers, batch, max_len, hidden * kv_bits // 8)
+        scale_shape = (num_layers, batch, max_len, num_heads)
+        return cls(
+            k_codes=np.zeros(code_shape, dtype=np.uint8),
+            v_codes=np.zeros(code_shape, dtype=np.uint8),
+            k_scales=np.ones(scale_shape),
+            v_scales=np.ones(scale_shape),
+            hidden_size=hidden,
+            kv_bits=kv_bits,
+            num_heads=num_heads,
+        )
+
+    @property
+    def max_len(self) -> int:
+        """Reserved KV slots per sequence."""
+        return self.k_codes.shape[2]
+
+    @property
+    def kv_nbytes(self) -> float:
+        """Resident bytes: packed codes plus scales, K and V."""
+        return float(
+            self.k_codes.nbytes + self.v_codes.nbytes
+            + self.k_scales.nbytes + self.v_scales.nbytes
+        )
+
+    def _pack(self, x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        codes, scales = quantize_kv(x, self.kv_bits, self.num_heads)
+        batch, q = codes.shape[0], codes.shape[1]
+        packed = pack_codes(codes, self.kv_bits).reshape(
+            batch, q, self.hidden_size * self.kv_bits // 8
+        )
+        return packed, scales
+
+    def append(self, layer: int, k_new: np.ndarray, v_new: np.ndarray, start: int) -> None:
+        """Quantize, pack and store new K/V rows at position ``start``."""
+        q = k_new.shape[1]
+        if start + q > self.max_len:
+            raise ValueError("KV cache overflow: reserve s + n slots up front")
+        kp, ks = self._pack(k_new)
+        vp, vs = self._pack(v_new)
+        self.k_codes[layer, :, start : start + q] = kp
+        self.v_codes[layer, :, start : start + q] = vp
+        self.k_scales[layer, :, start : start + q] = ks
+        self.v_scales[layer, :, start : start + q] = vs
+
+    def _unpack(self, packed: np.ndarray, scales: np.ndarray) -> np.ndarray:
+        batch, total = packed.shape[0], packed.shape[1]
+        codes = unpack_codes(
+            np.ascontiguousarray(packed).ravel(),
+            self.kv_bits,
+            batch * total * self.hidden_size,
+        ).reshape(batch, total, self.hidden_size)
+        return dequantize_kv(codes, scales, self.num_heads)
+
+    def read(self, layer: int, total: int) -> tuple[np.ndarray, np.ndarray]:
+        """Dequantized K/V rows ``0 .. total`` as dense float64 arrays."""
+        return (
+            self._unpack(self.k_codes[layer, :, :total], self.k_scales[layer, :, :total]),
+            self._unpack(self.v_codes[layer, :, :total], self.v_scales[layer, :, :total]),
+        )
+
+
+# ----------------------------------------------------------------------
+# Stage manager
+# ----------------------------------------------------------------------
+
+@dataclass
 class StageKVManager:
-    """Allocates, merges and frees KV caches for one pipeline stage."""
+    """Allocates, merges and frees KV caches for one pipeline stage.
+
+    ``kv_bits`` below 16 switches every unit this stage allocates to the
+    packed :class:`QuantizedKVCache`; the guard then sees the *packed*
+    byte counts, which is exactly how KV4 turns into admission headroom
+    under a fixed cache budget.
+    """
 
     num_layers: int
     hidden_size: int
     caches: dict[int, KVCache] = field(default_factory=dict)
     peak_bytes: float = 0.0
     alloc_guard: Callable[[float], None] | None = None
+    kv_bits: int = 16
+    num_heads: int = 1
     released_units: int = 0      #: units freed eagerly via :meth:`release`
     released_bytes: float = 0.0  #: bytes returned by those releases
 
@@ -48,18 +294,27 @@ class StageKVManager:
     @property
     def current_bytes(self) -> float:
         """Live KV bytes across all cache units."""
-        return float(
-            sum(c.k.nbytes + c.v.nbytes for c in self.caches.values())
-        )
+        return float(sum(c.kv_nbytes for c in self.caches.values()))
 
     def allocate(self, unit_id: int, batch: int, max_len: int) -> KVCache:
         """Pre-allocate a cache unit (idempotent per id)."""
         if unit_id in self.caches:
             return self.caches[unit_id]
-        # k + v, float64 — checked against the guard before committing
-        requested = 2.0 * self.num_layers * batch * max_len * self.hidden_size * 8
-        self._check_guard(requested)
-        cache = KVCache.allocate(self.num_layers, batch, max_len, self.hidden_size)
+        if self.kv_bits >= 16:
+            # k + v, float64 — checked against the guard before committing
+            requested = 2.0 * self.num_layers * batch * max_len * self.hidden_size * 8
+            self._check_guard(requested)
+            cache = KVCache.allocate(self.num_layers, batch, max_len, self.hidden_size)
+        else:
+            requested = packed_kv_nbytes(
+                self.num_layers, batch, max_len, self.hidden_size,
+                self.kv_bits, self.num_heads,
+            )
+            self._check_guard(requested)
+            cache = QuantizedKVCache.allocate(
+                self.num_layers, batch, max_len, self.hidden_size,
+                kv_bits=self.kv_bits, num_heads=self.num_heads,
+            )
         self.caches[unit_id] = cache
         self._track()
         return cache
@@ -82,16 +337,33 @@ class StageKVManager:
         All members must be at the same fill ``length`` (they are — the
         offline task pads prompts to a uniform ``s``).  Members are freed
         after merging, so peak memory is ~2x the group transiently, which
-        the ledger records faithfully.
+        the ledger records faithfully.  Packed units concatenate their
+        code and scale tensors directly — no dequantize/requantize, so
+        merging never perturbs stored values.
         """
         members = [self.get(m) for m in sorted(member_ids)]
         lengths = {m.length for m in members}
         if len(lengths) != 1:
             raise ValueError(f"cannot merge units at different lengths: {lengths}")
-        self._check_guard(float(sum(m.k.nbytes + m.v.nbytes for m in members)))
-        k = np.concatenate([m.k for m in members], axis=1)
-        v = np.concatenate([m.v for m in members], axis=1)
-        merged = KVCache(k=k, v=v, length=members[0].length)
+        self._check_guard(float(sum(m.kv_nbytes for m in members)))
+        first = members[0]
+        if isinstance(first, QuantizedKVCache):
+            merged: KVCache = QuantizedKVCache(
+                k_codes=np.concatenate([m.k_codes for m in members], axis=1),
+                v_codes=np.concatenate([m.v_codes for m in members], axis=1),
+                k_scales=np.concatenate([m.k_scales for m in members], axis=1),
+                v_scales=np.concatenate([m.v_scales for m in members], axis=1),
+                hidden_size=first.hidden_size,
+                kv_bits=first.kv_bits,
+                num_heads=first.num_heads,
+                length=first.length,
+            )
+        else:
+            merged = KVCache(
+                k=np.concatenate([m.k for m in members], axis=1),
+                v=np.concatenate([m.v for m in members], axis=1),
+                length=first.length,
+            )
         self.caches[group_id] = merged
         self._track()
         for m in member_ids:
@@ -113,7 +385,7 @@ class StageKVManager:
         cache = self.caches.pop(unit_id, None)
         if cache is None:
             return 0.0
-        freed = float(cache.k.nbytes + cache.v.nbytes)
+        freed = float(cache.kv_nbytes)
         self.released_units += 1
         self.released_bytes += freed
         return freed

@@ -90,6 +90,7 @@ class StageWorker(threading.Thread):
         control=None,
         poll_interval: float = 0.05,
         dequant_cache: DequantCache | None = None,
+        kv_bits: int = 16,
     ) -> None:
         super().__init__(name=f"stage-{stage_idx}", daemon=True)
         self.stage_idx = stage_idx
@@ -101,10 +102,13 @@ class StageWorker(threading.Thread):
         self.control = control
         self.poll_interval = poll_interval
         self.dequant_cache = dequant_cache
+        self.kv_bits = kv_bits
         self.kv = StageKVManager(
             num_layers=load.num_layers,
             hidden_size=cfg.hidden_size,
             alloc_guard=self._make_kv_guard(),
+            kv_bits=kv_bits,
+            num_heads=cfg.num_heads,
         )
         self.processed_messages = 0
         self.error: BaseException | None = None

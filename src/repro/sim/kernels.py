@@ -91,10 +91,11 @@ def layer_exec_times_decode_sweep(
     compute_t = flops / gpu.effective_flops(bits)
 
     w_bytes = cfg.layer_weight_bytes(bits)
-    fixed = batch * 1 * (6 * h + 2 * cfg.ffn_dim) * ACT_BYTES + batch * 2 * h * (kv_bits / 8.0)
+    kv_token = cfg.kv_bytes_per_token_per_layer(kv_bits)
+    fixed = batch * 1 * (6 * h + 2 * cfg.ffn_dim) * ACT_BYTES + batch * kv_token
     per_ctx = (
         batch * cfg.num_heads * contexts * ACT_BYTES * 2
-        + batch * contexts * 2 * h * (kv_bits / 8.0)
+        + batch * contexts * kv_token
     )
     mem_t = w_bytes / gpu.effective_weight_bandwidth(bits) + (fixed + per_ctx) / gpu.effective_bandwidth
     return (

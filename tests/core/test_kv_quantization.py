@@ -50,3 +50,92 @@ def test_kv8_buys_precision(cluster3, latmodel_cluster3, workload):
                         latency_model=latmodel_cluster3).optimize()
     assert r16.feasible and r8.feasible
     assert r8.plan.average_bits() >= r16.plan.average_bits() - 1e-9
+
+
+# ---------------------------------------------------------------------------
+# per-stage kv_bits as a first-class plan variable (KV4/KV8 tentpole)
+# ---------------------------------------------------------------------------
+
+
+def test_planned_stages_carry_kv_bits(cluster3, latmodel_cluster3, workload):
+    """Explicit kv_bits lands on every stage and in the plan meta."""
+    res = LLMPQOptimizer(
+        "opt-30b", cluster3, workload,
+        config=PlannerConfig(group_size=4, kv_bits=4,
+                             decode_mb_candidates=(8,), prefill_mb_cap=8),
+        latency_model=latmodel_cluster3,
+    ).optimize()
+    assert res.feasible
+    assert res.plan.kv_bits_per_stage == (4,) * res.plan.num_stages
+    assert res.plan.meta["kv_bits"] == 4
+
+
+def test_kv_plan_json_roundtrip(cluster3, latmodel_cluster3, workload, tmp_path):
+    """Per-stage KV bitwidths survive the strategy-file round trip."""
+    from repro.core.plan import ExecutionPlan
+
+    res = LLMPQOptimizer(
+        "opt-30b", cluster3, workload,
+        config=PlannerConfig(group_size=4, kv_bits=8,
+                             decode_mb_candidates=(8,), prefill_mb_cap=8),
+        latency_model=latmodel_cluster3,
+    ).optimize()
+    mixed = res.plan.with_kv_bits((4, 8, 16, 4)[: res.plan.num_stages])
+    path = tmp_path / "strategy.json"
+    mixed.to_json(path)
+    loaded = ExecutionPlan.from_json(path)
+    assert loaded.kv_bits_per_stage == mixed.kv_bits_per_stage
+
+
+def test_kv_quantization_speeds_up_decode(cluster3, latmodel_cluster3, workload):
+    """Quantized KV shrinks the decode memory stream, so the planner's
+    view of the same plan gets faster as kv_bits drops."""
+    res = LLMPQOptimizer(
+        "opt-30b", cluster3, workload,
+        config=PlannerConfig(group_size=4, kv_bits=16,
+                             decode_mb_candidates=(8,), prefill_mb_cap=8),
+        latency_model=latmodel_cluster3,
+    ).optimize()
+    assert res.feasible
+    lat = {}
+    for kv in (16, 8, 4):
+        pred = simulate_pipeline(res.plan.with_kv_bits(kv), cluster3)
+        assert pred.feasible
+        lat[kv] = pred.total_latency
+    assert lat[8] < lat[16]
+    assert lat[4] < lat[8]
+
+
+def test_auto_kv_search(cluster3, latmodel_cluster3, workload):
+    """kv_bits='auto' returns a feasible plan whose per-stage KV levels
+    are authoritative (legacy meta knob neutralized), and never does
+    worse than the fp16-KV run on the same objective scale once the
+    KV-error penalty justifies quantizing."""
+    auto = LLMPQOptimizer(
+        "opt-30b", cluster3, workload,
+        config=PlannerConfig(group_size=4, kv_bits="auto", theta=0.5,
+                             decode_mb_candidates=(8,), prefill_mb_cap=8),
+        latency_model=latmodel_cluster3,
+    ).optimize()
+    assert auto.feasible
+    assert auto.plan.meta["kv_bits"] == 16  # stage values are authoritative
+    assert all(b in (4, 8, 16) for b in auto.plan.kv_bits_per_stage)
+    fp16 = LLMPQOptimizer(
+        "opt-30b", cluster3, workload,
+        config=PlannerConfig(group_size=4, kv_bits=16, theta=0.5,
+                             decode_mb_candidates=(8,), prefill_mb_cap=8),
+        latency_model=latmodel_cluster3,
+    ).optimize()
+    # auto can always fall back to uniform fp16, so its latency+quality
+    # objective (kv penalty excluded by construction at the winner) must
+    # not regress beyond numerical noise
+    assert auto.objective <= fp16.objective + 1e-9
+
+
+def test_invalid_kv_bits_rejected(cluster3, latmodel_cluster3, workload):
+    with pytest.raises(ValueError, match="kv_bits"):
+        LLMPQOptimizer(
+            "opt-30b", cluster3, workload,
+            config=PlannerConfig(kv_bits=5),
+            latency_model=latmodel_cluster3,
+        )

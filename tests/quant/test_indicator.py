@@ -115,3 +115,32 @@ def test_indicator_json_roundtrip(tmp_path, var_table):
     # string form round-trips too
     loaded2 = type(var_table).from_json(var_table.to_json())
     np.testing.assert_allclose(loaded2.omega, var_table.omega)
+
+
+# ---------------------------------------------------------------------------
+# KV-cache error indicators (the kv_bits planner dimension)
+# ---------------------------------------------------------------------------
+
+
+def test_kv_error_indicator_measured_on_model(tiny_model, calib):
+    from repro.quant import kv_error_indicator
+
+    t = kv_error_indicator(tiny_model, calib)
+    assert t.method == "kv-error"
+    assert t.num_layers == tiny_model.cfg.num_layers
+    # fp16 KV is lossless; coarser KV hurts more
+    assert np.all(t.column(16) == 0.0)
+    assert np.all(t.column(4) > t.column(8))
+    assert np.all(t.column(8) > 0.0)
+
+
+def test_synthetic_kv_indicator_shape_and_ordering():
+    from repro.quant import synthetic_kv_indicator
+
+    cfg = get_model("opt-13b")
+    t = synthetic_kv_indicator(cfg)
+    assert t.num_layers == cfg.num_layers
+    assert np.all(t.column(16) == 0.0)
+    assert np.all(t.column(4) > t.column(8))
+    # later layers see wider activations, hence larger KV error
+    assert t.column(4)[-1] > t.column(4)[0]

@@ -88,6 +88,29 @@ def test_canned_trace_identical(plan_name, engine, max_batch, force_general):
     )
 
 
+@pytest.mark.parametrize("engine", ["analytic", "des"])
+def test_mixed_kv_trace_identical(engine, force_general):
+    """Per-stage KV bitwidths reshape per-stage admission charges and
+    decode times; the vectorized engine must still match the oracle bit
+    for bit — including the exact-linear token-budget shortcut, whose
+    per-stage charge vector is no longer uniform."""
+    plan, cluster = PLANS["mixed"]
+    kv_plan = plan.with_kv_bits((4, 8, 16, 4))
+    res = _assert_identical(kv_plan, cluster, canned_trace(), engine=engine)
+    assert res.completed > 0
+
+
+def test_kv4_admits_more_than_kv16(force_general):
+    """At the same memory budget, KV4's smaller per-request charge must
+    never complete fewer requests than fp16 KV on an overload trace."""
+    plan, cluster = PLANS["mixed"]
+    trace = canned_trace() * 4
+    r16 = _assert_identical(plan.with_kv_bits(16), cluster, trace)
+    r4 = _assert_identical(plan.with_kv_bits(4), cluster, trace)
+    assert r4.completed >= r16.completed
+    assert r4.rejected <= r16.rejected
+
+
 def test_drifting_trace_identical_with_replanning(force_general):
     plan, cluster = PLANS["mixed"]
     trace = sample_diurnal_arrivals(
