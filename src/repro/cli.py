@@ -268,6 +268,13 @@ def dist_main(argv: list[str] | None = None) -> int:
                 f"p95 {st.latency_p95:.3f}s / p99 {st.latency_p99:.3f}s; "
                 f"ttft mean {st.ttft_mean:.3f}s (p95 {st.ttft_p95:.3f}s)"
             )
+        if st.fused_iterations:
+            print(
+                f"fused decode: {st.fused_iterations} iterations, batch mean "
+                f"{st.fused_batch_mean:.2f} / max {st.fused_batch_max}; "
+                f"weight stream saved "
+                f"{st.fused_weight_bytes_saved / 2**20:.1f} MiB"
+            )
         if injector is not None or st.retries or st.replans or st.degrade_events:
             print(
                 f"recovery: {st.retries} retries, {st.stage_restarts} stage "
@@ -367,6 +374,12 @@ def serve_main(argv: list[str] | None = None) -> int:
                    help="override every stage's KV-cache bitwidth at serve "
                         "time ('auto' keeps the per-stage values from the "
                         "strategy file)")
+    p.add_argument("--decode-batching", choices=["fused", "per-request"],
+                   default="fused",
+                   help="decode execution mode: fused ragged batching "
+                        "(one GEMM per stage per iteration across all "
+                        "in-flight requests; the default) or the "
+                        "per-request batch-1 oracle path")
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--max-inflight", type=int, default=None,
                    help="hard concurrency cap on top of the memory model")
@@ -443,6 +456,7 @@ def serve_main(argv: list[str] | None = None) -> int:
                     rt, policy=args.policy,
                     max_inflight=args.max_inflight,
                     time_scale=args.time_scale,
+                    decode_batching=args.decode_batching,
                     drift=drift, replanner=replanner,
                 )
                 report = sched.serve(requests)
@@ -457,6 +471,13 @@ def serve_main(argv: list[str] | None = None) -> int:
             f"requests: latency p50 {report.latency_p50:.3f}s / "
             f"p95 {report.latency_p95:.3f}s / p99 {report.latency_p99:.3f}s; "
             f"ttft mean {report.ttft_mean:.3f}s (p95 {report.ttft_p95:.3f}s)"
+        )
+        st = rt.stats
+        print(
+            f"decode batching [{args.decode_batching}]: "
+            f"{st.fused_iterations} fused iterations, batch mean "
+            f"{st.fused_batch_mean:.2f} / max {st.fused_batch_max}; "
+            f"weight stream saved {st.fused_weight_bytes_saved / 2**20:.1f} MiB"
         )
         if args.replan_on_drift or report.migrations or report.crash_recoveries:
             print(
@@ -497,6 +518,7 @@ def serve_main(argv: list[str] | None = None) -> int:
         plan, cluster, trace,
         max_batch=args.max_inflight, policy=args.policy, engine=args.engine,
         source=args.cost_source, latency_model=latency_model,
+        decode_batching=args.decode_batching,
         drift=drift, replanner=replanner,
     )
     print(res.summary())

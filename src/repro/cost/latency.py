@@ -148,7 +148,12 @@ class LatencyModel:
         )
 
     def _decode_feature_matrix(
-        self, bits: int, batch: int, contexts: np.ndarray, *, kv_bits: int = 16
+        self,
+        bits: int,
+        batch: int | np.ndarray,
+        contexts: np.ndarray,
+        *,
+        kv_bits: int = 16,
     ) -> np.ndarray:
         """``(K, 3)`` decode feature rows, stacked analytically.
 
@@ -156,9 +161,17 @@ class LatencyModel:
         ``q=1`` for each (truncated) context — term for term, in the same
         association order, so every entry is bitwise equal to the
         per-context Python loop it replaces.
+
+        ``batch`` may be a ``(K,)`` vector aligned with ``contexts`` —
+        the batched-decode pricing shape: every per-request term (FLOPs,
+        activations, scores, KV write/read) scales with that row's
+        batch, while the weight stream ``w_bytes`` is charged once per
+        iteration regardless of how many requests share it.  Scalar
+        ``batch`` stays bitwise identical to the original path.
         """
         cfg = self.cfg
         ctx = np.trunc(np.asarray(contexts, dtype=np.float64))  # int(c) semantics
+        batch = np.asarray(batch, dtype=np.float64) if np.ndim(batch) else batch
         h, f = cfg.hidden_size, cfg.ffn_dim
         q = 1
         # layer_flops: proj + attn + mlp, attn is the only context term
@@ -181,12 +194,18 @@ class LatencyModel:
         self,
         gpu: GPUSpec | str,
         bits: int,
-        batch: int,
+        batch: int | np.ndarray,
         contexts: np.ndarray,
         *,
         kv_bits: int = 16,
     ) -> np.ndarray:
-        """Vectorized decode predictions across context lengths."""
+        """Vectorized decode predictions across context lengths.
+
+        ``batch`` may be a per-row vector aligned with ``contexts`` (see
+        :meth:`_decode_feature_matrix`): one fused iteration per row,
+        weight bytes charged once per row, per-request terms scaled by
+        that row's in-flight count.
+        """
         beta = self.coef[self._key(gpu, bits, "decode")]
         return self._decode_feature_matrix(bits, batch, contexts, kv_bits=kv_bits) @ beta
 

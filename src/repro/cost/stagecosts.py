@@ -88,6 +88,14 @@ class StageCostModel:
         ``False`` disables every memo — each query recomputes from
         scratch, reproducing the pre-refactor per-call cost.  Used as the
         baseline in ``benchmarks/test_ext_costview.py``.
+    decode_batching:
+        How decode iterations execute on the runtime being priced.
+        ``"fused"`` (default, and the runtime's default) charges the
+        stage weight stream once per iteration — the whole in-flight
+        batch shares each layer's weight read; ``"per-request"`` prices
+        the batch-1 oracle path, where a batch-``b`` iteration is ``b``
+        sequential batch-1 messages and therefore costs exactly
+        ``b * unit_decode_times(1, ctx)``.
     """
 
     def __init__(
@@ -100,7 +108,10 @@ class StageCostModel:
         prediction_cache: PredictionCache | None = None,
         cfg: "ModelConfig | None" = None,
         cache: bool = True,
+        decode_batching: str = "fused",
     ) -> None:
+        if decode_batching not in ("fused", "per-request"):
+            raise ValueError(f"unknown decode_batching {decode_batching!r}")
         if prediction_cache is not None and latency_model is None:
             latency_model = prediction_cache.model
         if source is None:
@@ -121,6 +132,7 @@ class StageCostModel:
         self.model = latency_model
         self.prediction_cache = prediction_cache
         self.cache_enabled = bool(cache)
+        self.decode_batching = decode_batching
         self.kv_bits = int(plan.meta.get("kv_bits", 16))
         # Per-stage KV bitwidths.  ``StagePlan.kv_bits`` is the first-class
         # plan variable and drives both memory and timing; the plan-global
@@ -379,7 +391,14 @@ class StageCostModel:
         return self._pairs
 
     def unit_decode_times(self, batch: int, context: float) -> np.ndarray:
-        """Per-stage busy time of the fused decode group at ``context``.
+        """Per-stage busy time of one decode iteration at ``context``.
+
+        Under the default ``decode_batching="fused"`` the whole batch
+        shares each layer's weight stream (charged once, in ``w_term``);
+        under ``"per-request"`` the iteration is ``batch`` sequential
+        batch-1 messages — ``batch`` layer passes, embeddings and token
+        feedbacks — priced exactly as ``batch * unit_decode_times(1,
+        ctx)``.
 
         With the kernels source and caching on, this is the shared-table
         fast path: one vectorized roofline evaluation over all
@@ -387,6 +406,8 @@ class StageCostModel:
         to the scalar per-layer path, which remains the reference for
         ``source="model"`` and ``cache=False``.
         """
+        if self.decode_batching == "per-request" and batch != 1:
+            return float(batch) * self.unit_decode_times(1, context)
         n = self.plan.num_stages
         if self.source == "model" or not self.cache_enabled:
             ctx = np.array([context], dtype=np.float64)
@@ -452,8 +473,19 @@ class StageCostModel:
         if self.source == "model" or not self.cache_enabled:
             out = np.zeros((k, n))
             for i in range(k):
+                # dispatches per decode_batching through the scalar path
                 out[i] = self.unit_decode_times(int(b[i]), float(c[i]))
             return out
+        if self.decode_batching == "per-request":
+            # b sequential batch-1 iterations: the same float(b) * unit(1)
+            # product as the scalar path, evaluated on fused batch-1 rows
+            base = self._fused_unit_rows(np.ones_like(b), c)
+            return b[:, None].astype(np.float64) * base
+        return self._fused_unit_rows(b, c)
+
+    def _fused_unit_rows(self, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+        """Fused-mode ``(k, num_stages)`` decode rows (fast path body)."""
+        n = self.plan.num_stages
         counts_f, seg_starts, one_layer_flops, h, ffn, heads = self._batch_consts()
         _, _, eff_flops, w_term, eff_bw, launch, kv_token = self._decode_pairs()
         bc = b[:, None].astype(np.float64)
@@ -697,6 +729,7 @@ class StageCostModel:
             prediction_cache=self.prediction_cache,
             cfg=self.cfg,
             cache=self.cache_enabled,
+            decode_batching=self.decode_batching,
         )
         clone._links = self._links
         clone._emb_memo = self._emb_memo

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..ops import greedy_pick
 from .transformer import TinyDecoderLM
 
 __all__ = ["GenerationResult", "generate"]
@@ -73,7 +74,8 @@ def generate(
 
 def _pick(logits: np.ndarray, greedy: bool, rng: np.random.Generator) -> np.ndarray:
     if greedy:
-        return logits.argmax(axis=-1)
+        # shared first-index tie-break rule (see repro.ops.greedy_pick)
+        return greedy_pick(logits)
     z = logits - logits.max(axis=-1, keepdims=True)
     p = np.exp(z)
     p /= p.sum(axis=-1, keepdims=True)

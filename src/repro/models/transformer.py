@@ -26,7 +26,15 @@ import numpy as np
 
 from .config import ModelConfig
 
-__all__ = ["LayerWeights", "TinyDecoderLM", "KVCache", "init_weights", "fused_qkv"]
+__all__ = [
+    "LayerWeights",
+    "TinyDecoderLM",
+    "KVCache",
+    "init_weights",
+    "fused_qkv",
+    "batched_decode_attention",
+    "batched_decode_block",
+]
 
 
 @dataclass
@@ -146,8 +154,14 @@ def _layernorm(x: np.ndarray, g: np.ndarray, b: np.ndarray, eps: float = 1e-5) -
     return (x - mu) / np.sqrt(var + eps) * g + b
 
 
+_GELU_C = np.sqrt(2.0 / np.pi)
+
+
 def _gelu(x: np.ndarray) -> np.ndarray:
-    return 0.5 * x * (1.0 + np.tanh(np.sqrt(2.0 / np.pi) * (x + 0.044715 * x**3)))
+    # x * x * x instead of x**3: same tanh approximation, but npy pow on
+    # float64 arrays is ~10x the cost of two multiplies and this op sits
+    # on the per-token decode path
+    return 0.5 * x * (1.0 + np.tanh(_GELU_C * (x + 0.044715 * (x * x * x))))
 
 
 def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
@@ -267,6 +281,97 @@ def attention_forward(
     return out.reshape(batch, q, h)
 
 
+def batched_decode_attention(
+    cfg: ModelConfig,
+    lw: LayerWeights,
+    x: np.ndarray,
+    kv,
+    cache_layer: int,
+    starts: np.ndarray,
+) -> np.ndarray:
+    """Ragged-length attention for one fused decode iteration.
+
+    ``x`` stacks ``B`` independent requests' single-token activations as
+    ``(B, 1, h)``; row ``i`` sits at absolute position ``starts[i]`` of
+    its own sequence.  ``kv`` is a batched cache view (duck-typed, e.g.
+    :class:`repro.runtime.kvcache.BatchedKVView`) exposing
+
+    * ``append(layer, k_new, v_new)`` — scatter row ``i``'s new K/V at
+      ``starts[i]`` of request ``i``'s cache unit, and
+    * ``read_padded(layer)`` — ``(B, Tmax, h)`` K/V padded to the batch
+      max context with exact-zero rows past each request's length.
+
+    Padding never leaks into the output: masked scores are ``-1e30`` so
+    their softmax weights underflow to exactly ``0.0``, and the padded
+    V rows those zero weights multiply are themselves exact zeros.  The
+    QKV/out projections run as one stacked GEMM over all ``B`` rows —
+    the whole point of fusing — which is *not* bitwise row-stable
+    against ``B`` separate batch-1 GEMVs; equality with the per-request
+    oracle is therefore asserted at token-stream level (argmax), not on
+    logit bytes.
+    """
+    batch, q, h = x.shape
+    if q != 1:
+        raise ValueError("batched decode processes one token per request")
+    nh, hd = cfg.num_heads, cfg.hidden_size // cfg.num_heads
+
+    wqkv, bqkv = fused_qkv(lw)
+    qkv = x.reshape(batch, h) @ wqkv
+    qkv += bqkv
+    qp, kp, vp = qkv[:, :h], qkv[:, h : 2 * h], qkv[:, 2 * h :]
+    kv.append(cache_layer, kp.reshape(batch, 1, h), vp.reshape(batch, 1, h))
+    k_all, v_all = kv.read_padded(cache_layer)
+    total = k_all.shape[1]
+
+    qh = qp.reshape(batch, 1, nh, hd).transpose(0, 2, 1, 3)
+    kh = k_all.reshape(batch, total, nh, hd).transpose(0, 2, 3, 1)
+    vh = v_all.reshape(batch, total, nh, hd).transpose(0, 2, 1, 3)
+    scores = (qh @ kh) / np.sqrt(hd)
+
+    starts = np.asarray(starts, dtype=np.int64)
+    pos_k = np.arange(total)[None, :]
+    if cfg.max_position_embeddings == 0:
+        # ALiBi: per-request key distance is start_i - pos_k
+        dist = (starts[:, None] - pos_k).astype(np.float64)
+        scores = scores + (
+            -alibi_slopes(nh)[None, :, None, None] * dist[:, None, None, :]
+        )
+    keep = pos_k <= starts[:, None]
+    scores = np.where(keep[:, None, None, :], scores, -1e30)
+    attn = _softmax(scores, axis=-1)
+    mixed = (attn @ vh).transpose(0, 2, 1, 3).reshape(batch, 1, h)
+    out = mixed.reshape(batch, h) @ lw.wo
+    out += lw.bo
+    return out.reshape(batch, 1, h)
+
+
+def batched_decode_block(
+    cfg: ModelConfig,
+    lw: LayerWeights,
+    x: np.ndarray,
+    kv,
+    cache_layer: int,
+    starts: np.ndarray,
+) -> np.ndarray:
+    """One pre-LN decoder block over a fused ragged decode batch.
+
+    Same structure as :func:`decoder_block` with ``q == 1`` but all
+    ``B`` requests share each GEMM; attention is ragged per request.
+    """
+    a = batched_decode_attention(
+        cfg, lw, _layernorm(x, lw.ln1_g, lw.ln1_b), kv, cache_layer, starts
+    )
+    x = x + a
+    h1 = _layernorm(x, lw.ln2_g, lw.ln2_b)
+    batch, q, h = x.shape
+    z1 = h1.reshape(batch * q, h) @ lw.fc1
+    z1 += lw.bfc1
+    h2 = _gelu(z1)
+    m = h2 @ lw.fc2
+    m += lw.bfc2
+    return x + m.reshape(batch, q, h)
+
+
 def decoder_block(
     cfg: ModelConfig,
     lw: LayerWeights,
@@ -346,6 +451,17 @@ class TinyDecoderLM:
         if self.cfg.max_position_embeddings > 0:
             pos = start + np.arange(tokens.shape[1])
             x = x + self.embed_positions[pos]
+        return x
+
+    def _embed_ragged(self, tokens: np.ndarray, starts: np.ndarray) -> np.ndarray:
+        """Embed ``(B, 1)`` next tokens at per-request positions ``starts``.
+
+        Elementwise per row, so bitwise identical to ``B`` separate
+        ``_embed(tokens[i:i+1], starts[i])`` calls.
+        """
+        x = self.embed_tokens[tokens]
+        if self.cfg.max_position_embeddings > 0:
+            x = x + self.embed_positions[np.asarray(starts)][:, None, :]
         return x
 
     def _logits(self, x: np.ndarray) -> np.ndarray:

@@ -6,9 +6,14 @@ both ``repro.sim`` and ``repro.cost`` can use it without import cycles.
 
 from __future__ import annotations
 
-from .models.config import ModelConfig
+from typing import TYPE_CHECKING
 
-__all__ = ["layer_memory_traffic", "ACT_BYTES"]
+import numpy as np
+
+if TYPE_CHECKING:  # annotation-only: keeps repro.ops import-cycle-free
+    from .models.config import ModelConfig
+
+__all__ = ["layer_memory_traffic", "greedy_pick", "argmax_margin", "ACT_BYTES"]
 
 #: Bytes per element of activations (FP16 everywhere, as in the paper).
 ACT_BYTES = 2.0
@@ -40,3 +45,34 @@ def layer_memory_traffic(
     kv_write = batch * q * kv_token
     kv_read = batch * context * kv_token
     return w_bytes + act + scores + kv_write + kv_read
+
+
+def greedy_pick(logits: np.ndarray) -> np.ndarray:
+    """Deterministic greedy token choice shared by every sampler.
+
+    The tie-break rule is *lowest index wins* (``np.argmax`` semantics).
+    The reference generation loop, the pipeline runtime's offline and
+    continuous samplers, and the fused batched decode path all route
+    through this one function so exact logit ties resolve identically
+    everywhere — token-stream equality between execution modes must not
+    depend on which sampler saw the tie.
+    """
+    return np.asarray(logits).argmax(axis=-1)
+
+
+def argmax_margin(logits: np.ndarray) -> np.ndarray:
+    """Top-1 minus top-2 logit gap per row, ``(batch,)`` float64.
+
+    Diagnostic for fused-vs-per-request divergence: batched GEMMs are
+    not bitwise row-stable against batch-1 GEMVs (~1e-14 relative
+    drift), so greedy streams can only differ where this margin is at
+    ULP scale.  Equality tests report the margin at the first diverging
+    step to separate "real bug" from "argmax flipped on a near-tie".
+    """
+    x = np.asarray(logits, dtype=np.float64)
+    if x.ndim == 1:
+        x = x[None, :]
+    if x.shape[-1] < 2:
+        return np.zeros(x.shape[0], dtype=np.float64)
+    top2 = np.partition(x, -2, axis=-1)[..., -2:]
+    return top2[..., 1] - top2[..., 0]

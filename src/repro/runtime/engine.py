@@ -47,6 +47,7 @@ from ..core.plan import ExecutionPlan
 from ..cost.memory import dequant_cache_budget, stage_memory
 from ..models.registry import get_model
 from ..models.transformer import TinyDecoderLM
+from ..ops import greedy_pick
 from .dequant_cache import DequantCache, DequantCacheStats
 from .faults import FaultInjector, KVAllocationError, PipelineStallError
 from .loader import StageLoad, load_stage_weights
@@ -98,6 +99,13 @@ class RuntimeStats:
     migrations: int = 0          #: live plan switches (drift/crash/manual)
     drift_triggers: int = 0      #: drift-detector firings observed
     quiesce_seconds: float = 0.0  #: admission paused for migrations (virtual)
+    # --- fused-decode counters ------------------------------------------
+    fused_iterations: int = 0    #: decode iterations run as one ragged batch
+    fused_batch_sum: int = 0     #: total requests across fused iterations
+    fused_batch_max: int = 0     #: largest fused decode batch seen
+    #: weight bytes *not* re-streamed thanks to fusing: each iteration
+    #: charges the stage weight stream once instead of once per request
+    fused_weight_bytes_saved: float = 0.0
 
     @property
     def total_seconds(self) -> float:
@@ -113,6 +121,15 @@ class RuntimeStats:
     def decode_tokens_per_s(self) -> float:
         """Tokens produced per second of steady-state decode wall-clock."""
         return self.decode_tokens / self.decode_seconds if self.decode_seconds else 0.0
+
+    @property
+    def fused_batch_mean(self) -> float:
+        """Mean decode batch size across fused iterations (0 when none)."""
+        return (
+            self.fused_batch_sum / self.fused_iterations
+            if self.fused_iterations
+            else 0.0
+        )
 
     def _latency_pct(self, q: float) -> float:
         if not self.request_latencies:
@@ -685,7 +702,9 @@ class PipelineRuntime:
 
 def _pick(logits: np.ndarray, greedy: bool, rng: np.random.Generator) -> np.ndarray:
     if greedy:
-        return logits.argmax(axis=-1)
+        # shared first-index tie-break (repro.ops.greedy_pick): the
+        # runtime and the reference model must resolve exact ties alike
+        return greedy_pick(logits)
     z = logits - logits.max(axis=-1, keepdims=True)
     p = np.exp(z)
     p /= p.sum(axis=-1, keepdims=True)

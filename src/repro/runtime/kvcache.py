@@ -44,6 +44,7 @@ from ..quant.quantizer import qmax_for_bits
 
 __all__ = [
     "StageKVManager",
+    "BatchedKVView",
     "QuantizedKVCache",
     "FakeQuantKVCache",
     "quantize_kv",
@@ -261,6 +262,131 @@ class QuantizedKVCache:
 
 
 # ----------------------------------------------------------------------
+# Batched ragged view (fused decode)
+# ----------------------------------------------------------------------
+
+class BatchedKVView:
+    """Ragged batch view over ``B`` independent batch-1 cache units.
+
+    The fused decode path stacks one token from every in-flight request
+    into a single ``(B, 1, h)`` activation; this view is the matching
+    KV adapter: :meth:`append` scatters row ``i``'s new K/V into unit
+    ``i`` at its own position ``starts[i]``, and :meth:`read_padded`
+    gathers every unit's history into ``(B, Tmax, h)`` arrays padded to
+    the batch max context.
+
+    All storage stays inside the per-request cache units — the view owns
+    nothing, so requests keep retiring/migrating individually.  The
+    batched paths are *bit-exact* per request against the batch-1
+    ``append``/``read`` they replace:
+
+    * quantize+pack over the stacked rows is row-independent (per-token
+      absmax scales; each token row is a whole number of packed bytes);
+    * one big ``unpack_codes``/``dequantize_kv`` call is elementwise,
+      so each request's slice equals its own small-call result;
+    * padded slots hold code 0 / scale 1.0 (dense: literal zeros) and
+      dequantize to exactly ``0.0`` — the ragged attention mask relies
+      on that to keep padding out of the softmax.
+
+    All units must be batch-1 and share storage parameters (true within
+    one stage: kv_bits is a per-stage plan value).
+    """
+
+    def __init__(self, caches: list[KVCache], starts: np.ndarray) -> None:
+        if not caches:
+            raise ValueError("batched view needs at least one cache unit")
+        self.caches = list(caches)
+        self.starts = np.asarray(starts, dtype=np.int64)
+        if self.starts.shape != (len(self.caches),):
+            raise ValueError("starts must have one entry per cache unit")
+        first = self.caches[0]
+        self.packed = isinstance(first, QuantizedKVCache)
+        if self.packed:
+            self.hidden_size = first.hidden_size
+            self.kv_bits = first.kv_bits
+            self.num_heads = first.num_heads
+        else:
+            self.hidden_size = first.k.shape[-1]
+            self.kv_bits = 16
+            self.num_heads = getattr(first, "num_heads", 1)
+        for c, s in zip(self.caches, self.starts):
+            if type(c) is not type(first):
+                raise ValueError("all cache units must share one storage type")
+            batch = (c.k_codes if self.packed else c.k).shape[1]
+            if batch != 1:
+                raise ValueError("batched view expects batch-1 cache units")
+            if s + 1 > c.max_len:
+                raise ValueError("KV cache overflow: reserve s + n slots up front")
+        self.totals = self.starts + 1
+        self.total_max = int(self.totals.max())
+
+    def append(self, layer: int, k_new: np.ndarray, v_new: np.ndarray) -> None:
+        """Scatter ``(B, 1, h)`` new K/V rows, one per unit, at ``starts``."""
+        first = self.caches[0]
+        if self.packed:
+            # one vectorized quantize+pack over the whole batch, then a
+            # cheap per-unit byte scatter — row-independent, so each
+            # unit's stored bytes equal its own batch-1 append
+            kp, ks = first._pack(k_new)
+            vp, vs = first._pack(v_new)
+            for i, c in enumerate(self.caches):
+                s = self.starts[i]
+                c.k_codes[layer, 0, s] = kp[i, 0]
+                c.v_codes[layer, 0, s] = vp[i, 0]
+                c.k_scales[layer, 0, s] = ks[i, 0]
+                c.v_scales[layer, 0, s] = vs[i, 0]
+        else:
+            if isinstance(first, FakeQuantKVCache):
+                k_new = kv_fake_quant(k_new, first.kv_bits, first.num_heads)
+                v_new = kv_fake_quant(v_new, first.kv_bits, first.num_heads)
+            for i, c in enumerate(self.caches):
+                s = self.starts[i]
+                c.k[layer, 0, s] = k_new[i, 0]
+                c.v[layer, 0, s] = v_new[i, 0]
+
+    def _gather_packed(self, layer: int, which: str) -> np.ndarray:
+        h, bits, nh = self.hidden_size, self.kv_bits, self.num_heads
+        row_bytes = h * bits // 8
+        batch, total = len(self.caches), self.total_max
+        # pad slots must decode to exactly 0.0: the packed bitstream is
+        # biased (+qmax), so the zero-code byte pattern repeats qmax in
+        # every bits-wide lane, and scale 1.0 maps code 0 -> value 0.0
+        qmax = (1 << (bits - 1)) - 1
+        fill = 0
+        for lane in range(8 // bits):
+            fill |= qmax << (lane * bits)
+        packed = np.full((batch, total, row_bytes), fill, dtype=np.uint8)
+        scales = np.ones((batch, total, nh))
+        codes_name, scales_name = which + "_codes", which + "_scales"
+        for i, c in enumerate(self.caches):
+            t = self.totals[i]
+            packed[i, :t] = getattr(c, codes_name)[layer, 0, :t]
+            scales[i, :t] = getattr(c, scales_name)[layer, 0, :t]
+        codes = unpack_codes(
+            packed.ravel(), bits, batch * total * h
+        ).reshape(batch, total, h)
+        return dequantize_kv(codes, scales, nh)
+
+    def read_padded(self, layer: int) -> tuple[np.ndarray, np.ndarray]:
+        """K/V histories as ``(B, Tmax, h)``, zero-padded past each length."""
+        if self.packed:
+            return self._gather_packed(layer, "k"), self._gather_packed(layer, "v")
+        batch, total = len(self.caches), self.total_max
+        k = np.zeros((batch, total, self.hidden_size))
+        v = np.zeros((batch, total, self.hidden_size))
+        for i, c in enumerate(self.caches):
+            t = self.totals[i]
+            k[i, :t] = c.k[layer, 0, :t]
+            v[i, :t] = c.v[layer, 0, :t]
+        return k, v
+
+    def commit_lengths(self) -> None:
+        """Mark every unit's new fill length (end of the iteration)."""
+        for c, t in zip(self.caches, self.totals):
+            c.length = int(t)
+
+
+# ----------------------------------------------------------------------
 # Stage manager
 # ----------------------------------------------------------------------
 
@@ -325,6 +451,10 @@ class StageKVManager:
             return self.caches[unit_id]
         except KeyError:
             raise KeyError(f"no KV cache for unit {unit_id}") from None
+
+    def batch_view(self, unit_ids: tuple[int, ...], starts: np.ndarray) -> BatchedKVView:
+        """A :class:`BatchedKVView` over the given units (fused decode)."""
+        return BatchedKVView([self.get(u) for u in unit_ids], starts)
 
     def merge(self, group_id: int, member_ids: tuple[int, ...]) -> KVCache:
         """Concatenate member units along the batch axis into one group.

@@ -16,6 +16,7 @@ import numpy as np
 
 __all__ = [
     "ActivationMessage",
+    "BatchedDecodeMessage",
     "MergeMessage",
     "ReleaseMessage",
     "ShutdownMessage",
@@ -48,6 +49,33 @@ class ActivationMessage:
     start: int
     hidden: np.ndarray
     reserve: int = 0
+
+
+@dataclass
+class BatchedDecodeMessage:
+    """One fused decode iteration for several independent requests.
+
+    The continuous scheduler stacks every in-flight request's next-token
+    hidden state into one ``(B, 1, hidden_size)`` tensor so each stage
+    runs a single GEMM per layer against the shared dequant-cached
+    weights instead of ``B`` batch-1 GEMVs.  Attention stays ragged:
+    ``starts[i]`` is request ``i``'s current context length, and each
+    stage reads/writes that request's own KV cache unit.
+
+    Attributes
+    ----------
+    unit_ids:
+        Cache-unit id per batch row, length ``B``.
+    starts:
+        ``(B,)`` int64 absolute position of each row's token (= tokens
+        already in that unit's KV cache).
+    hidden:
+        ``(B, 1, hidden_size)`` activations.
+    """
+
+    unit_ids: tuple[int, ...]
+    starts: np.ndarray
+    hidden: np.ndarray
 
 
 @dataclass

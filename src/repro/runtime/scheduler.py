@@ -11,15 +11,26 @@ immediately and the next queued request can take them over at the very
 next iteration.  This is the ORCA-style counterpart of the paper's
 offline two-phase schedule.
 
-Byte-identity contract: every request runs as its own batch-1 cache unit
-end to end and is sampled greedily from its own logits, so its token
-stream is bit-for-bit the single-process ``generate(model, prompt[None],
-n)`` output for that prompt, no matter what it was co-scheduled with.
-(Fusing co-batched requests into one GEMM would break this: BLAS batch-1
-matvec kernels round differently from rows of a batched matmul.)  The
-throughput win over wave scheduling comes from scheduling alone —
-eliminating gen-padding waste and inter-wave drain — which is exactly
-the effect the benchmark isolates.
+Fused batched decode is the default execution mode: at each token
+boundary every in-flight decode request's single-token activation is
+stacked into one ``(B, 1, h)`` ragged batch, each stage runs one
+QKV/MLP GEMM per layer against the shared dequant-cached weights
+(amortizing the weight stream over the whole batch — the dominant
+decode cost), attention stays ragged over per-request KV units, and the
+master samples all ``B`` next tokens from one stacked logit GEMM.
+Requests still own individual batch-1 cache units, so admission,
+retirement, migration and replay are unchanged.
+
+Equality contract: fused greedy *token streams* equal the per-request
+oracle (``decode_batching="per-request"``) and the single-process
+``generate(model, prompt[None], n)`` reference.  The guarantee is at
+argmax level, not logit bytes: BLAS batch-1 matvec kernels round
+differently from rows of a batched matmul (~1e-14 relative drift), so
+logits can differ in their last bits while every argmax — and hence
+every token — agrees; ties are impossible to mis-break because all
+samplers share :func:`repro.ops.greedy_pick`'s first-index rule.  The
+per-request mode remains selectable as the bitwise single-process
+reference path (and is what migration KV replay always uses).
 
 ``policy="wave"`` emulates the offline baseline under the same
 per-request execution: admission only into an empty system, every member
@@ -39,9 +50,15 @@ import numpy as np
 
 from ..core.plan import ExecutionPlan
 from ..cost.stagecosts import StageCostModel
+from ..ops import greedy_pick
 from ..workload.traces import RequestArrival
 from .engine import PipelineRuntime, StageFailureError
-from .messages import ActivationMessage, MergeMessage, ReleaseMessage
+from .messages import (
+    ActivationMessage,
+    BatchedDecodeMessage,
+    MergeMessage,
+    ReleaseMessage,
+)
 from .microbatch import ContinuousLedger
 from .replan import DriftConfig, DriftDetector, MigrationController, Replanner
 
@@ -236,6 +253,12 @@ class ContinuousScheduler:
     max_inflight:
         Optional hard cap on concurrently admitted requests on top of
         the memory model (``None`` = memory-limited only).
+    decode_batching:
+        ``"fused"`` (default) stacks all in-flight decode requests into
+        one ragged batch per iteration — one GEMM per stage per layer;
+        ``"per-request"`` runs each request as its own batch-1 message,
+        the bitwise single-process reference path kept as the equality
+        oracle.
     time_scale:
         Multiplier applied to request arrival times; ``0.0`` replays the
         whole trace as if it arrived at once.  Arrival gaps larger than
@@ -266,11 +289,14 @@ class ContinuousScheduler:
         policy: Literal["continuous", "wave"] = "continuous",
         max_inflight: int | None = None,
         time_scale: float = 1.0,
+        decode_batching: Literal["fused", "per-request"] = "fused",
         drift: DriftConfig | None = None,
         replanner: Replanner | None = None,
     ) -> None:
         if policy not in ("continuous", "wave"):
             raise ValueError(f"unknown policy {policy!r}")
+        if decode_batching not in ("fused", "per-request"):
+            raise ValueError(f"unknown decode_batching {decode_batching!r}")
         if max_inflight is not None and max_inflight <= 0:
             raise ValueError("max_inflight must be positive")
         if time_scale < 0:
@@ -281,6 +307,9 @@ class ContinuousScheduler:
         self.policy = policy
         self.max_inflight = max_inflight
         self.time_scale = time_scale
+        self.decode_batching = decode_batching
+        self._wsb_plan: ExecutionPlan | None = None  # weight-bytes memo key
+        self._wsb: float = 0.0
         self.ledger = ContinuousLedger(runtime.plan.num_stages)
         # Planner memory model, shared with the planner and simulators:
         # per-stage headroom nets out the dequant caches' actual byte
@@ -346,7 +375,7 @@ class ContinuousScheduler:
         return req.arrival * self.time_scale
 
     # ------------------------------------------------------------------
-    # Pipeline I/O (per-request batch-1 messages)
+    # Pipeline I/O (batch-1 prefill/replay; fused or batch-1 decode)
     # ------------------------------------------------------------------
     def _send_prefill(self, a: _Active, reserve: int) -> None:
         x = self.rt.reference._embed(np.asarray(a.req.prompt)[None, :], 0)
@@ -366,6 +395,23 @@ class ContinuousScheduler:
         self.rt.head.put(
             ActivationMessage(
                 microbatch_id=a.unit_id, phase="decode", start=start, hidden=x
+            )
+        )
+
+    def _send_batched_decode(self, going: list[_Active]) -> None:
+        """Stack every decoding request's next token into one message.
+
+        Row order is ``going`` order; the returned batched hidden states
+        keep it, and tokens are scattered back by unit id.
+        """
+        tokens = np.array([[a.tokens[-1]] for a in going], dtype=np.int64)
+        starts = np.array(
+            [a.req.prompt_len + len(a.tokens) - 1 for a in going], dtype=np.int64
+        )
+        x = self.rt.reference._embed_ragged(tokens, starts)
+        self.rt.head.put(
+            BatchedDecodeMessage(
+                unit_ids=tuple(a.unit_id for a in going), starts=starts, hidden=x
             )
         )
 
@@ -395,6 +441,26 @@ class ContinuousScheduler:
             out[msg.microbatch_id] = msg
         return out
 
+    def _collect_mixed(
+        self, prefill_count: int, *, batched: bool
+    ) -> tuple[dict[int, ActivationMessage], BatchedDecodeMessage | None]:
+        """Drain one iteration's results: per-unit prefill activations
+        plus (optionally) the single fused decode message."""
+        outs: dict[int, ActivationMessage] = {}
+        fused: BatchedDecodeMessage | None = None
+        need = prefill_count + (1 if batched else 0)
+        got = 0
+        while got < need:
+            msg = self.rt._next_message(f"iteration result {got + 1}/{need}")
+            if isinstance(msg, (MergeMessage, ReleaseMessage)):
+                continue  # stray control acks; not activations
+            if isinstance(msg, BatchedDecodeMessage):
+                fused = msg
+            else:
+                outs[msg.microbatch_id] = msg
+            got += 1
+        return outs, fused
+
     def _release(self, unit_ids: Sequence[int]) -> None:
         """Free finished units on every stage and wait for the ack.
 
@@ -417,10 +483,28 @@ class ContinuousScheduler:
 
         Greedy-only by design: argmax is rng-free, so a request's stream
         cannot depend on how many co-batched neighbours consumed random
-        draws before it.
+        draws before it.  Routed through the shared
+        :func:`~repro.ops.greedy_pick` tie-break rule.
         """
         logits = self.rt._logits_last(msg.hidden)
-        return int(logits.argmax(axis=-1)[0])
+        return int(greedy_pick(logits)[0])
+
+    def _weight_stream_bytes(self) -> float:
+        """Packed weight bytes one decode iteration streams across all
+        stages (memoized per plan) — the per-extra-request saving the
+        fused counters credit."""
+        plan = self.rt.plan
+        if self._wsb_plan is not plan:
+            cfg = self.rt.cfg
+            self._wsb = float(
+                sum(
+                    cfg.layer_weight_bytes(bits)
+                    for sp in plan.stages
+                    for bits in sp.layer_bits
+                )
+            )
+            self._wsb_plan = plan
+        return self._wsb
 
     # ------------------------------------------------------------------
     # Admission
@@ -608,9 +692,14 @@ class ContinuousScheduler:
         going = [a for a in active if a.tokens]
         for a in fresh:
             self._send_prefill(a, a.reserve)
-        for a in going:
-            self._send_decode(a)
-        outs = self._collect(len(active))
+        fused: BatchedDecodeMessage | None = None
+        if going and self.decode_batching == "fused":
+            self._send_batched_decode(going)
+            outs, fused = self._collect_mixed(len(fresh), batched=True)
+        else:
+            for a in going:
+                self._send_decode(a)
+            outs = self._collect(len(active))
         now = self._now()
         finished: list[_Active] = []
         for a in fresh:
@@ -620,8 +709,22 @@ class ContinuousScheduler:
             if a.req.gen_len == 1:
                 a.record.finish_time = now
             self.rt.stats.tokens_generated += 1
-        for a in going:
-            tok = self._sample(a, outs[a.unit_id])
+        if fused is not None:
+            # one stacked logit GEMM for the whole decode batch, then a
+            # per-request scatter of the sampled tokens
+            stats = self.rt.stats
+            stats.fused_iterations += 1
+            stats.fused_batch_sum += len(going)
+            stats.fused_batch_max = max(stats.fused_batch_max, len(going))
+            stats.fused_weight_bytes_saved += (
+                (len(going) - 1) * self._weight_stream_bytes()
+            )
+            toks = greedy_pick(self.rt._logits_last(fused.hidden))
+            row = {uid: i for i, uid in enumerate(fused.unit_ids)}
+            picks = [(a, int(toks[row[a.unit_id]])) for a in going]
+        else:
+            picks = [(a, self._sample(a, outs[a.unit_id])) for a in going]
+        for a, tok in picks:
             a.decode_budget -= 1
             self.rt.stats.decode_tokens += 1
             self.rt.stats.tokens_generated += 1

@@ -32,13 +32,14 @@ import threading
 import time
 
 from ..models.config import ModelConfig
-from ..models.transformer import decoder_block
+from ..models.transformer import batched_decode_block, decoder_block
 from .dequant_cache import DequantCache
 from .faults import FaultInjector, KVAllocationError
 from .kvcache import StageKVManager
 from .loader import StageLoad
 from .messages import (
     ActivationMessage,
+    BatchedDecodeMessage,
     FailureMessage,
     MergeMessage,
     ReleaseMessage,
@@ -161,6 +162,22 @@ class StageWorker(threading.Thread):
             reserve=msg.reserve,
         )
 
+    def _process_batched(self, msg: BatchedDecodeMessage) -> BatchedDecodeMessage:
+        """One fused decode iteration: a single stacked GEMM per layer
+        shared by every in-flight request, ragged attention per request.
+
+        The batched KV view scatters/gathers against the same per-unit
+        caches the batch-1 path uses, so requests still retire, migrate
+        and replay individually.
+        """
+        view = self.kv.batch_view(msg.unit_ids, msg.starts)
+        x = msg.hidden
+        for li, qlayer in enumerate(self.load.qlayers):
+            lw = qlayer.materialize(self.dequant_cache)
+            x = batched_decode_block(self.cfg, lw, x, view, li, msg.starts)
+        view.commit_lengths()
+        return BatchedDecodeMessage(unit_ids=msg.unit_ids, starts=msg.starts, hidden=x)
+
     def _should_exit(self) -> bool:
         if self._stop_event.is_set():
             return True
@@ -195,24 +212,39 @@ class StageWorker(threading.Thread):
                     self.outbound.put(msg)
                     continue
                 if self.injector is not None:
+                    # fused decode messages count as one activation — the
+                    # iteration is one unit of stage work on the wire
                     action = self.injector.on_activation(
                         self.stage_idx, sleep=self._stop_event.wait
                     )
                     if action == "drop":
                         continue
                     if action == "corrupt":
-                        msg = ActivationMessage(
-                            microbatch_id=msg.microbatch_id,
-                            phase=msg.phase,
-                            start=msg.start,
-                            hidden=self.injector.corrupt(
-                                self.stage_idx,
-                                msg.hidden,
-                                self.injector.corruption_scale(self.stage_idx),
-                            ),
-                            reserve=msg.reserve,
+                        corrupted = self.injector.corrupt(
+                            self.stage_idx,
+                            msg.hidden,
+                            self.injector.corruption_scale(self.stage_idx),
                         )
-                out = self._process(msg)
+                        if isinstance(msg, BatchedDecodeMessage):
+                            msg = BatchedDecodeMessage(
+                                unit_ids=msg.unit_ids,
+                                starts=msg.starts,
+                                hidden=corrupted,
+                            )
+                        else:
+                            msg = ActivationMessage(
+                                microbatch_id=msg.microbatch_id,
+                                phase=msg.phase,
+                                start=msg.start,
+                                hidden=corrupted,
+                                reserve=msg.reserve,
+                            )
+                if isinstance(msg, BatchedDecodeMessage):
+                    out: ActivationMessage | BatchedDecodeMessage = (
+                        self._process_batched(msg)
+                    )
+                else:
+                    out = self._process(msg)
                 self.processed_messages += 1
                 self.outbound.put(out)
         except BaseException as exc:  # surface worker crashes to the master

@@ -403,6 +403,7 @@ def _simulate_continuous(
                 new_scm = StageCostModel(
                     new_plan, cluster, source=source,
                     latency_model=latency_model,
+                    decode_batching=scm.decode_batching,
                 )
                 # shard rebuild + pipelined replay of in-flight KV state,
                 # priced exactly like the iterations it re-runs
@@ -473,6 +474,7 @@ def simulate_online(
     source: str = "kernels",
     latency_model: "LatencyModel | None" = None,
     cost_model: StageCostModel | None = None,
+    decode_batching: str | None = None,
     drift: "DriftConfig | None" = None,
     replanner: "Replanner | None" = None,
 ) -> OnlineResult:
@@ -492,7 +494,12 @@ def simulate_online(
     ``source="model"`` (with a
     fitted ``latency_model``) prices with the planner's cost model
     instead of the ground-truth kernels; ``cost_model`` shares an
-    existing :class:`StageCostModel`'s tables.  Accepts any records with
+    existing :class:`StageCostModel`'s tables.
+    ``decode_batching`` selects the decode execution mode being priced:
+    ``"fused"`` (the runtime default — one weight stream per iteration)
+    or ``"per-request"`` (``b`` sequential batch-1 messages).  ``None``
+    inherits ``cost_model``'s mode (fused for a fresh model); passing
+    both a ``cost_model`` and a conflicting mode is an error.  Accepts any records with
     ``arrival`` / ``prompt_len`` / ``gen_len`` attributes, including
     :class:`~repro.workload.traces.RequestArrival`.
 
@@ -515,9 +522,22 @@ def simulate_online(
         raise ValueError("the reference engine only prices the continuous policy")
     if (drift is not None or replanner is not None) and policy != "continuous":
         raise ValueError("drift replanning requires the continuous policy")
+    if decode_batching is not None and decode_batching not in (
+        "fused", "per-request"
+    ):
+        raise ValueError(f"unknown decode_batching {decode_batching!r}")
     if cost_model is None:
         cost_model = StageCostModel(
-            plan, cluster, source=source, latency_model=latency_model
+            plan, cluster, source=source, latency_model=latency_model,
+            decode_batching=decode_batching or "fused",
+        )
+    elif (
+        decode_batching is not None
+        and cost_model.decode_batching != decode_batching
+    ):
+        raise ValueError(
+            f"cost_model prices decode_batching={cost_model.decode_batching!r} "
+            f"but {decode_batching!r} was requested"
         )
     if policy == "continuous":
         if reference:

@@ -859,6 +859,7 @@ class _Engine:
             new_scm = StageCostModel(
                 new_plan, self.cluster, source=self.source,
                 latency_model=self.latency_model,
+                decode_batching=self.scm.decode_batching,
             )
             pause = self.drift.rebuild_seconds
             if self.a_idx.size:
