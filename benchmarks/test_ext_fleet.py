@@ -1,0 +1,192 @@
+"""Extension: the replica fleet vs. one static big pipeline.
+
+The serving core now scales *out*, not just up: ``repro.fleet`` routes
+an arrival stream across N independently planned pipeline replicas
+(TTFT-aware greedy routing over per-replica load estimates) and a
+coordinated autoscaler grows/shrinks the replica pool from windowed
+utilization — scale-up activates an idle pre-planned slot (or plans a
+new one through the search engine), scale-down quiesces-and-drains.
+
+The headline replays a **100k-request diurnal trace** whose peak rate
+is ~2x (and trough ~0.1x) the capacity of the best static
+single-replica plan on the same silicon budget:
+
+* **static baseline** — one 4xA100 pipeline, always on, provisioned
+  for the whole run;
+* **fleet** — four 2xA100 replicas behind the TTFT router, autoscaled
+  with one replica active at trough.
+
+At **no more provisioned GPU-hours than the static baseline** the fleet
+must hold a **>= 1.5x p99-TTFT SLO-attainment ratio**: the static
+pipeline drowns in its peak-hours queue (TTFT p99 explodes for half the
+cycle) while the fleet adds capacity for exactly those hours and gives
+it back at the trough.  Per-pool scale events land in the results JSON.
+
+The CI smoke replays a 20k-request cut of the same scenario and guards
+a conservative 1.3x attainment-ratio floor plus the GPU-hours parity.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.tables import RESULTS_DIR, print_table, save_results
+from repro.core.plan import ExecutionPlan
+from repro.fleet import AutoscaleConfig, FleetAutoscaler, SimReplica, serve_fleet
+from repro.hardware import make_cluster
+from repro.workload import Workload
+from repro.workload.traces import sample_diurnal_arrivals
+
+#: decode tokens/s the 4xA100 4-bit opt-30b plan sustains at full batch
+#: (same constant the trace-engine benchmark pins its overload to)
+_STATIC_CAPACITY_TOK_S = 1739.0
+
+#: TTFT SLO (virtual seconds): generous against an unloaded pipeline,
+#: hopeless once a static pipeline queues a peak hour of arrivals
+_SLO_TTFT = 5.0
+
+_N_REPLICAS = 4
+
+
+def _plans():
+    w = Workload(prompt_len=24, gen_len=64, global_batch=16)
+    static_cluster = make_cluster([("A100-80G", 4)], name="fleet-static")
+    static_plan = ExecutionPlan.uniform(
+        "opt-30b", static_cluster.devices, w, bits=4
+    )
+    replica_cluster = make_cluster([("A100-80G", 2)], name="fleet-replica")
+    replica_plan = ExecutionPlan.uniform(
+        "opt-30b", replica_cluster.devices, w, bits=4
+    )
+    return static_plan, static_cluster, replica_plan, replica_cluster
+
+
+def _scenario(n_requests):
+    """Diurnal trace around the static plan's capacity: peak ~2x, trough
+    ~0.1x, two full cycles over the run."""
+    probe = sample_diurnal_arrivals(
+        35.0, 200.0, amplitude=0.9, period=6000.0,
+        seed=13, max_prompt=48, max_gen=96,
+    )
+    rate = 1.05 * _STATIC_CAPACITY_TOK_S / float(probe.gen_lens.mean())
+    duration = n_requests / rate
+    trace = sample_diurnal_arrivals(
+        rate, duration, amplitude=0.9, period=duration / 2.0,
+        seed=13, max_prompt=48, max_gen=96,
+    )
+    return trace, duration
+
+
+def _run(n_requests):
+    static_plan, static_cluster, replica_plan, replica_cluster = _plans()
+    trace, duration = _scenario(n_requests)
+
+    static = serve_fleet(
+        [SimReplica(0, static_plan, static_cluster)],
+        trace, slo_ttft=_SLO_TTFT,
+    )
+
+    reps = [
+        SimReplica(i, replica_plan, replica_cluster)
+        for i in range(_N_REPLICAS)
+    ]
+    window = duration / 64.0
+    # thresholds are in units of the router's *conservative* batch-8
+    # service estimate, which overstates fused large-batch cost ~2x —
+    # high=2.0 therefore targets near-full real utilization, which is
+    # what GPU-hours parity with an always-saturated static pipeline
+    # demands
+    autoscaler = FleetAutoscaler(AutoscaleConfig(
+        window=window, high=2.0, low=1.5, hysteresis=2,
+        cooldown=window, min_active=1,
+    ))
+    fleet = serve_fleet(
+        reps, trace, router="ttft", autoscaler=autoscaler,
+        active=[0], slo_ttft=_SLO_TTFT,
+    )
+    return static, fleet, len(trace)
+
+
+def _rows(static, fleet):
+    return [
+        {
+            "config": "static 4xA100 (always on)",
+            "gpu_hours": round(static.gpu_hours, 2),
+            "ttft_p99_s": round(static.ttft_p99, 2),
+            "slo_attainment": round(static.ttft_attainment, 4),
+            "completed": static.completed,
+            "rejected": static.rejected,
+        },
+        {
+            "config": f"fleet {_N_REPLICAS}x2xA100 (ttft router, autoscaled)",
+            "gpu_hours": round(fleet.gpu_hours, 2),
+            "ttft_p99_s": round(fleet.ttft_p99, 2),
+            "slo_attainment": round(fleet.ttft_attainment, 4),
+            "completed": fleet.completed,
+            "rejected": fleet.rejected,
+        },
+    ]
+
+
+def test_ext_fleet_headline():
+    static, fleet, n_req = _run(100_000)
+    rows = _rows(static, fleet)
+    print_table(rows, title="Ext — fleet vs static at equal GPU-hours")
+    ratio = fleet.ttft_attainment / max(static.ttft_attainment, 1e-9)
+
+    assert fleet.gpu_hours <= 1.02 * static.gpu_hours, (
+        f"fleet used {fleet.gpu_hours:.2f} GPU-h vs static "
+        f"{static.gpu_hours:.2f} — not an equal-cost comparison"
+    )
+    assert ratio >= 1.5, (
+        f"fleet SLO attainment only {ratio:.2f}x the static baseline "
+        f"({fleet.ttft_attainment:.3f} vs {static.ttft_attainment:.3f})"
+    )
+    ups = [e for e in fleet.scale_events if e.action == "scale-up"]
+    downs = [e for e in fleet.scale_events if e.action == "scale-down"]
+    assert ups and downs, "the diurnal cycle must drive scaling both ways"
+
+    save_results(
+        "ext_fleet",
+        {
+            "scenario": "opt-30b 4-bit, diurnal trace (peak ~2x / trough "
+                        f"~0.1x static capacity, {n_req} requests), TTFT "
+                        f"SLO {_SLO_TTFT:g}s; static 4xA100 always-on vs "
+                        f"{_N_REPLICAS}x2xA100 fleet, ttft router, "
+                        "autoscaled min_active=1",
+            "rows": rows,
+            "requests": n_req,
+            "slo_ttft_s": _SLO_TTFT,
+            "attainment_ratio": round(ratio, 2),
+            "ttft_p99_ratio": round(
+                static.ttft_p99 / max(fleet.ttft_p99, 1e-9), 2
+            ),
+            "gpu_hours_static": round(static.gpu_hours, 2),
+            "gpu_hours_fleet": round(fleet.gpu_hours, 2),
+            "scale_ups": len(ups),
+            "scale_downs": len(downs),
+            "pools": fleet.to_json()["pools"],
+        },
+    )
+
+
+def test_ext_fleet_smoke():
+    """CI guard: a 20k-request cut of the headline scenario must keep
+    the fleet at GPU-hours parity and >= 1.3x SLO attainment (the
+    committed 1.5x+ headline ratio is informational — the shorter trace
+    gives the autoscaler fewer windows to amortize its scale-up lag)."""
+    baseline_path = RESULTS_DIR / "ext_fleet.json"
+    if not baseline_path.exists():
+        pytest.skip("no committed baseline to compare against")
+    committed = json.loads(baseline_path.read_text())
+    assert committed["attainment_ratio"] >= 1.5
+    assert committed["gpu_hours_fleet"] <= 1.02 * committed["gpu_hours_static"]
+
+    static, fleet, _ = _run(20_000)
+    assert fleet.gpu_hours <= 1.05 * static.gpu_hours
+    ratio = fleet.ttft_attainment / max(static.ttft_attainment, 1e-9)
+    assert ratio >= 1.3, (
+        f"smoke attainment ratio {ratio:.2f}x fell below the 1.3x floor "
+        f"(committed headline {committed['attainment_ratio']:.2f}x at 100k)"
+    )
+    assert any(e.action == "scale-up" for e in fleet.scale_events)

@@ -330,6 +330,36 @@ def _sample_trace(args: argparse.Namespace, max_prompt: int, max_gen: int):
     return trace
 
 
+def _fleet_pool_labels(n: int, disaggregate: bool) -> list[str]:
+    """Pool label per replica id: all-general, or alternating
+    prefill/decode when the fleet is disaggregated."""
+    from .fleet import POOL_DECODE, POOL_GENERAL, POOL_PREFILL
+
+    if not disaggregate:
+        return [POOL_GENERAL] * n
+    return [POOL_PREFILL if i % 2 == 0 else POOL_DECODE for i in range(n)]
+
+
+def _emit_fleet(report, json_path: str | None) -> int:
+    """Print the fleet outcome; optionally persist the full report."""
+    print(report.summary())
+    for r in report.replica_results:
+        print(
+            f"  replica {r.replica_id} [{r.pool}]: {r.routed} routed, "
+            f"{r.completed} completed, {r.rejected} rejected, "
+            f"{r.gpu_seconds / 3600.0:.3f} GPU-h"
+        )
+    for e in report.scale_events:
+        print(
+            f"  t={e.at:.1f}s {e.pool}: {e.action} replica {e.replica_id} "
+            f"(rho={e.utilization:.2f}, active={e.active_after})"
+        )
+    if json_path:
+        with open(json_path, "w") as f:
+            json.dump(report.to_json(), f, indent=2)
+    return 0 if report.completed else 1
+
+
 def serve_main(argv: list[str] | None = None) -> int:
     """``llmpq-serve``: replay an arrival trace against a strategy online."""
     p = argparse.ArgumentParser(
@@ -380,7 +410,14 @@ def serve_main(argv: list[str] | None = None) -> int:
                         "(one GEMM per stage per iteration across all "
                         "in-flight requests; the default) or the "
                         "per-request batch-1 oracle path")
-    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--seed", type=int, default=0,
+                   help="single seed for every stochastic component: trace "
+                        "samplers, request token generators, and the fault "
+                        "injector")
+    p.add_argument("--fault-spec", default=None,
+                   help="deterministic fault injection spec for the real "
+                        "runtime (tiny-* models), e.g. 'crash:stage=1,at=5'; "
+                        "seeded from --seed")
     p.add_argument("--max-inflight", type=int, default=None,
                    help="hard concurrency cap on top of the memory model")
     p.add_argument("--time-scale", type=float, default=1.0,
@@ -404,6 +441,42 @@ def serve_main(argv: list[str] | None = None) -> int:
                    help="consecutive drifted windows before a re-solve fires")
     p.add_argument("--drift-cooldown", type=float, default=30.0,
                    help="minimum seconds between drift triggers")
+    g = p.add_argument_group("fleet", "multi-replica serving")
+    g.add_argument("--replicas", type=int, default=1,
+                   help="serve through a fleet of this many identical "
+                        "replicas of the strategy (1 = the classic "
+                        "single-pipeline path)")
+    g.add_argument("--router",
+                   choices=["round-robin", "least-loaded", "ttft", "prefix"],
+                   default="round-robin",
+                   help="fleet request-routing policy")
+    g.add_argument("--autoscale", action="store_true",
+                   help="scale the replica pools up/down from windowed "
+                        "utilization (starts with --autoscale-min-active "
+                        "replicas active, the rest in idle reserve)")
+    g.add_argument("--autoscale-window", type=float, default=10.0,
+                   help="utilization window, virtual seconds")
+    g.add_argument("--autoscale-high", type=float, default=0.85,
+                   help="scale-up utilization threshold")
+    g.add_argument("--autoscale-low", type=float, default=0.30,
+                   help="scale-down utilization threshold")
+    g.add_argument("--autoscale-hysteresis", type=int, default=2,
+                   help="consecutive windows beyond a threshold before acting")
+    g.add_argument("--autoscale-cooldown", type=float, default=60.0,
+                   help="minimum seconds between scale actions per pool")
+    g.add_argument("--autoscale-min-active", type=int, default=1,
+                   help="replicas active at start and floor for scale-down")
+    g.add_argument("--disaggregate", action="store_true",
+                   help="split the replicas into prefill/decode pools "
+                        "(even ids prefill, odd ids decode; needs "
+                        "--replicas >= 2)")
+    g.add_argument("--slo-ttft", type=float, default=None,
+                   help="TTFT SLO in seconds: report fleet attainment")
+    g.add_argument("--slo-tpot", type=float, default=None,
+                   help="per-output-token SLO in seconds: report attainment")
+    g.add_argument("--fleet-json", default=None,
+                   help="write the fleet report (per-replica stats, scale "
+                        "events) to this JSON file")
     args = p.parse_args(argv)
 
     if args.trace_file is None and (args.rate <= 0 or args.duration <= 0):
@@ -425,6 +498,30 @@ def serve_main(argv: list[str] | None = None) -> int:
             )
         except ValueError as e:
             return _fail(f"invalid drift settings: {e}")
+    fleet_mode = args.replicas > 1 or args.autoscale
+    if args.replicas < 1:
+        return _fail("--replicas must be >= 1")
+    if args.disaggregate and args.replicas < 2:
+        return _fail("--disaggregate needs --replicas >= 2")
+    if fleet_mode and args.policy != "continuous":
+        return _fail("fleet serving requires --policy continuous")
+    if args.autoscale and args.autoscale_min_active > args.replicas:
+        return _fail("--autoscale-min-active cannot exceed --replicas")
+    autoscale_cfg = None
+    if args.autoscale:
+        from .fleet import AutoscaleConfig
+
+        try:
+            autoscale_cfg = AutoscaleConfig(
+                window=args.autoscale_window,
+                high=args.autoscale_high,
+                low=args.autoscale_low,
+                hysteresis=args.autoscale_hysteresis,
+                cooldown=args.autoscale_cooldown,
+                min_active=args.autoscale_min_active,
+            )
+        except ValueError as e:
+            return _fail(f"invalid autoscale settings: {e}")
     plan = _load_plan(args.strategy)
     if args.kv_bits != "auto":
         plan = plan.with_kv_bits(int(args.kv_bits))
@@ -450,8 +547,52 @@ def serve_main(argv: list[str] | None = None) -> int:
             from .runtime.replan import workload_refit_replanner
 
             replanner = workload_refit_replanner
+
+        def make_injector(seed: int):
+            if not args.fault_spec:
+                return None
+            from .runtime.faults import FaultInjector
+
+            return FaultInjector.from_spec(args.fault_spec, seed=seed)
+
         try:
-            with PipelineRuntime(ref, plan) as rt:
+            make_injector(args.seed)
+        except ValueError as e:
+            return _fail(f"invalid --fault-spec: {e}")
+
+        if fleet_mode:
+            from .fleet import FleetAutoscaler, RuntimeReplica, serve_fleet_runtime
+
+            pools = _fleet_pool_labels(args.replicas, args.disaggregate)
+            reps = [
+                RuntimeReplica(
+                    i, ref, plan, pool=pools[i], policy=args.policy,
+                    max_inflight=args.max_inflight,
+                    time_scale=args.time_scale,
+                    decode_batching=args.decode_batching,
+                    drift=drift, replanner=replanner,
+                    fault_injector=make_injector(args.seed + i),
+                )
+                for i in range(args.replicas)
+            ]
+            autoscaler = FleetAutoscaler(autoscale_cfg) if autoscale_cfg else None
+            active = (
+                list(range(args.autoscale_min_active)) if autoscale_cfg else None
+            )
+            try:
+                freport = serve_fleet_runtime(
+                    reps, requests, router=args.router, autoscaler=autoscaler,
+                    active=active, slo_ttft=args.slo_ttft,
+                    slo_tpot=args.slo_tpot,
+                )
+            except RuntimeError as e:
+                return _fail(f"serving failed: {e}", code=3)
+            return _emit_fleet(freport, args.fleet_json)
+
+        try:
+            with PipelineRuntime(
+                ref, plan, fault_injector=make_injector(args.seed)
+            ) as rt:
                 sched = ContinuousScheduler(
                     rt, policy=args.policy,
                     max_inflight=args.max_inflight,
@@ -514,6 +655,31 @@ def serve_main(argv: list[str] | None = None) -> int:
         from .runtime.replan import make_search_replanner
 
         replanner = make_search_replanner(cluster, latency_model=latency_model)
+
+    if fleet_mode:
+        from .fleet import FleetAutoscaler, SimReplica, serve_fleet
+
+        pools = _fleet_pool_labels(args.replicas, args.disaggregate)
+        reps = [
+            SimReplica(
+                i, plan, cluster, pool=pools[i],
+                max_batch=args.max_inflight, engine=args.engine,
+                source=args.cost_source, latency_model=latency_model,
+                decode_batching=args.decode_batching,
+                drift=drift, replanner=replanner,
+            )
+            for i in range(args.replicas)
+        ]
+        autoscaler = FleetAutoscaler(autoscale_cfg) if autoscale_cfg else None
+        active = (
+            list(range(args.autoscale_min_active)) if autoscale_cfg else None
+        )
+        freport = serve_fleet(
+            reps, trace, router=args.router, autoscaler=autoscaler,
+            active=active, slo_ttft=args.slo_ttft, slo_tpot=args.slo_tpot,
+        )
+        return _emit_fleet(freport, args.fleet_json)
+
     res = simulate_online(
         plan, cluster, trace,
         max_batch=args.max_inflight, policy=args.policy, engine=args.engine,

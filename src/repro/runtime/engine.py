@@ -43,6 +43,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from .. import stats
 from ..core.plan import ExecutionPlan
 from ..cost.memory import dequant_cache_budget, stage_memory
 from ..models.registry import get_model
@@ -132,9 +133,7 @@ class RuntimeStats:
         )
 
     def _latency_pct(self, q: float) -> float:
-        if not self.request_latencies:
-            return 0.0
-        return float(np.percentile(self.request_latencies, q))
+        return stats.percentile(self.request_latencies, q, empty=0.0)
 
     @property
     def latency_p50(self) -> float:
@@ -154,14 +153,12 @@ class RuntimeStats:
     @property
     def ttft_mean(self) -> float:
         """Mean time-to-first-token across requests (seconds)."""
-        return float(np.mean(self.request_ttfts)) if self.request_ttfts else 0.0
+        return stats.mean(self.request_ttfts, empty=0.0)
 
     @property
     def ttft_p95(self) -> float:
         """95th-percentile time-to-first-token (seconds)."""
-        if not self.request_ttfts:
-            return 0.0
-        return float(np.percentile(self.request_ttfts, 95))
+        return stats.percentile(self.request_ttfts, 95, empty=0.0)
 
 
 @dataclass(frozen=True)

@@ -282,6 +282,15 @@ class DriftDetector:
         self._occ_v.clear()
         self._occ_chunks.clear()
 
+    def estimate(self, now: float, *, reason: str = "estimate") -> DriftEstimate:
+        """Current workload estimate from the recent windows, no trigger.
+
+        The fleet autoscaler uses this to size the plan for a replica it
+        is about to scale up: same recent-window statistics a drift
+        trigger would report, available on demand.
+        """
+        return self._estimate(now, score=0.0, reason=reason)
+
     def poll(self, now: float) -> DriftEstimate | None:
         """Close any windows ending before ``now``; return a trigger or None."""
         cfg = self.config

@@ -48,6 +48,7 @@ from typing import Iterable, Literal, Sequence
 
 import numpy as np
 
+from .. import stats
 from ..core.plan import ExecutionPlan
 from ..cost.stagecosts import StageCostModel
 from ..ops import greedy_pick
@@ -166,8 +167,7 @@ class ServeReport:
 
     def latency_percentile(self, q: float) -> float:
         """Request-latency percentile (seconds; 0 when nothing completed)."""
-        lat = self._latencies()
-        return float(np.percentile(lat, q)) if lat else 0.0
+        return stats.percentile(self._latencies(), q, empty=0.0)
 
     @property
     def latency_p50(self) -> float:
@@ -187,14 +187,12 @@ class ServeReport:
     @property
     def ttft_mean(self) -> float:
         """Mean time-to-first-token across completed requests."""
-        t = [r.ttft for r in self.completed]
-        return float(np.mean(t)) if t else 0.0
+        return stats.mean([r.ttft for r in self.completed], empty=0.0)
 
     @property
     def ttft_p95(self) -> float:
         """95th-percentile time-to-first-token."""
-        t = [r.ttft for r in self.completed]
-        return float(np.percentile(t, 95)) if t else 0.0
+        return stats.percentile([r.ttft for r in self.completed], 95, empty=0.0)
 
 
 def requests_from_arrivals(

@@ -42,6 +42,7 @@ from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
+from .. import stats
 from ..cost.stagecosts import StageCostModel
 from ..workload.spec import Workload
 
@@ -159,10 +160,12 @@ def request_kv_bytes(
 
 def _quantile(values: np.ndarray, q: float) -> float:
     """NaN-safe percentile: empty samples read as unbounded latency
-    instead of tripping numpy's empty-slice warning and returning NaN."""
-    if values.size == 0:
-        return float("inf")
-    return float(np.quantile(values, q))
+    instead of tripping numpy's empty-slice warning and returning NaN.
+
+    Thin wrapper over :func:`repro.stats.quantile` keeping the simulator's
+    inf-on-empty convention in one obvious place.
+    """
+    return stats.quantile(values, q, empty=float("inf"))
 
 
 def _infeasible(policy: str, rejected: int) -> OnlineResult:
@@ -184,10 +187,14 @@ def _simulate_wave(
     max_batch: int | None,
     engine: str,
     scm: StageCostModel,
+    sample_sink: "dict | None" = None,
 ) -> OnlineResult:
     from .pipeline import simulate_pipeline
     from .pipeline_des import simulate_pipeline_des
 
+    if sample_sink is not None:
+        sample_sink["latencies"] = np.empty(0)
+        sample_sink["ttfts"] = np.empty(0)
     if max_batch is not None and max_batch <= 0:
         return _infeasible("wave", len(reqs))
 
@@ -260,6 +267,9 @@ def _simulate_wave(
         return _infeasible("wave", rejected)
     lat = np.array(latencies)
     tt = np.array(ttfts)
+    if sample_sink is not None:
+        sample_sink["latencies"] = lat
+        sample_sink["ttfts"] = tt
     return OnlineResult(
         completed=len(latencies),
         makespan=now,
@@ -290,6 +300,7 @@ def _simulate_continuous(
     latency_model: "LatencyModel | None" = None,
     drift: "DriftConfig | None" = None,
     replanner: "Replanner | None" = None,
+    sample_sink: "dict | None" = None,
 ) -> OnlineResult:
     if engine == "des":
         from .pipeline_des import iteration_makespan_des
@@ -310,8 +321,11 @@ def _simulate_continuous(
     pending: deque = deque(reqs)
     active: list[dict] = []
     now = 0.0
+    next_idx = 0  # sorted-trace row of the next pending request
     latencies: list[float] = []
     ttfts: list[float] = []
+    lat_idx: list[int] = []
+    tt_idx: list[int] = []
     total_tokens = 0
     rejected = 0
     iterations = 0
@@ -335,12 +349,16 @@ def _simulate_continuous(
                 if not active and not newly:
                     # alone in an empty system and still unfit: never fits
                     pending.popleft()
+                    next_idx += 1
                     rejected += 1
                     continue
                 break
             pending.popleft()
             used += charge
-            newly.append({"req": r, "produced": 0, "charge": charge})
+            newly.append(
+                {"req": r, "produced": 0, "charge": charge, "idx": next_idx}
+            )
+            next_idx += 1
         if not newly and not active:
             continue
 
@@ -363,6 +381,7 @@ def _simulate_continuous(
         for a in newly:
             a["produced"] = 1
             ttfts.append(now - a["req"].arrival)
+            tt_idx.append(a["idx"])
         active.extend(newly)
 
         still: list[dict] = []
@@ -371,6 +390,7 @@ def _simulate_continuous(
                 # retire at the boundary: the refund is immediately
                 # available to the next admission
                 latencies.append(now - a["req"].arrival)
+                lat_idx.append(a["idx"])
                 total_tokens += a["req"].gen_len
                 used -= a["charge"]
             else:
@@ -437,9 +457,19 @@ def _simulate_continuous(
             detector.rebaseline(now)
 
     if not latencies:
+        if sample_sink is not None:
+            sample_sink["latencies"] = np.empty(0)
+            sample_sink["ttfts"] = np.empty(0)
+            sample_sink["lat_idx"] = np.empty(0, dtype=np.int64)
+            sample_sink["tt_idx"] = np.empty(0, dtype=np.int64)
         return _infeasible("continuous", rejected)
     lat = np.array(latencies)
     tt = np.array(ttfts)
+    if sample_sink is not None:
+        sample_sink["latencies"] = lat
+        sample_sink["ttfts"] = tt
+        sample_sink["lat_idx"] = np.array(lat_idx, dtype=np.int64)
+        sample_sink["tt_idx"] = np.array(tt_idx, dtype=np.int64)
     return OnlineResult(
         completed=len(latencies),
         makespan=now,
@@ -477,6 +507,8 @@ def simulate_online(
     decode_batching: str | None = None,
     drift: "DriftConfig | None" = None,
     replanner: "Replanner | None" = None,
+    force_general: bool = False,
+    sample_sink: "dict | None" = None,
 ) -> OnlineResult:
     """Serve ``trace`` on ``plan``'s pipeline under a scheduling policy.
 
@@ -510,6 +542,12 @@ def simulate_online(
     the plan mid-run — charging ``drift.rebuild_seconds`` plus the
     analytically priced replay of in-flight KV state when the new plan
     re-cuts shards, so big-model drift studies run without a runtime.
+
+    ``force_general`` (continuous vectorized engine only) disables the
+    exact-linear token-budget admission shortcut so the general per-stage
+    scan is exercised.  ``sample_sink``, when given a dict, receives the
+    raw per-request ``latencies`` / ``ttfts`` arrays (completion order)
+    so callers — the fleet layer — can pool exact samples across runs.
     """
     if not len(trace):
         raise ValueError("empty trace")
@@ -546,7 +584,7 @@ def simulate_online(
                 plan, cluster, reqs, max_batch=max_batch,
                 engine="des" if engine == "reference-des" else "analytic",
                 scm=cost_model, source=source, latency_model=latency_model,
-                drift=drift, replanner=replanner,
+                drift=drift, replanner=replanner, sample_sink=sample_sink,
             )
         from .trace_engine import simulate_continuous_vectorized, trace_columns
 
@@ -554,8 +592,10 @@ def simulate_online(
             plan, cluster, trace_columns(trace), max_batch=max_batch,
             engine=engine, scm=cost_model, source=source,
             latency_model=latency_model, drift=drift, replanner=replanner,
+            force_general=force_general, sample_sink=sample_sink,
         )
     reqs = sorted(trace, key=lambda r: r.arrival)
     return _simulate_wave(
-        plan, cluster, reqs, max_batch=max_batch, engine=engine, scm=cost_model
+        plan, cluster, reqs, max_batch=max_batch, engine=engine,
+        scm=cost_model, sample_sink=sample_sink,
     )

@@ -31,8 +31,8 @@ the *same* simulation as array-based event processing:
 * when the per-request KV charges are *bitwise* linear in token count —
   verified once when the cost model is bound — per-stage byte admission
   collapses to a single integer token budget and one ``searchsorted``
-  per boundary (``_FORCE_GENERAL`` disables the shortcut so tests also
-  exercise the general per-stage scan).
+  per boundary (the per-run ``force_general`` switch disables the
+  shortcut so tests also exercise the general per-stage scan).
 
 Every floating-point operation mirrors the scalar loop's order (the
 batch cost-model views are bit-for-bit equal to their scalar
@@ -70,9 +70,6 @@ _CHUNK_GROW = 4
 _STRETCH0 = 8
 _STRETCH_MAX = 8192
 
-#: test hook: disable the exact-linear token-budget fast path so the
-#: general per-stage admission arithmetic stays exercised
-_FORCE_GENERAL = False
 
 
 def trace_columns(trace) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
@@ -116,7 +113,16 @@ class _Engine:
         latency_model: "LatencyModel | None",
         drift: "DriftConfig | None",
         replanner: "Replanner | None",
+        force_general: bool = False,
+        sample_sink: "dict | None" = None,
     ) -> None:
+        # per-run switch (replaces the old module-level ``_FORCE_GENERAL``
+        # mutable global, which made concurrent replica engines in one
+        # process trample each other): disable the exact-linear
+        # token-budget fast path so the general per-stage admission
+        # arithmetic stays exercised
+        self.force_general = force_general
+        self.sample_sink = sample_sink
         self.plan = plan
         self.cluster = cluster
         self.arr, self.spr, self.sgen = columns
@@ -169,6 +175,10 @@ class _Engine:
         self.now = 0.0
         self.lat_parts: list[np.ndarray] = []
         self.tt_parts: list[np.ndarray] = []
+        # request indices aligned with lat/tt parts (sorted-trace order),
+        # so sample_sink consumers can join samples back to requests
+        self.lat_idx_parts: list[np.ndarray] = []
+        self.tt_idx_parts: list[np.ndarray] = []
         self.obs_t: list[float] = []
         self.obs_v: list[float] = []
         self.total_tokens = 0
@@ -207,7 +217,7 @@ class _Engine:
         # budget: the largest T with T * kvc_j <= headroom_j for all j
         self._kvc = None
         self._tok_budget = 0
-        if self._uniq_toks.size and not _FORCE_GENERAL:
+        if self._uniq_toks.size and not self.force_general:
             kvc = scm.request_kv_bytes_batch(np.ones(1, dtype=np.int64))[0]
             rows = scm.request_kv_bytes_batch(self._uniq_toks)
             if (kvc > 0).all() and np.array_equal(
@@ -330,6 +340,7 @@ class _Engine:
         self.iterations += 1
         self.inflight_sum += b + admitted.size
         self.tt_parts.append(self.now - self.arr[admitted])
+        self.tt_idx_parts.append(admitted)
         self.a_idx = np.concatenate((self.a_idx, admitted))
         self.a_prod = np.concatenate(
             (self.a_prod + 1, np.ones(admitted.size, dtype=np.int64))
@@ -342,6 +353,7 @@ class _Engine:
         if fin.any():
             fidx = self.a_idx[fin]
             self.lat_parts.append(self.now - self.arr[fidx])
+            self.lat_idx_parts.append(fidx)
             self.total_tokens += int(self.sgen[fidx].sum())
             self.used = self.used - self.charges[fidx].sum(axis=0)
             keep = ~fin
@@ -584,12 +596,13 @@ class _Engine:
             held_rec[M] * self._kvc if linear else used_rec[M].copy()
         )
         self.ptr = ptr_m
+        adm_idx = np.arange(ptr0, ptr_m, dtype=np.int64)
         if ptr_m > ptr0:
             self.tt_parts.append(
                 np.repeat(now_t[:M], reps_m) - arr[ptr0:ptr_m]
             )
+            self.tt_idx_parts.append(adm_idx)
         t_admit = np.repeat(np.arange(1, M + 1, dtype=np.int64), reps_m)
-        adm_idx = np.arange(ptr0, ptr_m, dtype=np.int64)
         adm_fin = t_admit + sgen[ptr0:ptr_m] - 1
         pre_f = rel0 <= M
         adm_f = adm_fin <= M
@@ -599,6 +612,7 @@ class _Engine:
             o = np.argsort(fbound, kind="stable")
             fo = fidx[o]
             self.lat_parts.append(now_t[fbound[o] - 1] - arr[fo])
+            self.lat_idx_parts.append(fo)
             self.total_tokens += int(sgen[fidx].sum())
         keep_pre = ~pre_f
         adm_keep = ~adm_f
@@ -690,6 +704,7 @@ class _Engine:
                 if leave1.any():
                     fidx = a_idx[leave1]
                     self.lat_parts.append(self.now - arr[fidx])
+                    self.lat_idx_parts.append(fidx)
                     self.total_tokens += int(self.sgen[fidx].sum())
                 self.used = self.used - rel1
                 keep = ~leave1
@@ -780,6 +795,7 @@ class _Engine:
             ridx = ord_[:n_ret]
             fidx = a_idx[ridx]
             self.lat_parts.append(now_post[rem_s[:n_ret] - 1] - arr[fidx])
+            self.lat_idx_parts.append(fidx)
             self.total_tokens += int(self.sgen[fidx].sum())
         used0 = self.used
         self.used = used0 - rel_i[t_run]
@@ -913,7 +929,8 @@ class _Engine:
 
     # -- main loop ------------------------------------------------------
     def run(self):
-        from .online import OnlineResult, _infeasible, _quantile
+        from ..stats import quantile
+        from .online import OnlineResult, _infeasible
 
         arr = self.arr
         while self.ptr < self.n_req or self.a_idx.size:
@@ -939,6 +956,11 @@ class _Engine:
                 self._decode_run()
 
         if not self.lat_parts:
+            if self.sample_sink is not None:
+                self.sample_sink["latencies"] = np.empty(0)
+                self.sample_sink["ttfts"] = np.empty(0)
+                self.sample_sink["lat_idx"] = _EMPTY_I8
+                self.sample_sink["tt_idx"] = _EMPTY_I8
             return _infeasible("continuous", self.rejected)
         lat = (
             self.lat_parts[0]
@@ -950,19 +972,27 @@ class _Engine:
             if len(self.tt_parts) == 1
             else np.concatenate(self.tt_parts)
         )
+        if self.sample_sink is not None:
+            # completion-order per-request samples for fleet-level pooling
+            # (percentiles and SLO attainment are order-independent); the
+            # idx arrays join each sample back to its sorted-trace row
+            self.sample_sink["latencies"] = lat
+            self.sample_sink["ttfts"] = tt
+            self.sample_sink["lat_idx"] = np.concatenate(self.lat_idx_parts)
+            self.sample_sink["tt_idx"] = np.concatenate(self.tt_idx_parts)
         return OnlineResult(
             completed=lat.size,
             makespan=self.now,
             mean_latency=float(lat.mean()),
-            p95_latency=_quantile(lat, 0.95),
+            p95_latency=quantile(lat, 0.95),
             throughput=self.total_tokens / self.now,
             waves=0,
             mean_wave_batch=0.0,
             policy="continuous",
-            p50_latency=_quantile(lat, 0.50),
-            p99_latency=_quantile(lat, 0.99),
+            p50_latency=quantile(lat, 0.50),
+            p99_latency=quantile(lat, 0.99),
             mean_ttft=float(tt.mean()),
-            p95_ttft=_quantile(tt, 0.95),
+            p95_ttft=quantile(tt, 0.95),
             rejected=self.rejected,
             iterations=self.iterations,
             mean_inflight=float(self.inflight_sum) / float(self.iterations),
@@ -985,6 +1015,8 @@ def simulate_continuous_vectorized(
     latency_model: "LatencyModel | None" = None,
     drift: "DriftConfig | None" = None,
     replanner: "Replanner | None" = None,
+    force_general: bool = False,
+    sample_sink: "dict | None" = None,
 ):
     """Continuous-policy simulation over pre-sorted trace ``columns``.
 
@@ -992,9 +1024,15 @@ def simulate_continuous_vectorized(
     same admission control, pricing, drift detection, and migration
     accounting, evaluated as event batches.  Returns a byte-identical
     :class:`~repro.sim.online.OnlineResult`.
+
+    ``force_general`` disables the exact-linear token-budget admission
+    shortcut (general per-stage scan only).  ``sample_sink``, when given,
+    receives the raw per-request ``latencies``/``ttfts`` arrays so fleet
+    aggregation can pool exact samples across replicas.
     """
     return _Engine(
         plan, cluster, columns,
         max_batch=max_batch, engine=engine, scm=scm, source=source,
         latency_model=latency_model, drift=drift, replanner=replanner,
+        force_general=force_general, sample_sink=sample_sink,
     ).run()

@@ -1,0 +1,86 @@
+"""Shared latency/percentile helpers.
+
+Every layer that summarizes per-request samples (the analytic online
+simulator, the vectorized trace engine, the real runtime's
+:class:`~repro.runtime.engine.RuntimeStats`, and the scheduler's
+:class:`~repro.runtime.scheduler.ServeReport`) previously carried its own
+copy of the same three lines of ``np.percentile`` math, each with a
+slightly different empty-sample convention.  This module is the single
+home for that arithmetic.
+
+Two conventions coexist on purpose and are preserved exactly:
+
+* **Simulator results** (:class:`~repro.sim.online.OnlineResult`) read an
+  empty sample as *unbounded* latency — ``inf`` — because "nothing was
+  admitted" means the SLO is violated, not met for free.
+* **Runtime reports** (``ServeReport``/``RuntimeStats``) read an empty
+  sample as ``0.0`` — "no data yet" on a live counter dashboard.
+
+Callers pick the convention through the ``empty`` keyword; both helpers
+are NaN-safe (NaN samples are dropped before the percentile is taken,
+and an all-NaN sample counts as empty).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+__all__ = ["quantile", "percentile", "mean"]
+
+
+def _as_clean_array(values: "np.ndarray | Iterable[float]") -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        arr = arr.reshape(-1)
+    # Only pay the filtering pass when NaNs are actually present so the
+    # common clean path stays bit-identical to plain np.quantile.
+    if arr.size and np.isnan(arr).any():
+        arr = arr[~np.isnan(arr)]
+    return arr
+
+
+def quantile(
+    values: "np.ndarray | Iterable[float]",
+    q: float,
+    *,
+    empty: float = float("inf"),
+) -> float:
+    """Quantile of ``values`` with ``q`` in ``[0, 1]``.
+
+    Empty (or all-NaN) samples return ``empty`` instead of tripping
+    numpy's empty-slice warning and returning NaN.
+    """
+    arr = _as_clean_array(values)
+    if arr.size == 0:
+        return float(empty)
+    return float(np.quantile(arr, q))
+
+
+def percentile(
+    values: "np.ndarray | Iterable[float]",
+    q: float,
+    *,
+    empty: float = 0.0,
+) -> float:
+    """Percentile of ``values`` with ``q`` in ``[0, 100]``.
+
+    Empty (or all-NaN) samples return ``empty``.
+    """
+    arr = _as_clean_array(values)
+    if arr.size == 0:
+        return float(empty)
+    return float(np.percentile(arr, q))
+
+
+def mean(
+    values: "np.ndarray | Iterable[float]",
+    *,
+    empty: float = 0.0,
+) -> float:
+    """NaN/empty-safe arithmetic mean."""
+    arr = _as_clean_array(values)
+    if arr.size == 0:
+        return float(empty)
+    return float(arr.mean())

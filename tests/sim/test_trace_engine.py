@@ -7,7 +7,7 @@ contract is **exact equality**: every ``OnlineResult`` field — floats
 included — must match the oracle bit for bit, with or without drift
 detection and live replanning, in both the token-budget linear
 admission fast path and the general per-stage byte accounting
-(``_FORCE_GENERAL``).
+(``force_general=True``).
 
 A hypothesis sweep drives random traces/plans/knobs through both
 engines; deterministic cases pin the canned trace, migrations that
@@ -23,7 +23,6 @@ import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
-import repro.sim.trace_engine as trace_engine
 from repro.core.plan import ExecutionPlan
 from repro.runtime.replan import DriftConfig, workload_refit_replanner
 from repro.runtime.scheduler import ServeReport
@@ -47,15 +46,17 @@ DRIFT = DriftConfig(
 
 
 @pytest.fixture(params=[False, True], ids=["linear", "general"])
-def force_general(request, monkeypatch):
+def force_general(request):
     """Run each case through both admission paths: the exact-linear
     token-budget shortcut and the general per-stage byte scan."""
-    monkeypatch.setattr(trace_engine, "_FORCE_GENERAL", request.param)
     return request.param
 
 
-def _assert_identical(plan, cluster, trace, **kw):
-    vec = simulate_online(plan, cluster, trace, policy="continuous", **kw)
+def _assert_identical(plan, cluster, trace, *, force_general=False, **kw):
+    vec = simulate_online(
+        plan, cluster, trace, policy="continuous",
+        force_general=force_general, **kw,
+    )
     eng = kw.pop("engine", "analytic")
     ref = "reference-des" if eng == "des" else "reference"
     oracle = simulate_online(
@@ -84,7 +85,8 @@ def _assert_identical(plan, cluster, trace, **kw):
 def test_canned_trace_identical(plan_name, engine, max_batch, force_general):
     plan, cluster = PLANS[plan_name]
     _assert_identical(
-        plan, cluster, canned_trace(), engine=engine, max_batch=max_batch
+        plan, cluster, canned_trace(), engine=engine, max_batch=max_batch,
+        force_general=force_general,
     )
 
 
@@ -96,7 +98,10 @@ def test_mixed_kv_trace_identical(engine, force_general):
     per-stage charge vector is no longer uniform."""
     plan, cluster = PLANS["mixed"]
     kv_plan = plan.with_kv_bits((4, 8, 16, 4))
-    res = _assert_identical(kv_plan, cluster, canned_trace(), engine=engine)
+    res = _assert_identical(
+        kv_plan, cluster, canned_trace(), engine=engine,
+        force_general=force_general,
+    )
     assert res.completed > 0
 
 
@@ -105,8 +110,12 @@ def test_kv4_admits_more_than_kv16(force_general):
     never complete fewer requests than fp16 KV on an overload trace."""
     plan, cluster = PLANS["mixed"]
     trace = canned_trace() * 4
-    r16 = _assert_identical(plan.with_kv_bits(16), cluster, trace)
-    r4 = _assert_identical(plan.with_kv_bits(4), cluster, trace)
+    r16 = _assert_identical(
+        plan.with_kv_bits(16), cluster, trace, force_general=force_general
+    )
+    r4 = _assert_identical(
+        plan.with_kv_bits(4), cluster, trace, force_general=force_general
+    )
     assert r4.completed >= r16.completed
     assert r4.rejected <= r16.rejected
 
@@ -118,7 +127,8 @@ def test_drifting_trace_identical_with_replanning(force_general):
         max_prompt=64, max_gen=32,
     )
     res = _assert_identical(
-        plan, cluster, trace, drift=DRIFT, replanner=workload_refit_replanner
+        plan, cluster, trace, drift=DRIFT, replanner=workload_refit_replanner,
+        force_general=force_general,
     )
     assert res.iterations > 0
 
@@ -143,7 +153,8 @@ def test_recut_migration_identical(force_general):
         rebuild_seconds=0.4,
     )
     res = _assert_identical(
-        plan, cluster, trace, drift=drift, replanner=flip
+        plan, cluster, trace, drift=drift, replanner=flip,
+        force_general=force_general,
     )
     assert res.migrations >= 1
 
@@ -187,12 +198,7 @@ def test_random_traces_identical(
     kw = {"engine": engine, "max_batch": max_batch}
     if with_drift:
         kw.update(drift=DRIFT, replanner=workload_refit_replanner)
-    prev = trace_engine._FORCE_GENERAL
-    trace_engine._FORCE_GENERAL = general
-    try:
-        _assert_identical(plan, cluster, trace, **kw)
-    finally:
-        trace_engine._FORCE_GENERAL = prev
+    _assert_identical(plan, cluster, trace, force_general=general, **kw)
 
 
 # ---------------------------------------------------------------------------

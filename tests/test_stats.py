@@ -1,0 +1,58 @@
+"""Unit tests for the consolidated percentile helpers (repro.stats)."""
+
+import math
+import warnings
+
+import numpy as np
+
+from repro import stats
+
+
+def test_quantile_matches_numpy_on_clean_data():
+    v = np.array([3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0])
+    for q in (0.0, 0.5, 0.95, 0.99, 1.0):
+        assert stats.quantile(v, q) == float(np.quantile(v, q))
+
+
+def test_percentile_matches_numpy_on_clean_data():
+    v = [0.5, 2.5, 1.5, 10.0]
+    for q in (50, 95, 99):
+        assert stats.percentile(v, q) == float(np.percentile(v, q))
+
+
+def test_empty_conventions():
+    """Simulator paths read empty as inf; runtime reports as 0."""
+    empty = np.empty(0)
+    assert stats.quantile(empty, 0.99) == float("inf")
+    assert stats.percentile(empty, 99) == 0.0
+    assert stats.mean(empty) == 0.0
+    assert stats.quantile([], 0.5, empty=-1.0) == -1.0
+    assert stats.percentile([], 50, empty=float("nan")) != stats.percentile([], 50, empty=0.0)
+
+
+def test_empty_is_warning_free():
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        stats.quantile(np.empty(0), 0.5)
+        stats.percentile([], 99)
+        stats.mean([])
+
+
+def test_nan_samples_are_dropped():
+    v = [1.0, float("nan"), 3.0]
+    assert stats.quantile(v, 0.5) == 2.0
+    assert stats.percentile(v, 50) == 2.0
+    assert stats.mean(v) == 2.0
+
+
+def test_all_nan_counts_as_empty():
+    v = [float("nan"), float("nan")]
+    assert math.isinf(stats.quantile(v, 0.99))
+    assert stats.percentile(v, 99) == 0.0
+    assert stats.mean(v) == 0.0
+
+
+def test_accepts_lists_tuples_and_arrays():
+    assert stats.mean((1.0, 2.0, 3.0)) == 2.0
+    assert stats.quantile([5.0], 0.99) == 5.0
+    assert stats.percentile(np.array([5.0]), 1) == 5.0
